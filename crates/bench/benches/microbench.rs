@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks of the signal-path hot spots and the
+//! synchronizer's solver.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssync_dsp::rng::ComplexGaussian;
+use ssync_dsp::{Complex64, Fft};
+use ssync_linprog::MisalignmentProblem;
+use ssync_phy::{OfdmParams, RateId, Receiver, Transmitter};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let gauss = ComplexGaussian::unit();
+    for n in [64usize, 128] {
+        let fft = Fft::new(n);
+        let input = gauss.sample_vec(&mut rng, n);
+        c.bench_function(&format!("fft_forward_{n}"), |b| {
+            b.iter_batched(
+                || input.clone(),
+                |mut buf| fft.forward(&mut buf),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let info: Vec<u8> = (0..1000).map(|_| rng.gen_range(0..2u8)).collect();
+    let mut bits = info.clone();
+    bits.extend([0u8; 6]);
+    let coded = ssync_phy::convcode::encode_half(&bits);
+    let llrs = ssync_phy::viterbi::llrs_from_bits(&coded);
+    c.bench_function("viterbi_decode_1000bits", |b| {
+        b.iter(|| ssync_phy::viterbi::decode_terminated(&llrs).unwrap())
+    });
+}
+
+fn bench_full_frame(c: &mut Criterion) {
+    let params = OfdmParams::dot11a();
+    let tx = Transmitter::new(params.clone());
+    let rx = Receiver::new(params.clone());
+    let mut rng = StdRng::seed_from_u64(3);
+    let payload: Vec<u8> = (0..1460).map(|_| rng.gen()).collect();
+
+    c.bench_function("tx_frame_1460B_r24", |b| {
+        b.iter(|| tx.frame_waveform(&payload, RateId::R24, 0))
+    });
+
+    let wave = tx.frame_waveform(&payload, RateId::R24, 0);
+    let noise = ComplexGaussian::with_power(1e-3);
+    let mut buf: Vec<Complex64> = noise.sample_vec(&mut rng, 200);
+    buf.extend(wave);
+    buf.extend(noise.sample_vec(&mut rng, 200));
+    for (i, s) in buf.iter_mut().enumerate() {
+        if i >= 200 {
+            *s += noise.sample(&mut rng);
+        }
+    }
+    c.bench_function("rx_frame_1460B_r24", |b| {
+        b.iter(|| rx.receive(&buf).expect("decodes"))
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let params = OfdmParams::dot11a();
+    let fft = Fft::new(params.fft_size);
+    let det = ssync_phy::Detector::new(&params, &fft);
+    let pre = ssync_phy::preamble::preamble_waveform(&params, &fft);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut buf = ComplexGaussian::with_power(0.01).sample_vec(&mut rng, 4000);
+    for (i, s) in pre.iter().enumerate() {
+        buf[1000 + i] += *s;
+    }
+    c.bench_function("packet_detect_4k_samples", |b| {
+        b.iter(|| det.detect(&params, &buf, 0).expect("detects"))
+    });
+}
+
+fn bench_alamouti(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let gauss = ComplexGaussian::unit();
+    let xs = gauss.sample_vec(&mut rng, 96);
+    let h_a = gauss.sample(&mut rng);
+    let h_b = gauss.sample(&mut rng);
+    let sa = ssync_stbc::encode_stream(ssync_stbc::Codeword::A, &xs);
+    let sb = ssync_stbc::encode_stream(ssync_stbc::Codeword::B, &xs);
+    let ys: Vec<Complex64> = sa.iter().zip(&sb).map(|(a, b)| h_a * *a + h_b * *b).collect();
+    c.bench_function("alamouti_decode_96syms", |b| {
+        b.iter(|| ssync_stbc::decode_stream(&ys, h_a, h_b))
+    });
+}
+
+fn bench_wait_lp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let problem = MisalignmentProblem {
+        lead_delays: (0..4).map(|_| rng.gen_range(10e-9..300e-9)).collect(),
+        cosender_delays: (0..4)
+            .map(|_| (0..4).map(|_| rng.gen_range(10e-9..300e-9)).collect())
+            .collect(),
+    };
+    c.bench_function("wait_lp_4co_4rx", |b| b.iter(|| problem.solve()));
+}
+
+fn bench_fractional_delay(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sig = ComplexGaussian::unit().sample_vec(&mut rng, 2000);
+    c.bench_function("fractional_delay_2k_samples", |b| {
+        b.iter(|| ssync_dsp::delay::fractional_delay(&sig, 0.37))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fft, bench_viterbi, bench_full_frame, bench_detection, bench_alamouti, bench_wait_lp, bench_fractional_delay
+}
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Node positions and placement helpers.
+//!
+//! The paper's evaluation places nodes "at random locations in our testbed"
+//! (Fig. 11, a ~30 m office floor). We reproduce that with seeded random
+//! placements inside a rectangular floor plan.
+
+use rand::Rng;
+
+/// Speed of light in metres per second.
+pub const SPEED_OF_LIGHT_M_S: f64 = 299_792_458.0;
+
+/// A 2-D position in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// x coordinate, metres.
+    pub x: f64,
+    /// y coordinate, metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, metres.
+    pub fn distance_m(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Line-of-flight propagation delay to another position, femtoseconds.
+    pub fn propagation_delay_fs(&self, other: &Position) -> u64 {
+        (self.distance_m(other) / SPEED_OF_LIGHT_M_S * 1e15).round() as u64
+    }
+}
+
+/// A rectangular floor plan for random placements.
+#[derive(Debug, Clone, Copy)]
+pub struct FloorPlan {
+    /// Width in metres.
+    pub width_m: f64,
+    /// Depth in metres.
+    pub depth_m: f64,
+}
+
+impl FloorPlan {
+    /// The testbed-like default: a 30 m × 20 m office floor.
+    pub fn testbed() -> Self {
+        FloorPlan { width_m: 30.0, depth_m: 20.0 }
+    }
+
+    /// Draws a uniformly random position on the floor.
+    pub fn random_position<R: Rng + ?Sized>(&self, rng: &mut R) -> Position {
+        Position::new(rng.gen_range(0.0..self.width_m), rng.gen_range(0.0..self.depth_m))
+    }
+
+    /// Draws a position at least `min_m` and at most `max_m` away from
+    /// `anchor` (rejection sampling; falls back to the closest valid ring
+    /// point after 1000 attempts).
+    pub fn random_position_near<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        anchor: Position,
+        min_m: f64,
+        max_m: f64,
+    ) -> Position {
+        for _ in 0..1000 {
+            let p = self.random_position(rng);
+            let d = p.distance_m(&anchor);
+            if d >= min_m && d <= max_m {
+                return p;
+            }
+        }
+        // Fallback: a point on the ring at mid radius, clamped to the floor.
+        let r = (min_m + max_m) / 2.0;
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        Position::new(
+            (anchor.x + r * theta.cos()).clamp(0.0, self.width_m),
+            (anchor.y + r * theta.sin()).clamp(0.0, self.depth_m),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_and_delay() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance_m(&b) - 5.0).abs() < 1e-12);
+        // 5 m ≈ 16.68 ns = 16_678_205 fs.
+        let d = a.propagation_delay_fs(&b);
+        assert!((d as f64 - 5.0 / SPEED_OF_LIGHT_M_S * 1e15).abs() < 1.0);
+        assert!(d > 16_000_000 && d < 17_000_000);
+    }
+
+    #[test]
+    fn placements_inside_floor() {
+        let plan = FloorPlan::testbed();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = plan.random_position(&mut rng);
+            assert!(p.x >= 0.0 && p.x <= plan.width_m);
+            assert!(p.y >= 0.0 && p.y <= plan.depth_m);
+        }
+    }
+
+    #[test]
+    fn near_placement_respects_ring() {
+        let plan = FloorPlan::testbed();
+        let mut rng = StdRng::seed_from_u64(2);
+        let anchor = Position::new(15.0, 10.0);
+        for _ in 0..50 {
+            let p = plan.random_position_near(&mut rng, anchor, 5.0, 10.0);
+            let d = p.distance_m(&anchor);
+            assert!(d >= 4.9 && d <= 10.1, "distance {d}");
+        }
+    }
+
+    #[test]
+    fn near_placement_fallback_terminates() {
+        // Impossible ring (outside the floor) must still return something.
+        let plan = FloorPlan { width_m: 1.0, depth_m: 1.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = plan.random_position_near(&mut rng, Position::new(0.5, 0.5), 10.0, 20.0);
+        assert!(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0);
+    }
+
+    #[test]
+    fn zero_distance() {
+        let a = Position::new(1.0, 1.0);
+        assert_eq!(a.distance_m(&a), 0.0);
+        assert_eq!(a.propagation_delay_fs(&a), 0);
+    }
+}

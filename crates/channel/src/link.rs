@@ -1,0 +1,237 @@
+//! The composed point-to-point link: multipath ∘ gain ∘ CFO ∘ delay, plus
+//! AWGN at the receiver.
+//!
+//! A [`Link`] is the full channel between one transmitter and one receiver.
+//! The simulator's medium superposes the outputs of several links at one
+//! receiver — which is exactly the composite-channel situation of paper §5.
+
+use crate::geometry::Position;
+use crate::multipath::{Multipath, MultipathProfile};
+use crate::oscillator::Oscillator;
+use crate::pathloss::{PathLossModel, PowerBudget};
+use rand::Rng;
+use ssync_dsp::delay::fractional_delay;
+use ssync_dsp::mixer::apply_cfo_from;
+use ssync_dsp::rng::ComplexGaussian;
+use ssync_dsp::Complex64;
+
+/// A realised transmitter→receiver channel.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Amplitude gain (path loss + power budget folded together; noise at
+    /// the receiver is unit power by convention).
+    pub amplitude_gain: f64,
+    /// Small-scale multipath realisation (unit power).
+    pub multipath: Multipath,
+    /// Propagation delay, femtoseconds.
+    pub delay_fs: u64,
+    /// Carrier frequency offset of the transmitter relative to the
+    /// receiver, Hz.
+    pub cfo_hz: f64,
+}
+
+impl Link {
+    /// An ideal unit-gain, zero-delay, zero-CFO link (tests, loopback).
+    pub fn ideal() -> Self {
+        Link {
+            amplitude_gain: 1.0,
+            multipath: Multipath::identity(),
+            delay_fs: 0,
+            cfo_hz: 0.0,
+        }
+    }
+
+    /// Draws a link between two placed nodes under the given models.
+    #[allow(clippy::too_many_arguments)]
+    pub fn draw<R: Rng + ?Sized>(
+        rng: &mut R,
+        tx_pos: Position,
+        rx_pos: Position,
+        tx_osc: Oscillator,
+        rx_osc: Oscillator,
+        pathloss: &PathLossModel,
+        budget: &PowerBudget,
+        profile: &MultipathProfile,
+    ) -> Self {
+        let d = tx_pos.distance_m(&rx_pos);
+        let loss_db = pathloss.sample_loss_db(rng, d);
+        Link {
+            amplitude_gain: budget.amplitude_gain(loss_db),
+            multipath: profile.draw(rng),
+            delay_fs: tx_pos.propagation_delay_fs(&rx_pos),
+            cfo_hz: tx_osc.cfo_to_hz(&rx_osc),
+        }
+    }
+
+    /// Mean received SNR in dB (against the unit-power noise convention),
+    /// i.e. `gain²·Σ|h|²`.
+    pub fn mean_snr_db(&self) -> f64 {
+        ssync_dsp::stats::db_from_linear(
+            self.amplitude_gain * self.amplitude_gain * self.multipath.power(),
+        )
+    }
+
+    /// Propagates a waveform through the link.
+    ///
+    /// `tx_start_fs` is the ether time of the waveform's first sample;
+    /// `sample_period_fs` the receiver's sample period. Returns the received
+    /// waveform and the *receiver sample index* (relative to ether time 0)
+    /// at which its first sample lands; the sub-sample remainder of the
+    /// arrival time is realised by windowed-sinc fractional delay.
+    ///
+    /// CFO rotation is phase-referenced to ether time 0 so that concurrent
+    /// transmissions from different senders stay mutually consistent.
+    pub fn propagate(
+        &self,
+        waveform: &[Complex64],
+        tx_start_fs: u64,
+        sample_period_fs: u64,
+    ) -> (Vec<Complex64>, u64) {
+        let arrival_fs = tx_start_fs + self.delay_fs;
+        let base_sample = arrival_fs / sample_period_fs;
+        let frac =
+            (arrival_fs % sample_period_fs) as f64 / sample_period_fs as f64;
+        // Multipath convolution at unit gain, then amplitude gain.
+        let mut out = self.multipath.apply(waveform);
+        if (self.amplitude_gain - 1.0).abs() > 1e-15 {
+            for s in out.iter_mut() {
+                *s = s.scale(self.amplitude_gain);
+            }
+        }
+        // CFO referenced to ether time 0 (phase origin = arrival in samples).
+        if self.cfo_hz != 0.0 {
+            let sample_rate_hz = 1e15 / sample_period_fs as f64;
+            let origin = base_sample as f64 + frac;
+            apply_cfo_from(&mut out, self.cfo_hz, sample_rate_hz, origin);
+        }
+        // Sub-sample arrival.
+        let out = if frac > 0.0 { fractional_delay(&out, frac) } else { out };
+        (out, base_sample)
+    }
+}
+
+/// Adds unit-referenced AWGN of power `noise_power` to a buffer in place.
+pub fn add_awgn<R: Rng + ?Sized>(rng: &mut R, buf: &mut [Complex64], noise_power: f64) {
+    if noise_power <= 0.0 {
+        return;
+    }
+    let g = ComplexGaussian::with_power(noise_power);
+    for s in buf.iter_mut() {
+        *s += g.sample(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_link_is_transparent() {
+        let link = Link::ideal();
+        let wave = vec![Complex64::ONE, Complex64::J];
+        let (out, start) = link.propagate(&wave, 0, 50_000_000);
+        assert_eq!(start, 0);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].dist(Complex64::ONE) < 1e-12);
+    }
+
+    #[test]
+    fn integer_delay_lands_on_sample_grid() {
+        let mut link = Link::ideal();
+        link.delay_fs = 150_000_000; // exactly 3 samples at 20 Msps
+        let wave = vec![Complex64::ONE; 4];
+        let (out, start) = link.propagate(&wave, 0, 50_000_000);
+        assert_eq!(start, 3);
+        assert!(out[0].dist(Complex64::ONE) < 1e-12);
+    }
+
+    #[test]
+    fn fractional_delay_interpolates() {
+        let mut link = Link::ideal();
+        link.delay_fs = 25_000_000; // half a sample at 20 Msps
+        let wave = vec![Complex64::ONE; 64];
+        let (out, start) = link.propagate(&wave, 0, 50_000_000);
+        assert_eq!(start, 0);
+        // Mid-waveform samples should interpolate near 1 (plateau of ones).
+        assert!(out[32].dist(Complex64::ONE) < 0.05, "{:?}", out[32]);
+    }
+
+    #[test]
+    fn gain_scales_power() {
+        let mut link = Link::ideal();
+        link.amplitude_gain = 2.0;
+        let wave = vec![Complex64::ONE; 8];
+        let (out, _) = link.propagate(&wave, 0, 50_000_000);
+        assert!((ssync_dsp::complex::mean_power(&out[..8]) - 4.0).abs() < 1e-9);
+        assert!((link.mean_snr_db() - 6.02).abs() < 0.1);
+    }
+
+    #[test]
+    fn cfo_phase_consistent_across_start_times() {
+        // Two transmissions from the same link starting at different ether
+        // times must see a continuous oscillator phase: the rotation at a
+        // given ether sample is the same regardless of tx start.
+        let mut link = Link::ideal();
+        link.cfo_hz = 100e3;
+        let wave = vec![Complex64::ONE; 16];
+        let period = 50_000_000u64;
+        let (out_a, start_a) = link.propagate(&wave, 0, period);
+        let (out_b, start_b) = link.propagate(&wave, 10 * period, period);
+        assert_eq!(start_a, 0);
+        assert_eq!(start_b, 10);
+        // Ether sample 12 is out_a[12] and out_b[2]; both should carry the
+        // same oscillator phase.
+        assert!(out_a[12].dist(out_b[2]) < 1e-9);
+    }
+
+    #[test]
+    fn drawn_link_reflects_distance() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let profile = MultipathProfile::flat(20e6);
+        let pl = PathLossModel::deterministic(3.0);
+        let budget = PowerBudget::default();
+        let near = Link::draw(
+            &mut rng,
+            Position::new(0.0, 0.0),
+            Position::new(2.0, 0.0),
+            Oscillator::ideal(),
+            Oscillator::ideal(),
+            &pl,
+            &budget,
+            &profile,
+        );
+        let far = Link::draw(
+            &mut rng,
+            Position::new(0.0, 0.0),
+            Position::new(25.0, 0.0),
+            Oscillator::ideal(),
+            Oscillator::ideal(),
+            &pl,
+            &budget,
+            &profile,
+        );
+        assert!(near.mean_snr_db() > far.mean_snr_db());
+        assert!(far.delay_fs > near.delay_fs);
+    }
+
+    #[test]
+    fn awgn_power_measured() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = vec![Complex64::ZERO; 50_000];
+        add_awgn(&mut rng, &mut buf, 0.5);
+        let p = ssync_dsp::complex::mean_power(&buf);
+        assert!((p - 0.5).abs() < 0.02, "noise power {p}");
+    }
+
+    #[test]
+    fn zero_noise_is_noop() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut buf = vec![Complex64::ONE; 8];
+        add_awgn(&mut rng, &mut buf, 0.0);
+        for s in &buf {
+            assert_eq!(*s, Complex64::ONE);
+        }
+    }
+}

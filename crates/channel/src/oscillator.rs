@@ -1,0 +1,96 @@
+//! Oscillator models: carrier-frequency offsets between nodes.
+//!
+//! Each node's crystal runs a few parts-per-million away from nominal
+//! (paper §5: "It is unlikely that different crystals have exactly the same
+//! carrier frequency"). The offset between a transmitter and a receiver is
+//! the difference of their absolute offsets at the carrier frequency — this
+//! is what makes the *composite* channel of two senders rotate continuously
+//! and motivates the Joint Channel Estimator and the Smart Combiner.
+
+use rand::Rng;
+
+/// Nominal carrier frequency, Hz (802.11a's 5.3 GHz band).
+pub const CARRIER_HZ: f64 = 5.3e9;
+
+/// Maximum oscillator error magnitude, ppm (802.11 requires ±20 ppm).
+pub const MAX_PPM: f64 = 20.0;
+
+/// One node's oscillator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Oscillator {
+    /// Offset from nominal in parts per million.
+    pub ppm: f64,
+}
+
+impl Oscillator {
+    /// An ideal oscillator (no offset).
+    pub fn ideal() -> Self {
+        Oscillator { ppm: 0.0 }
+    }
+
+    /// Creates an oscillator with a fixed ppm error.
+    pub fn with_ppm(ppm: f64) -> Self {
+        Oscillator { ppm }
+    }
+
+    /// Draws a uniformly random oscillator within ±[`MAX_PPM`].
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Oscillator { ppm: rng.gen_range(-MAX_PPM..MAX_PPM) }
+    }
+
+    /// This oscillator's absolute frequency error at the carrier, Hz.
+    pub fn offset_hz(&self) -> f64 {
+        self.ppm * 1e-6 * CARRIER_HZ
+    }
+
+    /// The baseband carrier-frequency offset a receiver with oscillator
+    /// `rx` observes on a transmission from `self`.
+    pub fn cfo_to_hz(&self, rx: &Oscillator) -> f64 {
+        self.offset_hz() - rx.offset_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_pair_has_zero_cfo() {
+        let a = Oscillator::ideal();
+        let b = Oscillator::ideal();
+        assert_eq!(a.cfo_to_hz(&b), 0.0);
+    }
+
+    #[test]
+    fn cfo_is_antisymmetric() {
+        let a = Oscillator::with_ppm(3.0);
+        let b = Oscillator::with_ppm(-2.0);
+        assert!((a.cfo_to_hz(&b) + b.cfo_to_hz(&a)).abs() < 1e-9);
+        // 5 ppm at 5.3 GHz = 26.5 kHz.
+        assert!((a.cfo_to_hz(&b) - 26.5e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_senders_have_distinct_offsets_to_one_receiver() {
+        // The §5 situation: two transmitters, one receiver — their CFOs to
+        // the receiver differ, so their channels rotate relative to each
+        // other.
+        let mut rng = StdRng::seed_from_u64(6);
+        let tx1 = Oscillator::random(&mut rng);
+        let tx2 = Oscillator::random(&mut rng);
+        let rx = Oscillator::random(&mut rng);
+        assert_ne!(tx1.cfo_to_hz(&rx), tx2.cfo_to_hz(&rx));
+    }
+
+    #[test]
+    fn random_within_spec() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let o = Oscillator::random(&mut rng);
+            assert!(o.ppm.abs() <= MAX_PPM);
+            assert!(o.offset_hz().abs() <= MAX_PPM * 1e-6 * CARRIER_HZ);
+        }
+    }
+}

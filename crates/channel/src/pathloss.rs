@@ -1,0 +1,143 @@
+//! Large-scale path loss: log-distance model with log-normal shadowing.
+//!
+//! `PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀) + X_σ`, the standard indoor model
+//! (Goldsmith, *Wireless Communications* — the paper's reference [12]).
+//! With a 20 dBm transmitter and a −90 dBm noise floor this yields
+//! operational SNRs of roughly 0–30 dB across a 30 m office floor, matching
+//! the SNR range of the paper's Fig. 12.
+
+use rand::Rng;
+use ssync_dsp::rng::Gaussian;
+
+/// Log-distance path loss parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PathLossModel {
+    /// Path loss at the 1 m reference distance, dB (≈ 46 dB at 5 GHz).
+    pub ref_loss_db: f64,
+    /// Path loss exponent (2 free space, ~3–3.5 indoor office).
+    pub exponent: f64,
+    /// Log-normal shadowing standard deviation, dB.
+    pub shadowing_sigma_db: f64,
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        PathLossModel { ref_loss_db: 46.0, exponent: 3.0, shadowing_sigma_db: 4.0 }
+    }
+}
+
+impl PathLossModel {
+    /// Free-space-like model without shadowing (deterministic links).
+    pub fn deterministic(exponent: f64) -> Self {
+        PathLossModel { ref_loss_db: 46.0, exponent, shadowing_sigma_db: 0.0 }
+    }
+
+    /// Median path loss at distance `d_m` metres, dB. Distances below 1 m
+    /// clamp to the reference loss.
+    pub fn median_loss_db(&self, d_m: f64) -> f64 {
+        self.ref_loss_db + 10.0 * self.exponent * d_m.max(1.0).log10()
+    }
+
+    /// Draws one shadowed path-loss realisation in dB.
+    pub fn sample_loss_db<R: Rng + ?Sized>(&self, rng: &mut R, d_m: f64) -> f64 {
+        let shadow = if self.shadowing_sigma_db > 0.0 {
+            Gaussian::new(0.0, self.shadowing_sigma_db).sample(rng)
+        } else {
+            0.0
+        };
+        self.median_loss_db(d_m) + shadow
+    }
+}
+
+/// A radio power budget: converts a path loss into a receiver SNR.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerBudget {
+    /// Transmit power, dBm (FCC-limited; the paper's power-combining
+    /// argument rests on this cap applying *per sender*).
+    pub tx_power_dbm: f64,
+    /// Receiver noise floor, dBm (thermal + noise figure over 20 MHz).
+    pub noise_floor_dbm: f64,
+}
+
+impl Default for PowerBudget {
+    fn default() -> Self {
+        PowerBudget { tx_power_dbm: 20.0, noise_floor_dbm: -90.0 }
+    }
+}
+
+impl PowerBudget {
+    /// Receiver SNR in dB for a given path loss.
+    pub fn snr_db(&self, path_loss_db: f64) -> f64 {
+        self.tx_power_dbm - path_loss_db - self.noise_floor_dbm
+    }
+
+    /// The *amplitude* gain to apply to a unit-power transmit waveform so
+    /// that, against a unit-power noise floor, the received SNR is
+    /// `snr_db(path_loss_db)`. (The simulator normalises noise to power 1.)
+    pub fn amplitude_gain(&self, path_loss_db: f64) -> f64 {
+        ssync_dsp::stats::linear_from_db(self.snr_db(path_loss_db)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn loss_grows_with_distance() {
+        let m = PathLossModel::default();
+        assert!(m.median_loss_db(10.0) > m.median_loss_db(2.0));
+        // Exponent 3: 10× distance = +30 dB.
+        let d1 = m.median_loss_db(1.0);
+        let d10 = m.median_loss_db(10.0);
+        assert!((d10 - d1 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_metre_clamps() {
+        let m = PathLossModel::default();
+        assert_eq!(m.median_loss_db(0.1), m.median_loss_db(1.0));
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let m = PathLossModel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample_loss_db(&mut rng, 10.0)).collect();
+        let mean = ssync_dsp::stats::mean(&samples);
+        let std = ssync_dsp::stats::std_dev(&samples);
+        assert!((mean - m.median_loss_db(10.0)).abs() < 0.2);
+        assert!((std - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_model_has_no_spread() {
+        let m = PathLossModel::deterministic(2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = m.sample_loss_db(&mut rng, 7.0);
+        let b = m.sample_loss_db(&mut rng, 7.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_snr_spans_operational_range() {
+        let b = PowerBudget::default();
+        let m = PathLossModel::default();
+        // Close (2 m): very high SNR; far (30 m): near the decode floor.
+        let close = b.snr_db(m.median_loss_db(2.0));
+        let far = b.snr_db(m.median_loss_db(30.0));
+        assert!(close > 45.0, "close {close}");
+        assert!(far < 25.0 && far > -5.0, "far {far}");
+    }
+
+    #[test]
+    fn amplitude_gain_squares_to_snr() {
+        let b = PowerBudget::default();
+        let g = b.amplitude_gain(100.0);
+        let snr_lin = ssync_dsp::stats::linear_from_db(b.snr_db(100.0));
+        assert!((g * g - snr_lin).abs() < 1e-12);
+    }
+}

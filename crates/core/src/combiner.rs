@@ -1,0 +1,349 @@
+//! The Smart Combiner (paper §6): distributed space-time coding of the
+//! joint data section, and the receiver-side combining that turns a pair of
+//! received OFDM symbols into soft bits for the standard decode pipeline.
+//!
+//! Each sender derives its transmit waveform from the *same* PSDU: the
+//! coded-modulation pipeline is identical, then each symbol pair is mapped
+//! through the sender's Alamouti codeword role per subcarrier. Pilots are
+//! shared: role A drives pilots on even data symbols, role B on odd ones
+//! (paper §5), so the receiver can track the two roles' residual rotations
+//! independently.
+
+use crate::jce::{role_pilot_phase, RoleChannels};
+use ssync_phy::{frame, modulation, ofdm, Params, RateId};
+use ssync_dsp::{Complex64, Fft};
+use ssync_stbc::{encode_pair, Codeword};
+
+/// Builds the joint data waveform one sender transmits for `psdu` at
+/// `rate`, with cyclic prefix `cp_len`, under codeword `role`.
+///
+/// With `smart_combiner = false` the space-time code is bypassed and every
+/// sender transmits identical symbols — the naive strategy the paper's §6
+/// shows suffers destructive combining (kept for the ablation bench).
+pub fn joint_data_waveform(
+    params: &Params,
+    fft: &Fft,
+    psdu: &[u8],
+    rate: RateId,
+    cp_len: usize,
+    role: Codeword,
+    smart_combiner: bool,
+    pilot_sharing: bool,
+) -> Vec<Complex64> {
+    let mut symbols = frame::encode_data(params, psdu, rate);
+    if symbols.len() % 2 == 1 {
+        symbols.push(vec![Complex64::ZERO; params.n_data()]);
+    }
+    let mut wave = Vec::new();
+    for (pair_idx, pair) in symbols.chunks(2).enumerate() {
+        let (x0, x1) = (&pair[0], &pair[1]);
+        let (s0, s1): (Vec<Complex64>, Vec<Complex64>) = if smart_combiner {
+            (0..params.n_data())
+                .map(|k| encode_pair(role, x0[k], x1[k]))
+                .unzip()
+        } else {
+            (x0.clone(), x1.clone())
+        };
+        let even_idx = 2 * pair_idx;
+        let odd_idx = 2 * pair_idx + 1;
+        // Shared pilots: role A on even symbols, role B on odd. Without
+        // pilot sharing (ablation), every sender drives every pilot.
+        let (pilots_even, pilots_odd) = if pilot_sharing {
+            match role {
+                Codeword::A => (true, false),
+                Codeword::B => (false, true),
+            }
+        } else {
+            (true, true)
+        };
+        wave.extend(ofdm::modulate_symbol_with_pilots(
+            params, fft, &s0, even_idx, cp_len, pilots_even,
+        ));
+        wave.extend(ofdm::modulate_symbol_with_pilots(
+            params, fft, &s1, odd_idx, cp_len, pilots_odd,
+        ));
+    }
+    wave
+}
+
+/// Per-frame statistics the joint decoder gathers.
+#[derive(Debug, Clone, Default)]
+pub struct CombinerStats {
+    /// Mean effective per-carrier gain `|H_A|²+|H_B|²` (with pilot-tracked
+    /// phases applied), averaged over the frame.
+    pub mean_effective_gain: f64,
+    /// Decision-directed EVM SNR over combined symbols, dB.
+    pub evm_snr_db: f64,
+}
+
+/// Decodes the joint data section from a receiver buffer.
+///
+/// * `data_start` — buffer index of the first data symbol,
+/// * `n_syms` — meaningful symbol count (STBC pad excluded),
+/// * `cp_len` — the (extended) data CP,
+/// * `backoff` — the receiver's common early-window offset,
+/// * `roles` — per-role channels from the JCE.
+///
+/// Returns the PSDU candidate (before CRC checking) and combiner stats, or
+/// `None` if the buffer is too short.
+#[allow(clippy::too_many_arguments)]
+pub fn decode_joint_data(
+    params: &Params,
+    fft: &Fft,
+    buf: &[Complex64],
+    data_start: usize,
+    n_syms: usize,
+    psdu_len: usize,
+    rate: RateId,
+    cp_len: usize,
+    backoff: usize,
+    roles: &RoleChannels,
+    pilot_sharing: bool,
+) -> Option<(Option<Vec<u8>>, CombinerStats)> {
+    let n = params.fft_size;
+    let sym_len = n + cp_len;
+    let n_on_air = n_syms + n_syms % 2;
+    let b = backoff.min(cp_len);
+    if buf.len() < data_start + n_on_air * sym_len {
+        return None;
+    }
+    let m = rate.modulation();
+    let n0 = roles.noise_power.max(1e-15);
+    let mut llrs_per_symbol: Vec<Vec<f64>> = Vec::with_capacity(n_syms);
+    let mut gain_acc = 0.0;
+    let mut gain_count = 0usize;
+    let mut evm_err = 0.0;
+    let mut evm_sig = 0.0;
+    for pair_idx in 0..n_on_air / 2 {
+        let even_start = data_start + (2 * pair_idx) * sym_len + cp_len - b;
+        let odd_start = even_start + sym_len;
+        let g0 = ofdm::demodulate_window(params, fft, buf, even_start);
+        let g1 = ofdm::demodulate_window(params, fft, buf, odd_start);
+        // Residual phase per role from the shared pilots. Without pilot
+        // sharing, both roles' pilots superpose in every symbol; track a
+        // single common phase against the *composite* pilot channel.
+        let (theta_a, theta_b) = if pilot_sharing {
+            (
+                role_pilot_phase(params, &g0, &roles.h_a_pilot, 2 * pair_idx),
+                role_pilot_phase(params, &g1, &roles.h_b_pilot, 2 * pair_idx + 1),
+            )
+        } else {
+            let composite: Vec<Complex64> = roles
+                .h_a_pilot
+                .iter()
+                .zip(&roles.h_b_pilot)
+                .map(|(a, b)| *a + *b)
+                .collect();
+            let t0 = role_pilot_phase(params, &g0, &composite, 2 * pair_idx);
+            (t0, t0)
+        };
+        let rot_a = Complex64::cis(theta_a);
+        let rot_b = Complex64::cis(theta_b);
+        let mut llrs0 = Vec::with_capacity(params.n_data() * m.bits_per_symbol());
+        let mut llrs1 = Vec::with_capacity(params.n_data() * m.bits_per_symbol());
+        for (j, &k) in params.data_carriers.iter().enumerate() {
+            let y0 = g0[params.bin(k)];
+            let y1 = g1[params.bin(k)];
+            let h_a = roles.h_a[j] * rot_a;
+            let h_b = roles.h_b[j] * rot_b;
+            let d = ssync_stbc::decode_pair(y0, y1, h_a, h_b);
+            let gain = d.gain.max(1e-15);
+            gain_acc += d.gain;
+            gain_count += 1;
+            let n_eff = n0 / gain;
+            llrs0.extend(modulation::demap_llrs(m, d.x0, Complex64::ONE, n_eff));
+            llrs1.extend(modulation::demap_llrs(m, d.x1, Complex64::ONE, n_eff));
+            // Decision-directed EVM on the combined estimates.
+            for xhat in [d.x0, d.x1] {
+                let bits = modulation::demap_hard(m, xhat, Complex64::ONE);
+                let nearest = modulation::map_symbol(m, &bits);
+                evm_err += xhat.dist(nearest).powi(2);
+                evm_sig += nearest.norm_sqr();
+            }
+        }
+        llrs_per_symbol.push(llrs0);
+        if llrs_per_symbol.len() < n_syms {
+            llrs_per_symbol.push(llrs1);
+        }
+    }
+    let psdu = frame::decode_data(params, &llrs_per_symbol[..n_syms], rate, psdu_len);
+    let stats = CombinerStats {
+        mean_effective_gain: if gain_count > 0 { gain_acc / gain_count as f64 } else { 0.0 },
+        evm_snr_db: ssync_dsp::stats::snr_db_from_evm(evm_sig, evm_err),
+    };
+    Some((psdu, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jce::RoleChannels;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use ssync_phy::chanest::ChannelEstimate;
+    use ssync_phy::OfdmParams;
+    use ssync_dsp::rng::ComplexGaussian;
+
+    /// Builds role channels with constant per-sender gains.
+    fn const_roles(params: &ssync_phy::Params, h_a: Complex64, h_b: Complex64, n0: f64) -> RoleChannels {
+        let occupied = params.occupied_carriers();
+        let mk = |v: Complex64| ChannelEstimate {
+            carriers: occupied.clone(),
+            values: vec![v; occupied.len()],
+            noise_power: n0,
+        };
+        let lead = mk(h_a);
+        let co = mk(h_b);
+        RoleChannels::from_estimates(params, &[Some(&lead), Some(&co)])
+    }
+
+    /// Transmits both roles over flat channels and sums at the receiver.
+    fn joint_on_air(
+        params: &ssync_phy::Params,
+        fft: &Fft,
+        psdu: &[u8],
+        rate: RateId,
+        cp: usize,
+        h_a: Complex64,
+        h_b: Complex64,
+        noise_p: f64,
+        seed: u64,
+        smart: bool,
+        sharing: bool,
+    ) -> Vec<Complex64> {
+        let wa = joint_data_waveform(params, fft, psdu, rate, cp, Codeword::A, smart, sharing);
+        let wb = joint_data_waveform(params, fft, psdu, rate, cp, Codeword::B, smart, sharing);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = ComplexGaussian::with_power(noise_p);
+        wa.iter()
+            .zip(&wb)
+            .map(|(a, b)| h_a * *a + h_b * *b + noise.sample(&mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn joint_roundtrip_flat_channels() {
+        let params = OfdmParams::dot11a();
+        let fft = Fft::new(params.fft_size);
+        let mut rng = StdRng::seed_from_u64(1);
+        let psdu: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
+        let cp = params.cp_len;
+        let h_a = Complex64::from_polar(1.0, 0.7);
+        let h_b = Complex64::from_polar(0.8, -2.1);
+        let buf = joint_on_air(&params, &fft, &psdu, RateId::R12, cp, h_a, h_b, 1e-4, 2, true, true);
+        let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
+        let roles = const_roles(&params, h_a, h_b, 1e-4);
+        let (decoded, stats) = decode_joint_data(
+            &params, &fft, &buf, 0, n_syms, psdu.len(), RateId::R12, cp, 0, &roles, true,
+        )
+        .expect("buffer length");
+        assert_eq!(decoded.as_deref(), Some(&psdu[..]));
+        assert!(stats.evm_snr_db > 20.0, "EVM {}", stats.evm_snr_db);
+        assert!((stats.mean_effective_gain - (h_a.norm_sqr() + h_b.norm_sqr())).abs() < 0.05);
+    }
+
+    #[test]
+    fn destructive_channels_smart_wins_naive_loses() {
+        // The §6 story end-to-end: h_B = −h_A nulls naive transmission but
+        // not the Alamouti-coded one.
+        let params = OfdmParams::dot11a();
+        let fft = Fft::new(params.fft_size);
+        let mut rng = StdRng::seed_from_u64(3);
+        let psdu: Vec<u8> = (0..100).map(|_| rng.gen()).collect();
+        let cp = params.cp_len;
+        let h_a = Complex64::from_polar(1.0, 1.1);
+        let h_b = -h_a;
+        let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
+        let roles = const_roles(&params, h_a, h_b, 1e-3);
+
+        let smart_buf =
+            joint_on_air(&params, &fft, &psdu, RateId::R12, cp, h_a, h_b, 1e-3, 4, true, true);
+        let (smart, _) = decode_joint_data(
+            &params, &fft, &smart_buf, 0, n_syms, psdu.len(), RateId::R12, cp, 0, &roles, true,
+        )
+        .unwrap();
+        assert_eq!(smart.as_deref(), Some(&psdu[..]), "smart combiner failed");
+
+        let naive_buf =
+            joint_on_air(&params, &fft, &psdu, RateId::R12, cp, h_a, h_b, 1e-3, 5, false, true);
+        let (naive, _) = decode_joint_data(
+            &params, &fft, &naive_buf, 0, n_syms, psdu.len(), RateId::R12, cp, 0, &roles, true,
+        )
+        .unwrap();
+        assert_ne!(naive.as_deref(), Some(&psdu[..]), "naive should null out");
+    }
+
+    #[test]
+    fn lone_lead_still_decodes() {
+        // Subset decodability: role B absent entirely.
+        let params = OfdmParams::dot11a();
+        let fft = Fft::new(params.fft_size);
+        let mut rng = StdRng::seed_from_u64(6);
+        let psdu: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
+        let cp = params.cp_len;
+        let h_a = Complex64::from_polar(0.9, 0.3);
+        let wa =
+            joint_data_waveform(&params, &fft, &psdu, RateId::R6, cp, Codeword::A, true, true);
+        let noise = ComplexGaussian::with_power(1e-4);
+        let buf: Vec<Complex64> =
+            wa.iter().map(|a| h_a * *a + noise.sample(&mut rng)).collect();
+        let occupied = params.occupied_carriers();
+        let lead_est = ChannelEstimate {
+            carriers: occupied.clone(),
+            values: vec![h_a; occupied.len()],
+            noise_power: 1e-4,
+        };
+        let roles = RoleChannels::from_estimates(&params, &[Some(&lead_est), None]);
+        let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R6);
+        let (decoded, _) = decode_joint_data(
+            &params, &fft, &buf, 0, n_syms, psdu.len(), RateId::R6, cp, 0, &roles, true,
+        )
+        .unwrap();
+        assert_eq!(decoded.as_deref(), Some(&psdu[..]));
+    }
+
+    #[test]
+    fn residual_rotation_tracked_by_shared_pilots() {
+        // Give role B a slow continuous rotation (residual CFO after
+        // pre-correction) and check the pilots keep the decode alive.
+        let params = OfdmParams::dot11a();
+        let fft = Fft::new(params.fft_size);
+        let mut rng = StdRng::seed_from_u64(7);
+        let psdu: Vec<u8> = (0..150).map(|_| rng.gen()).collect();
+        let cp = params.cp_len;
+        let h_a = Complex64::from_polar(1.0, 0.2);
+        let h_b = Complex64::from_polar(1.0, -0.9);
+        let wa = joint_data_waveform(&params, &fft, &psdu, RateId::R12, cp, Codeword::A, true, true);
+        let wb = joint_data_waveform(&params, &fft, &psdu, RateId::R12, cp, Codeword::B, true, true);
+        // 300 Hz residual on role B at 20 Msps.
+        let noise = ComplexGaussian::with_power(1e-4);
+        let step = 2.0 * std::f64::consts::PI * 300.0 / params.sample_rate_hz;
+        let buf: Vec<Complex64> = wa
+            .iter()
+            .zip(&wb)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                h_a * *a + h_b * *b * Complex64::cis(step * i as f64) + noise.sample(&mut rng)
+            })
+            .collect();
+        let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
+        let roles = const_roles(&params, h_a, h_b, 1e-4);
+        let (decoded, _) = decode_joint_data(
+            &params, &fft, &buf, 0, n_syms, psdu.len(), RateId::R12, cp, 0, &roles, true,
+        )
+        .unwrap();
+        assert_eq!(decoded.as_deref(), Some(&psdu[..]), "pilot tracking failed");
+    }
+
+    #[test]
+    fn short_buffer_returns_none() {
+        let params = OfdmParams::dot11a();
+        let fft = Fft::new(params.fft_size);
+        let roles = const_roles(&params, Complex64::ONE, Complex64::ONE, 1e-3);
+        let buf = vec![Complex64::ZERO; 10];
+        assert!(decode_joint_data(
+            &params, &fft, &buf, 0, 4, 10, RateId::R6, params.cp_len, 0, &roles, true
+        )
+        .is_none());
+    }
+}

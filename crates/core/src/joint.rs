@@ -1,0 +1,558 @@
+//! The full joint-transmission protocol (paper §4.4, Figs. 6–7), driven
+//! over the sample-level medium.
+//!
+//! One call to [`run_joint_transmission`] plays out an entire joint frame:
+//!
+//! 1. the lead sender transmits the sync header, then goes silent for a
+//!    SIFS plus the co-sender training slots, then transmits its
+//!    space-time-coded data;
+//! 2. each co-sender *detects* the header in its own noisy capture,
+//!    estimates the header's arrival with the phase-slope machinery,
+//!    subtracts the measured lead→co propagation delay, adds its wait
+//!    time, quantises to its sample clock, and transmits its training and
+//!    data — all the compensation steps of §4.3;
+//! 3. each receiver detects the header, estimates every sender's channel,
+//!    checks which co-senders actually joined, combines the space-time
+//!    coded data, and measures the residual lead/co misalignment that an
+//!    ACK would feed back (§4.5).
+//!
+//! The returned [`JointOutcome`] carries both the receivers' *measured*
+//! misalignments and the simulator's exact ground truth, which is what the
+//! Fig. 12 synchronization-error experiment compares.
+
+use crate::combiner::{decode_joint_data, joint_data_waveform, CombinerStats};
+use crate::jce::{
+    estimate_from_training_slot, training_slot_energy_ratio, RoleChannels, PRESENCE_THRESHOLD,
+};
+use crate::sls::{arrival_estimate_s, DelayDatabase};
+use crate::timeline::{JointTimeline, HEADER_RATE};
+use crate::wire::{packet_id, SyncHeader};
+use rand::Rng;
+use ssync_dsp::mixer::apply_cfo_from;
+use ssync_dsp::{Complex64, Fft};
+use ssync_phy::chanest::{delay_from_slope, phase_slope, ChannelEstimate};
+use ssync_phy::preamble::cosender_training;
+use ssync_phy::{crc, frame, Params, RateId, Receiver, Transmitter};
+use ssync_sim::{Network, NodeId, Time};
+use ssync_stbc::codebook::codeword_for;
+
+/// Knobs of a joint transmission (the `false` settings are the ablation
+/// baselines the paper argues against).
+#[derive(Debug, Clone, Copy)]
+pub struct JointConfig {
+    /// Data-section rate.
+    pub rate: RateId,
+    /// Cyclic-prefix extension in samples (§4.6; 0 for single-receiver).
+    pub cp_extension: usize,
+    /// Space-time-code the data (Smart Combiner, §6). `false` = all
+    /// senders transmit identical symbols.
+    pub smart_combiner: bool,
+    /// Share pilots across senders (§5). `false` = everyone drives pilots.
+    pub pilot_sharing: bool,
+    /// Pre-rotate co-sender waveforms by the lead-relative CFO measured
+    /// from the sync header (§5).
+    pub cfo_precorrection: bool,
+    /// Compensate propagation/detection delays (§4.3). `false` = the
+    /// Fig. 13 baseline: co-senders join on their raw header timing.
+    pub delay_compensation: bool,
+}
+
+impl Default for JointConfig {
+    fn default() -> Self {
+        JointConfig {
+            rate: RateId::R12,
+            cp_extension: 0,
+            smart_combiner: true,
+            pilot_sharing: true,
+            cfo_precorrection: true,
+            delay_compensation: true,
+        }
+    }
+}
+
+/// A co-sender's role in one joint transmission.
+#[derive(Debug, Clone, Copy)]
+pub struct CosenderPlan {
+    /// The co-sender node.
+    pub node: NodeId,
+    /// Its wait time `wᵢ` relative to the global reference, seconds
+    /// (from [`DelayDatabase::wait_solution`] or §4.5 tracking).
+    pub wait_s: f64,
+}
+
+/// What one receiver saw of the joint frame.
+#[derive(Debug, Clone)]
+pub struct ReceiverReport {
+    /// The receiver node.
+    pub node: NodeId,
+    /// Whether the sync header decoded (detection + SIGNAL + CRC).
+    pub header_ok: bool,
+    /// The CRC-checked payload, if the joint data decoded.
+    pub payload: Option<Vec<u8>>,
+    /// Lead-sender channel estimate (from the header preamble).
+    pub lead_channel: Option<ChannelEstimate>,
+    /// Per-co-sender channel estimates (`None` = absent or header failed).
+    pub co_channels: Vec<Option<ChannelEstimate>>,
+    /// Measured misalignment of each co-sender vs the lead, seconds
+    /// (positive = co-sender late) — the §4.5 ACK feedback value.
+    pub measured_misalign_s: Vec<Option<f64>>,
+    /// Per-data-carrier effective SNR (dB) of the composite channel.
+    pub effective_snr_db: Vec<f64>,
+    /// Combiner statistics (effective gain, EVM).
+    pub stats: CombinerStats,
+}
+
+/// Outcome of one joint transmission.
+#[derive(Debug, Clone)]
+pub struct JointOutcome {
+    /// One report per requested receiver.
+    pub reports: Vec<ReceiverReport>,
+    /// Ground truth: actual data-section arrival misalignment of each
+    /// co-sender vs the lead at each receiver, seconds (`[rx][co]`).
+    pub true_misalign_s: Vec<Vec<f64>>,
+    /// Ether times at which each co-sender began its training transmission
+    /// (diagnostics).
+    pub co_tx_times: Vec<Option<Time>>,
+}
+
+/// Margin of noise-only samples before the lead's header.
+const CAPTURE_MARGIN: usize = 400;
+
+/// Runs one complete joint transmission. See the module docs for the
+/// protocol walkthrough. Co-senders that fail to decode the header simply
+/// do not join (the subset-decodability path of §6 then applies).
+pub fn run_joint_transmission<R: Rng + ?Sized>(
+    net: &mut Network,
+    rng: &mut R,
+    lead: NodeId,
+    plans: &[CosenderPlan],
+    receivers: &[NodeId],
+    payload: &[u8],
+    db: &DelayDatabase,
+    cfg: &JointConfig,
+) -> JointOutcome {
+    let params = net.params.clone();
+    let period = params.sample_period_fs();
+    let fft = Fft::new(params.fft_size);
+    let tx = Transmitter::new(params.clone());
+    let rx = Receiver::new(params.clone());
+    let backoff = params.cp_len / 4;
+
+    let psdu = crc::append_crc(payload);
+    let header = SyncHeader {
+        lead: lead.0 as u16,
+        packet_id: packet_id(payload),
+        rate: cfg.rate,
+        psdu_len: psdu.len() as u16,
+        cp_extension: cfg.cp_extension as u8,
+        n_cosenders: plans.len() as u8,
+    };
+    let timeline =
+        JointTimeline::new(&params, psdu.len(), cfg.rate, cfg.cp_extension, plans.len());
+    let data_cp = timeline.data_cp;
+
+    net.medium.clear_transmissions();
+    let t0 = Time((CAPTURE_MARGIN as u64) * period);
+
+    // 1. Lead sender: header now, data after the SIFS + training slots.
+    let header_wave = tx.frame_waveform(&header.to_bytes(), HEADER_RATE, frame::FLAG_JOINT);
+    debug_assert_eq!(header_wave.len(), timeline.header_len);
+    net.medium.transmit(lead, t0, header_wave);
+    let lead_data = joint_data_waveform(
+        &params,
+        &fft,
+        &psdu,
+        cfg.rate,
+        data_cp,
+        codeword_for(0),
+        cfg.smart_combiner,
+        cfg.pilot_sharing,
+    );
+    let lead_data_time = Time(t0.0 + (timeline.data_start() as u64) * period);
+    net.medium.transmit(lead, lead_data_time, lead_data);
+
+    // 2. Co-senders: detect, compensate, join.
+    let mut co_tx_times: Vec<Option<Time>> = vec![None; plans.len()];
+    let mut co_data_times: Vec<Option<Time>> = vec![None; plans.len()];
+    for (i, plan) in plans.iter().enumerate() {
+        let co = plan.node;
+        let window = CAPTURE_MARGIN * 2 + timeline.header_len + 200;
+        let buf = net.medium.capture(rng, co, Time::ZERO, window);
+        let Ok(res) = rx.receive(&buf) else { continue };
+        if res.signal.flags & frame::FLAG_JOINT == 0 {
+            continue;
+        }
+        let Some(decoded_header) = SyncHeader::from_bytes(&res.payload) else { continue };
+        if decoded_header.packet_id != header.packet_id {
+            continue; // co-sender does not hold this packet
+        }
+
+        // Estimated ether time of the header's first sample at the lead.
+        let slot_offset_s =
+            (timeline.training_slot(i) as u64 * period) as f64 * 1e-15;
+        let target_s = if cfg.delay_compensation {
+            let arrival_s = arrival_estimate_s(&params, &res.diag, Time::ZERO);
+            let d_lead_co = db.delay_s(lead, co).unwrap_or(0.0);
+            arrival_s - d_lead_co + slot_offset_s + plan.wait_s
+        } else {
+            // Baseline (paper §8.1.2): the co-sender joins "without
+            // compensating for delay differences" — it references its raw
+            // *detection instant* minus a bench-calibrated mean detection
+            // latency (~10 samples for the default detector: ~2 samples of
+            // threshold crossing plus half the 16-sample pipeline
+            // decimation). The residual misalignment is the per-packet
+            // detection variability of [42] (the pipeline phase and the
+            // SNR-dependent crossing jitter) plus the uncompensated
+            // propagation-delay differences.
+            let nominal_detect = 10.0;
+            let arrival_raw_s =
+                (res.diag.detection.detect_idx as f64 - nominal_detect) * period as f64 * 1e-15;
+            arrival_raw_s + slot_offset_s
+        };
+        let detect_time = Time((res.diag.detection.detect_idx as u64) * period);
+        let earliest = detect_time + net.node(co).turnaround;
+        let tx_time = Time((target_s.max(0.0) * 1e15).round() as u64)
+            .round_to_sample(period)
+            .max(earliest.ceil_to_sample(period));
+
+        // Build the co-sender's waveform: training then (after any other
+        // co-senders' slots) data, with a continuous CFO pre-rotation.
+        let training = cosender_training(&params, &fft, data_cp);
+        let data = joint_data_waveform(
+            &params,
+            &fft,
+            &psdu,
+            cfg.rate,
+            data_cp,
+            codeword_for(i + 1),
+            cfg.smart_combiner,
+            cfg.pilot_sharing,
+        );
+        let data_gap_samples =
+            (timeline.data_start() - timeline.training_slot(i)) as u64;
+        let data_time = Time(tx_time.0 + data_gap_samples * period);
+        let (mut training, mut data) = (training, data);
+        if cfg.cfo_precorrection {
+            // The header detection measured f_lead − f_co at this co-sender;
+            // pre-rotating by it moves the co-sender onto the lead's
+            // oscillator so the receiver's single CFO correction serves
+            // both. The NCO runs continuously across training and data.
+            let cfo = res.diag.detection.cfo_hz;
+            apply_cfo_from(&mut training, cfo, params.sample_rate_hz, 0.0);
+            apply_cfo_from(&mut data, cfo, params.sample_rate_hz, data_gap_samples as f64);
+        }
+        net.medium.transmit(co, tx_time, training);
+        net.medium.transmit(co, data_time, data);
+        co_tx_times[i] = Some(tx_time);
+        co_data_times[i] = Some(data_time);
+    }
+
+    // 3. Receivers.
+    let mut reports = Vec::with_capacity(receivers.len());
+    let mut true_misalign = Vec::with_capacity(receivers.len());
+    for &rcv in receivers {
+        let window = CAPTURE_MARGIN * 2 + timeline.total_len() + 400;
+        let buf = net.medium.capture(rng, rcv, Time::ZERO, window);
+        let report = decode_at_receiver(
+            &params, &fft, &rx, &buf, rcv, &header, &timeline, backoff, cfg, &psdu,
+        );
+        // Ground truth misalignment of data-section arrivals.
+        let mut truth = Vec::with_capacity(plans.len());
+        for (i, plan) in plans.iter().enumerate() {
+            match co_data_times[i] {
+                Some(cdt) => {
+                    let lead_arrival =
+                        lead_data_time.as_secs_f64() + net.true_delay_s(lead, rcv);
+                    let co_arrival = cdt.as_secs_f64() + net.true_delay_s(plan.node, rcv);
+                    truth.push(co_arrival - lead_arrival);
+                }
+                None => truth.push(f64::NAN),
+            }
+        }
+        true_misalign.push(truth);
+        reports.push(report);
+    }
+
+    JointOutcome { reports, true_misalign_s: true_misalign, co_tx_times }
+}
+
+/// Joint-frame reception at one node.
+#[allow(clippy::too_many_arguments)]
+fn decode_at_receiver(
+    params: &Params,
+    fft: &Fft,
+    rx: &Receiver,
+    buf: &[Complex64],
+    node: NodeId,
+    header: &SyncHeader,
+    timeline: &JointTimeline,
+    backoff: usize,
+    cfg: &JointConfig,
+    _psdu_hint: &[u8],
+) -> ReceiverReport {
+    let n_co = header.n_cosenders as usize;
+    let empty = ReceiverReport {
+        node,
+        header_ok: false,
+        payload: None,
+        lead_channel: None,
+        co_channels: vec![None; n_co],
+        measured_misalign_s: vec![None; n_co],
+        effective_snr_db: Vec::new(),
+        stats: CombinerStats::default(),
+    };
+    let Ok(res) = rx.receive(buf) else { return empty };
+    if res.signal.flags & frame::FLAG_JOINT == 0 {
+        return empty;
+    }
+    let Some(rx_header) = SyncHeader::from_bytes(&res.payload) else { return empty };
+    if rx_header.packet_id != header.packet_id {
+        return empty;
+    }
+    let layout = ssync_phy::preamble::PreambleLayout::of(params);
+    let Some(base) = res.diag.detection.lts_start.checked_sub(layout.lts_start()) else {
+        return empty;
+    };
+    let period = params.sample_period_fs();
+
+    // CFO-correct a copy referenced to sample 0 (same convention as the
+    // phy receiver, so the lead channel estimate stays consistent).
+    let mut corrected = buf.to_vec();
+    ssync_dsp::mixer::apply_cfo(&mut corrected, -res.diag.detection.cfo_hz, params.sample_rate_hz);
+
+    // Noise floor from the SIFS silence (time domain), for presence checks.
+    let sifs_lo = base + timeline.header_len + timeline.sifs_len / 4;
+    let sifs_hi = (base + timeline.header_len + 3 * timeline.sifs_len / 4).min(corrected.len());
+    let time_noise = if sifs_hi > sifs_lo {
+        ssync_dsp::complex::mean_power(&corrected[sifs_lo..sifs_hi])
+    } else {
+        1.0
+    };
+
+    // Per-co-sender channel estimates + misalignment measurements.
+    let data_cp = timeline.data_cp;
+    let mut co_channels: Vec<Option<ChannelEstimate>> = Vec::with_capacity(n_co);
+    let mut misalign: Vec<Option<f64>> = Vec::with_capacity(n_co);
+    for i in 0..n_co {
+        let slot = base + timeline.training_slot(i);
+        // Presence is measured on the central 60 % of the slot: adjacent
+        // transmissions (the next slot, or the lead's data section) are
+        // band-limited and pre-/post-ring a few samples into neighbouring
+        // regions, which must not masquerade as a present co-sender.
+        let trim = timeline.training_slot_len / 5;
+        let ratio = training_slot_energy_ratio(
+            &corrected,
+            slot + trim,
+            timeline.training_slot_len - 2 * trim,
+            time_noise,
+        );
+        if ratio < PRESENCE_THRESHOLD
+            || corrected.len() < slot + timeline.training_slot_len
+        {
+            co_channels.push(None);
+            misalign.push(None);
+            continue;
+        }
+        let est = estimate_from_training_slot(params, fft, &corrected, slot, data_cp, backoff);
+        // Misalignment: co-sender's sub-sample offset minus the lead's.
+        let delta_co = delay_from_slope(params, phase_slope(params, &est, 3e6))
+            - backoff.min(data_cp) as f64;
+        let delta_lead = res.diag.timing_offset_samples;
+        misalign.push(Some((delta_co - delta_lead) * period as f64 * 1e-15));
+        co_channels.push(Some(est));
+    }
+
+    // Fold into role channels and decode the joint data.
+    let mut senders: Vec<Option<&ChannelEstimate>> = vec![Some(&res.diag.channel)];
+    senders.extend(co_channels.iter().map(|c| c.as_ref()));
+    let roles = RoleChannels::from_estimates(params, &senders);
+    let effective_snr_db = roles.effective_snr_db();
+    let decode = decode_joint_data(
+        params,
+        fft,
+        &corrected,
+        base + timeline.data_start(),
+        timeline.n_data_symbols,
+        rx_header.psdu_len as usize,
+        rx_header.rate,
+        data_cp,
+        backoff,
+        &roles,
+        cfg.pilot_sharing,
+    );
+    let (payload, stats) = match decode {
+        Some((psdu, stats)) => {
+            let payload = psdu.as_deref().and_then(crc::check_crc).map(|p| p.to_vec());
+            (payload, stats)
+        }
+        None => (None, CombinerStats::default()),
+    };
+
+    ReceiverReport {
+        node,
+        header_ok: true,
+        payload,
+        lead_channel: Some(res.diag.channel.clone()),
+        co_channels,
+        measured_misalign_s: misalign,
+        effective_snr_db,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssync_channel::Position;
+    use ssync_phy::OfdmParams;
+    use ssync_sim::ChannelModels;
+
+    /// Lead at origin, co-sender 12 m east, receiver 10 m north-east-ish.
+    fn test_network(seed: u64) -> Network {
+        let params = OfdmParams::dot11a();
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(12.0, 0.0),
+            Position::new(6.0, 8.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::build(&mut rng, &params, &positions, &ChannelModels::clean(&params))
+    }
+
+    fn measured_db(net: &mut Network, seed: u64) -> DelayDatabase {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = DelayDatabase::new();
+        let nodes = [NodeId(0), NodeId(1), NodeId(2)];
+        assert!(db.measure_all(net, &mut rng, &nodes, 2));
+        db
+    }
+
+    #[test]
+    fn end_to_end_joint_frame_decodes() {
+        let mut net = test_network(1);
+        let db = measured_db(&mut net, 2);
+        let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let payload: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let out = run_joint_transmission(
+            &mut net,
+            &mut rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[NodeId(2)],
+            &payload,
+            &db,
+            &JointConfig::default(),
+        );
+        let report = &out.reports[0];
+        assert!(report.header_ok, "header failed");
+        assert!(report.co_channels[0].is_some(), "co-sender not seen");
+        assert_eq!(report.payload.as_deref(), Some(&payload[..]), "joint data failed");
+        // Synchronization: the residual misalignment should be within a few
+        // sample periods (< 3 samples at 20 Msps = 150 ns for this coarse
+        // numerology; the wiglan preset tightens this in the benches).
+        let truth = out.true_misalign_s[0][0];
+        assert!(truth.is_finite());
+        assert!(truth.abs() < 150e-9, "true misalignment {truth}");
+        // The measured misalignment should agree with the truth reasonably.
+        let measured = report.measured_misalign_s[0].expect("no measurement");
+        assert!(
+            (measured - truth).abs() < 60e-9,
+            "measured {measured} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn uncompensated_baseline_is_worse() {
+        let mut net = test_network(4);
+        let db = measured_db(&mut net, 5);
+        let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+        let payload = vec![0x42u8; 100];
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let sync_out = run_joint_transmission(
+            &mut net,
+            &mut rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[NodeId(2)],
+            &payload,
+            &db,
+            &JointConfig::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let base_cfg = JointConfig { delay_compensation: false, ..Default::default() };
+        let base_out = run_joint_transmission(
+            &mut net,
+            &mut rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: 0.0 }],
+            &[NodeId(2)],
+            &payload,
+            &db,
+            &base_cfg,
+        );
+        let sync_mis = sync_out.true_misalign_s[0][0].abs();
+        let base_mis = base_out.true_misalign_s[0][0].abs();
+        assert!(
+            sync_mis < base_mis,
+            "SourceSync {sync_mis} not tighter than baseline {base_mis}"
+        );
+    }
+
+    #[test]
+    fn lone_lead_when_cosender_misses_header() {
+        // Give the co-sender no link from the lead by placing it absurdly
+        // far: it will fail to decode and stay silent; the receiver must
+        // still decode the lead alone.
+        let params = OfdmParams::dot11a();
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(2000.0, 0.0), // unreachable co-sender
+            Position::new(6.0, 8.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net =
+            Network::build(&mut rng, &params, &positions, &ChannelModels::clean(&params));
+        let db = DelayDatabase::new(); // empty: co never joins anyway
+        let payload = vec![0x77u8; 150];
+        let out = run_joint_transmission(
+            &mut net,
+            &mut rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: 0.0 }],
+            &[NodeId(2)],
+            &payload,
+            &db,
+            &JointConfig::default(),
+        );
+        let report = &out.reports[0];
+        assert!(report.header_ok);
+        assert!(report.co_channels[0].is_none(), "ghost co-sender");
+        assert_eq!(report.payload.as_deref(), Some(&payload[..]), "lone lead failed");
+        assert!(out.true_misalign_s[0][0].is_nan());
+    }
+
+    #[test]
+    fn effective_snr_reported_per_carrier() {
+        let mut net = test_network(8);
+        let db = measured_db(&mut net, 9);
+        let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = run_joint_transmission(
+            &mut net,
+            &mut rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[NodeId(2)],
+            &[1, 2, 3, 4],
+            &db,
+            &JointConfig::default(),
+        );
+        let report = &out.reports[0];
+        assert_eq!(report.effective_snr_db.len(), 48);
+        assert!(report.stats.mean_effective_gain > 0.0);
+    }
+}

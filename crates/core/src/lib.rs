@@ -1,0 +1,38 @@
+//! SourceSync: the paper's primary contribution.
+//!
+//! A distributed architecture that lets multiple 802.11-like senders
+//! transmit the *same packet simultaneously* and have it decode at the
+//! receiver with power and diversity gains (Rahul, Hassanieh, Katabi —
+//! SIGCOMM 2010). Three components:
+//!
+//! * [`sls`] — the **Symbol-Level Synchronizer**: phase-slope arrival
+//!   estimation (immune to detection-instant jitter), the probe/response
+//!   delay protocol of Eq. 2, wait-time computation (exact for one
+//!   receiver, min-max LP for several — §4.6), and ACK-driven delay
+//!   tracking (§4.5);
+//! * [`jce`] — the **Joint Channel Estimator**: per-sender channel
+//!   estimates from staggered training, missing-sender detection, role
+//!   channels, and per-role residual-CFO tracking via shared pilots (§5);
+//! * [`combiner`] — the **Smart Combiner**: distributed Alamouti /
+//!   replicated-Alamouti coding so concurrent signals cannot combine
+//!   destructively (§6);
+//!
+//! glued together by:
+//!
+//! * [`wire`] — the synchronization-header format,
+//! * [`timeline`] — the joint-frame layout of Figs. 6–7,
+//! * [`joint`] — the full protocol driver over the sample-level medium.
+
+pub mod combiner;
+pub mod jce;
+pub mod joint;
+pub mod sls;
+pub mod timeline;
+pub mod wire;
+
+pub use combiner::{decode_joint_data, joint_data_waveform, CombinerStats};
+pub use jce::RoleChannels;
+pub use joint::{run_joint_transmission, CosenderPlan, JointConfig, JointOutcome, ReceiverReport};
+pub use sls::{arrival_estimate_s, probe_pair, tracking_update, DelayDatabase, ProbeOutcome};
+pub use timeline::{JointTimeline, HEADER_RATE, SIFS_S};
+pub use wire::{packet_id, SyncHeader};

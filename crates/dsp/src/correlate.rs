@@ -1,0 +1,219 @@
+//! Sliding correlation primitives used by packet detection.
+//!
+//! The SourceSync receiver detects packets the way an 802.11 radio does: a
+//! coarse energy / autocorrelation stage over the repeating short training
+//! sequence, followed by a fine cross-correlation against the known long
+//! training sequence. Both stages are built from the primitives here.
+
+use crate::complex::Complex64;
+
+/// Cross-correlates `signal` against a known `template` at every lag where the
+/// template fully overlaps, returning `signal.len() - template.len() + 1`
+/// values: `c[t] = Σ_m signal[t+m]·conj(template[m])`.
+///
+/// Returns an empty vector if the template is longer than the signal or empty.
+pub fn cross_correlate(signal: &[Complex64], template: &[Complex64]) -> Vec<Complex64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let lags = signal.len() - template.len() + 1;
+    let mut out = Vec::with_capacity(lags);
+    for t in 0..lags {
+        let mut acc = Complex64::ZERO;
+        for (m, tap) in template.iter().enumerate() {
+            acc += signal[t + m] * tap.conj();
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Normalised cross-correlation magnitude in `[0, 1]`:
+/// `|c[t]| / (‖signal window‖ · ‖template‖)`.
+///
+/// A value near 1 means the window is a scaled copy of the template, which
+/// makes thresholds SNR-independent.
+pub fn normalized_cross_correlate(signal: &[Complex64], template: &[Complex64]) -> Vec<f64> {
+    if template.is_empty() || signal.len() < template.len() {
+        return Vec::new();
+    }
+    let t_norm = template.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+    let raw = cross_correlate(signal, template);
+    let m = template.len();
+    // Sliding window energy of the signal.
+    let mut win_energy: f64 = signal[..m].iter().map(|v| v.norm_sqr()).sum();
+    let mut out = Vec::with_capacity(raw.len());
+    for (t, c) in raw.iter().enumerate() {
+        let denom = win_energy.sqrt() * t_norm;
+        out.push(if denom > 0.0 { c.abs() / denom } else { 0.0 });
+        if t + m < signal.len() {
+            win_energy += signal[t + m].norm_sqr() - signal[t].norm_sqr();
+            win_energy = win_energy.max(0.0);
+        }
+    }
+    out
+}
+
+/// Delay-and-correlate metric for a signal containing a period-`period`
+/// repetition (the Schmidl-Cox style detector used on short training symbols).
+///
+/// At each start index `t` (while `t + 2·period <= len`), computes
+/// `P[t] = Σ_{m<period} signal[t+m]·conj(signal[t+m+period])` and the window
+/// energy `R[t] = Σ_{m<period} |signal[t+m+period]|²`, returning the timing
+/// metric `|P[t]|²/R[t]²` which plateaus near 1 over the repeated region.
+pub fn autocorrelation_metric(signal: &[Complex64], period: usize) -> Vec<f64> {
+    if period == 0 || signal.len() < 2 * period {
+        return Vec::new();
+    }
+    let n = signal.len() - 2 * period + 1;
+    let mut p = Complex64::ZERO;
+    let mut r = 0.0f64;
+    for m in 0..period {
+        p += signal[m] * signal[m + period].conj();
+        r += signal[m + period].norm_sqr();
+    }
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        out.push(if r > 0.0 { p.norm_sqr() / (r * r) } else { 0.0 });
+        if t + 1 < n {
+            p += signal[t + period] * signal[t + 2 * period].conj()
+                - signal[t] * signal[t + period].conj();
+            r += signal[t + 2 * period].norm_sqr() - signal[t + period].norm_sqr();
+            r = r.max(0.0);
+        }
+    }
+    out
+}
+
+/// Double sliding window energy ratio: for each boundary position `t`
+/// (from `window` to `len - window`), the ratio of the energy in
+/// `[t, t+window)` to the energy in `[t-window, t)`, with the output at
+/// index `t - window`.
+///
+/// A sharp rise in this ratio marks the arrival of signal energy above the
+/// noise floor — the coarse trigger of the packet detector. The ratio is
+/// clamped to `1e6` to stay finite over perfectly silent leading windows.
+pub fn energy_ratio(signal: &[Complex64], window: usize) -> Vec<f64> {
+    if window == 0 || signal.len() < 2 * window {
+        return Vec::new();
+    }
+    let mut lead: f64 = signal[..window].iter().map(|v| v.norm_sqr()).sum();
+    let mut trail: f64 = signal[window..2 * window].iter().map(|v| v.norm_sqr()).sum();
+    let n = signal.len() - 2 * window + 1;
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let ratio = if lead > 0.0 { trail / lead } else { 1e6 };
+        out.push(ratio.min(1e6));
+        if t + 1 < n {
+            lead += signal[t + window].norm_sqr() - signal[t].norm_sqr();
+            trail += signal[t + 2 * window].norm_sqr() - signal[t + window].norm_sqr();
+            lead = lead.max(0.0);
+            trail = trail.max(0.0);
+        }
+    }
+    out
+}
+
+/// Index of the maximum value of a real slice, or `None` if empty. Ties break
+/// toward the earliest index.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::ComplexGaussian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cross_correlation_peaks_at_embedded_offset() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gauss = ComplexGaussian::unit();
+        let template = gauss.sample_vec(&mut rng, 16);
+        let mut signal = ComplexGaussian::with_power(0.01).sample_vec(&mut rng, 100);
+        let offset = 37;
+        for (m, t) in template.iter().enumerate() {
+            signal[offset + m] += *t;
+        }
+        let c = normalized_cross_correlate(&signal, &template);
+        assert_eq!(argmax(&c), Some(offset));
+        assert!(c[offset] > 0.9);
+    }
+
+    #[test]
+    fn normalized_correlation_is_scale_invariant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gauss = ComplexGaussian::unit();
+        let template = gauss.sample_vec(&mut rng, 8);
+        let signal: Vec<Complex64> = template.iter().map(|v| v.scale(123.0)).collect();
+        let c = normalized_cross_correlate(&signal, &template);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_metric_plateaus_on_periodic_signal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gauss = ComplexGaussian::unit();
+        let period = 16;
+        let one = gauss.sample_vec(&mut rng, period);
+        let mut signal = Vec::new();
+        for _ in 0..4 {
+            signal.extend_from_slice(&one);
+        }
+        let m = autocorrelation_metric(&signal, period);
+        // Every full window over the repetition should be ~1.
+        for (i, v) in m.iter().enumerate() {
+            assert!(*v > 0.999, "index {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_metric_low_on_noise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let noise = ComplexGaussian::unit().sample_vec(&mut rng, 256);
+        let m = autocorrelation_metric(&noise, 16);
+        let mean = m.iter().sum::<f64>() / m.len() as f64;
+        assert!(mean < 0.3, "mean metric over noise {mean}");
+    }
+
+    #[test]
+    fn energy_ratio_spikes_at_packet_edge() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut signal = ComplexGaussian::with_power(0.01).sample_vec(&mut rng, 64);
+        signal.extend(ComplexGaussian::with_power(1.0).sample_vec(&mut rng, 64));
+        let r = energy_ratio(&signal, 16);
+        let peak = argmax(&r).unwrap();
+        // Boundary position = peak + window.
+        let edge = peak + 16;
+        assert!((edge as i64 - 64).unsigned_abs() <= 4, "edge at {edge}");
+        assert!(r[peak] > 10.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(cross_correlate(&[], &[]).is_empty());
+        assert!(cross_correlate(&[Complex64::ONE], &[]).is_empty());
+        assert!(normalized_cross_correlate(&[Complex64::ONE], &[Complex64::ONE; 2]).is_empty());
+        assert!(autocorrelation_metric(&[Complex64::ONE; 8], 0).is_empty());
+        assert!(energy_ratio(&[Complex64::ONE; 8], 0).is_empty());
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+    }
+
+    #[test]
+    fn energy_ratio_handles_silence() {
+        let signal = vec![Complex64::ZERO; 64];
+        let r = energy_ratio(&signal, 8);
+        assert!(r.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,28 @@
+//! DSP substrate for the SourceSync reproduction.
+//!
+//! This crate provides the numeric foundation every other crate builds on:
+//!
+//! * [`Complex64`] — complex baseband samples (implemented from scratch so the
+//!   entire signal path is auditable without external numeric crates),
+//! * [`fft`] — an iterative radix-2 FFT/IFFT with a twiddle-caching planner,
+//! * [`correlate`] — sliding cross-/auto-correlation used by packet detection,
+//! * [`delay`] — integer and fractional (windowed-sinc) sample delays, the
+//!   mechanism by which the simulator realises femtosecond-resolution
+//!   propagation delays on a sampled waveform,
+//! * [`stats`] — percentiles, dB conversions, EVM→SNR, empirical CDFs,
+//! * [`rng`] — deterministic Gaussian / complex-Gaussian sampling (Box-Muller
+//!   over `rand`, so experiments are reproducible from a `u64` seed).
+//!
+//! Everything is pure, allocation-conscious, and deterministic; there is no
+//! interior mutability and no global state.
+
+pub mod complex;
+pub mod correlate;
+pub mod delay;
+pub mod fft;
+pub mod mixer;
+pub mod rng;
+pub mod stats;
+
+pub use complex::Complex64;
+pub use fft::Fft;

@@ -1,0 +1,159 @@
+//! Deterministic Gaussian sampling.
+//!
+//! All stochastic behaviour in the workspace (noise, fading taps, node
+//! placement, detection jitter) flows through seeded [`rand::rngs::StdRng`]
+//! instances and the samplers here, so every experiment is reproducible from
+//! a single `u64` seed. Normal deviates use the Box-Muller transform to avoid
+//! depending on `rand_distr`.
+
+use crate::complex::Complex64;
+use rand::Rng;
+
+/// A real Gaussian distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Gaussian {
+    mean: f64,
+    std: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `std` is negative or non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std >= 0.0 && std.is_finite(), "std must be finite and non-negative");
+        Gaussian { mean, std }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Gaussian { mean: 0.0, std: 1.0 }
+    }
+
+    /// Draws one sample using the Box-Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: u1 in (0, 1] so ln is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std * r * theta.cos()
+    }
+}
+
+/// A circularly-symmetric complex Gaussian `CN(0, σ²)`:
+/// real and imaginary parts are independent `N(0, σ²/2)`, so the expected
+/// *power* `E[|z|²]` equals `σ²`.
+///
+/// This is the standard model for both AWGN noise samples and Rayleigh-fading
+/// channel taps.
+#[derive(Debug, Clone, Copy)]
+pub struct ComplexGaussian {
+    component_std: f64,
+}
+
+impl ComplexGaussian {
+    /// Complex Gaussian with expected power `E[|z|²] = power`.
+    ///
+    /// # Panics
+    /// Panics if `power` is negative or non-finite.
+    pub fn with_power(power: f64) -> Self {
+        assert!(power >= 0.0 && power.is_finite(), "power must be finite and non-negative");
+        ComplexGaussian { component_std: (power / 2.0).sqrt() }
+    }
+
+    /// Unit-power complex Gaussian `CN(0, 1)`.
+    pub fn unit() -> Self {
+        Self::with_power(1.0)
+    }
+
+    /// Draws one complex sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Complex64 {
+        let g = Gaussian::new(0.0, self.component_std);
+        Complex64::new(g.sample(rng), g.sample(rng))
+    }
+
+    /// Fills a buffer with i.i.d. samples.
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, buf: &mut [Complex64]) {
+        for s in buf.iter_mut() {
+            *s = self.sample(rng);
+        }
+    }
+
+    /// Draws `n` samples into a fresh vector.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Complex64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = Gaussian::new(3.0, 2.0);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn complex_gaussian_power() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let cg = ComplexGaussian::with_power(2.5);
+        let n = 200_000;
+        let p = (0..n).map(|_| cg.sample(&mut rng).norm_sqr()).sum::<f64>() / n as f64;
+        assert!((p - 2.5).abs() < 0.05, "power {p}");
+    }
+
+    #[test]
+    fn complex_gaussian_is_circular() {
+        // Real and imaginary components should be uncorrelated with equal
+        // variance, and E[z²] ≈ 0 for a circularly symmetric distribution.
+        let mut rng = StdRng::seed_from_u64(44);
+        let cg = ComplexGaussian::unit();
+        let n = 200_000;
+        let mut zz = Complex64::ZERO;
+        for _ in 0..n {
+            let z = cg.sample(&mut rng);
+            zz += z * z;
+        }
+        let pseudo = zz.scale(1.0 / n as f64);
+        assert!(pseudo.abs() < 0.02, "pseudo-variance {pseudo:?}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let cg = ComplexGaussian::unit();
+        let a = cg.sample_vec(&mut StdRng::seed_from_u64(7), 16);
+        let b = cg.sample_vec(&mut StdRng::seed_from_u64(7), 16);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_power_yields_zero_samples() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let cg = ComplexGaussian::with_power(0.0);
+        for _ in 0..10 {
+            assert_eq!(cg.sample(&mut rng), Complex64::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_power() {
+        let _ = ComplexGaussian::with_power(-1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The wired-side SourceSync controller (paper §7.1, Fig. 9).
+//!
+//! A controller on the wired network forwards each downlink packet to all
+//! APs associated with the client, elects the lead AP (best link), and
+//! fixes the static codeword ordering the APs use for the space-time code.
+
+use ssync_sim::NodeId;
+
+/// One client's association state.
+#[derive(Debug, Clone)]
+pub struct Association {
+    /// The client.
+    pub client: NodeId,
+    /// Associated APs, in codeword order (index 0 = lead).
+    pub aps: Vec<NodeId>,
+}
+
+impl Association {
+    /// Associates a client with up to `k` APs chosen by descending link
+    /// SNR; the best AP becomes the lead (paper: "say the one with the
+    /// best link").
+    ///
+    /// `snr_of` maps an AP to its downlink SNR (dB) to this client.
+    pub fn associate<F: Fn(NodeId) -> f64>(
+        client: NodeId,
+        candidates: &[NodeId],
+        k: usize,
+        snr_of: F,
+    ) -> Association {
+        assert!(k >= 1, "must associate with at least one AP");
+        let mut ranked: Vec<(NodeId, f64)> =
+            candidates.iter().map(|&ap| (ap, snr_of(ap))).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite SNRs"));
+        Association {
+            client,
+            aps: ranked.into_iter().take(k).map(|(ap, _)| ap).collect(),
+        }
+    }
+
+    /// The lead AP.
+    pub fn lead(&self) -> NodeId {
+        self.aps[0]
+    }
+
+    /// The co-sender APs (everything but the lead).
+    pub fn cosenders(&self) -> &[NodeId] {
+        &self.aps[1..]
+    }
+}
+
+/// The controller: fans packets to the APs of each association.
+#[derive(Debug, Default, Clone)]
+pub struct Controller {
+    associations: Vec<Association>,
+}
+
+impl Controller {
+    /// An empty controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a client's association.
+    pub fn register(&mut self, assoc: Association) {
+        self.associations.retain(|a| a.client != assoc.client);
+        self.associations.push(assoc);
+    }
+
+    /// The association for a client, if registered.
+    pub fn association(&self, client: NodeId) -> Option<&Association> {
+        self.associations.iter().find(|a| a.client == client)
+    }
+
+    /// The AP set a downlink packet for `client` is fanned out to
+    /// (lead first), or `None` if the client is unknown.
+    pub fn fanout(&self, client: NodeId) -> Option<&[NodeId]> {
+        self.association(client).map(|a| a.aps.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn associates_best_k_aps_lead_first() {
+        let aps = [NodeId(10), NodeId(11), NodeId(12)];
+        let snr = |ap: NodeId| match ap.0 {
+            10 => 8.0,
+            11 => 15.0,
+            _ => 11.0,
+        };
+        let a = Association::associate(NodeId(1), &aps, 2, snr);
+        assert_eq!(a.lead(), NodeId(11));
+        assert_eq!(a.aps, vec![NodeId(11), NodeId(12)]);
+        assert_eq!(a.cosenders(), &[NodeId(12)]);
+    }
+
+    #[test]
+    fn k_one_is_single_best_ap() {
+        let aps = [NodeId(10), NodeId(11)];
+        let a = Association::associate(NodeId(1), &aps, 1, |ap| ap.0 as f64);
+        assert_eq!(a.aps, vec![NodeId(11)]);
+        assert!(a.cosenders().is_empty());
+    }
+
+    #[test]
+    fn controller_fanout_and_reregistration() {
+        let mut c = Controller::new();
+        c.register(Association { client: NodeId(1), aps: vec![NodeId(10), NodeId(11)] });
+        assert_eq!(c.fanout(NodeId(1)), Some(&[NodeId(10), NodeId(11)][..]));
+        assert_eq!(c.fanout(NodeId(2)), None);
+        // Re-registering replaces.
+        c.register(Association { client: NodeId(1), aps: vec![NodeId(12)] });
+        assert_eq!(c.fanout(NodeId(1)), Some(&[NodeId(12)][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one AP")]
+    fn zero_k_rejected() {
+        let _ = Association::associate(NodeId(1), &[NodeId(10)], 0, |_| 0.0);
+    }
+}

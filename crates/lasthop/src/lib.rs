@@ -1,0 +1,20 @@
+//! Last-hop sender diversity (paper §7.1, Fig. 9): multiple APs transmit
+//! the same downlink packet simultaneously with SourceSync.
+//!
+//! * [`controller`] — the wired-side controller: K-AP association, lead-AP
+//!   election, static codeword ordering, packet fan-out,
+//! * [`samplerate`] — SampleRate bit-rate selection (run on the lead AP,
+//!   exactly as the paper modifies MadWifi),
+//! * [`downlink`] — per-packet downlink sessions comparing the single
+//!   best-AP baseline ("selective diversity") against SourceSync joint
+//!   transmission, with uplink ACK receiver diversity.
+//!
+//! Together these regenerate the paper's Fig. 17 throughput CDFs.
+
+pub mod controller;
+pub mod downlink;
+pub mod samplerate;
+
+pub use controller::{Association, Controller};
+pub use downlink::{run_session, ClientScenario, Mode, SessionOutcome};
+pub use samplerate::SampleRate;

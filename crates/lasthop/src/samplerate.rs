@@ -1,0 +1,252 @@
+//! SampleRate bit-rate selection (Bicket, MIT MSc 2005) — the rate
+//! adaptation algorithm the paper runs on the lead AP (§7.1, §8.3).
+//!
+//! SampleRate picks the rate with the lowest *average transmission time
+//! per successfully acknowledged packet* (including backoff and
+//! retransmissions), and spends ~10 % of packets probing a randomly chosen
+//! other rate that could potentially beat the current best. Rates that
+//! fail four successive times are excluded until statistics decay.
+
+use rand::Rng;
+use ssync_mac::DcfTiming;
+use ssync_phy::{Params, RateId, Transmitter};
+
+/// Per-rate running statistics.
+#[derive(Debug, Clone, Copy, Default)]
+struct RateStats {
+    /// Total transmission time spent at this rate, seconds.
+    total_time_s: f64,
+    /// Packets successfully acknowledged.
+    successes: u64,
+    /// Attempts (including retries).
+    attempts: u64,
+    /// Consecutive failed packets.
+    successive_failures: u32,
+}
+
+/// The SampleRate controller for one link.
+#[derive(Debug, Clone)]
+pub struct SampleRate {
+    params: Params,
+    timing: DcfTiming,
+    payload_len: usize,
+    stats: [RateStats; 8],
+    current: RateId,
+    packets_since_probe: u32,
+    /// Statistics are decayed (halved) every this many packets, standing in
+    /// for SampleRate's 10-second sliding window.
+    decay_interval: u32,
+    packets_since_decay: u32,
+}
+
+/// Successive failures after which a rate is excluded.
+const FAILURE_EXCLUSION: u32 = 4;
+/// Probe every N-th packet (≈10 %).
+const PROBE_INTERVAL: u32 = 10;
+
+impl SampleRate {
+    /// A fresh controller; starts at the highest rate, as SampleRate does.
+    pub fn new(params: Params, payload_len: usize) -> Self {
+        SampleRate {
+            params,
+            timing: DcfTiming::default(),
+            payload_len,
+            stats: Default::default(),
+            current: RateId::R54,
+            packets_since_probe: 0,
+            decay_interval: 500,
+            packets_since_decay: 0,
+        }
+    }
+
+    /// The lossless single-attempt airtime of one packet at `rate`.
+    fn tx_time_s(&self, rate: RateId, attempts: u32) -> f64 {
+        let tx = Transmitter::new(self.params.clone());
+        let data = tx.frame_duration_s(self.payload_len, rate);
+        let ack = tx.frame_duration_s(14, RateId::R6);
+        attempts as f64
+            * (self.timing.difs().as_secs_f64() + data + self.timing.sifs.as_secs_f64() + ack)
+    }
+
+    /// Average transmission time per successful packet at a rate, seconds;
+    /// `None` if the rate has no successes yet.
+    fn avg_tx_time_s(&self, rate: RateId) -> Option<f64> {
+        let s = &self.stats[rate.to_index() as usize];
+        (s.successes > 0).then(|| s.total_time_s / s.successes as f64)
+    }
+
+    /// Whether a rate is currently excluded for successive failures.
+    fn excluded(&self, rate: RateId) -> bool {
+        self.stats[rate.to_index() as usize].successive_failures >= FAILURE_EXCLUSION
+    }
+
+    /// The rate to use for the next packet.
+    pub fn pick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RateId {
+        self.packets_since_probe += 1;
+        if self.packets_since_probe >= PROBE_INTERVAL {
+            self.packets_since_probe = 0;
+            // Probe a random non-current rate whose *lossless* time could
+            // beat the current average (SampleRate's candidate filter).
+            let current_avg = self.avg_tx_time_s(self.current).unwrap_or(f64::INFINITY);
+            let candidates: Vec<RateId> = RateId::ALL
+                .into_iter()
+                .filter(|r| {
+                    *r != self.current
+                        && !self.excluded(*r)
+                        && self.tx_time_s(*r, 1) < current_avg
+                })
+                .collect();
+            if !candidates.is_empty() {
+                return candidates[rng.gen_range(0..candidates.len())];
+            }
+        }
+        self.current
+    }
+
+    /// Reports the outcome of one packet sent at `rate` with `attempts`
+    /// attempts, `delivered` or not, and updates the preferred rate.
+    pub fn report(&mut self, rate: RateId, attempts: u32, delivered: bool) {
+        let time = self.tx_time_s(rate, attempts.max(1));
+        let s = &mut self.stats[rate.to_index() as usize];
+        s.total_time_s += time;
+        s.attempts += attempts.max(1) as u64;
+        if delivered {
+            s.successes += 1;
+            s.successive_failures = 0;
+        } else {
+            s.successive_failures += 1;
+        }
+        // Re-elect the best rate by average tx time.
+        let mut best = self.current;
+        let mut best_time = f64::INFINITY;
+        for r in RateId::ALL {
+            if self.excluded(r) {
+                continue;
+            }
+            if let Some(t) = self.avg_tx_time_s(r) {
+                if t < best_time {
+                    best_time = t;
+                    best = r;
+                }
+            }
+        }
+        // With no successes anywhere, step down (802.11 fallback behaviour).
+        if best_time.is_infinite() {
+            if let Some(slower) = self.current.slower() {
+                best = slower;
+            }
+        }
+        self.current = best;
+
+        self.packets_since_decay += 1;
+        if self.packets_since_decay >= self.decay_interval {
+            self.packets_since_decay = 0;
+            for s in self.stats.iter_mut() {
+                s.total_time_s /= 2.0;
+                s.successes /= 2;
+                s.attempts /= 2;
+                if s.successive_failures >= FAILURE_EXCLUSION {
+                    // Give excluded rates another chance after a window.
+                    s.successive_failures = FAILURE_EXCLUSION - 1;
+                }
+            }
+        }
+    }
+
+    /// The currently preferred rate.
+    pub fn current(&self) -> RateId {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssync_phy::ber::PerTable;
+    use ssync_phy::OfdmParams;
+
+    /// Drives the controller against a PER oracle at a fixed SNR and
+    /// returns the rate it settles on.
+    fn settle(snr_db: f64, seed: u64) -> RateId {
+        let params = OfdmParams::dot11a();
+        let per = PerTable::analytic();
+        let mut sr = SampleRate::new(params, 1460);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..800 {
+            let rate = sr.pick(&mut rng);
+            let p_success = 1.0 - per.per(rate, snr_db);
+            // Simulate up to 7 attempts.
+            let mut attempts = 0;
+            let mut delivered = false;
+            for _ in 0..7 {
+                attempts += 1;
+                if rng.gen::<f64>() < p_success {
+                    delivered = true;
+                    break;
+                }
+            }
+            sr.report(rate, attempts, delivered);
+        }
+        sr.current()
+    }
+
+    #[test]
+    fn settles_high_at_high_snr() {
+        let r = settle(30.0, 1);
+        assert!(r >= RateId::R48, "settled at {r:?} for 30 dB");
+    }
+
+    #[test]
+    fn settles_low_at_low_snr() {
+        let r = settle(5.0, 2);
+        assert!(r <= RateId::R12, "settled at {r:?} for 5 dB");
+    }
+
+    #[test]
+    fn settles_mid_at_mid_snr() {
+        let r = settle(14.0, 3);
+        assert!(
+            (RateId::R12..=RateId::R36).contains(&r),
+            "settled at {r:?} for 14 dB"
+        );
+    }
+
+    #[test]
+    fn higher_snr_never_settles_slower_much() {
+        let low = settle(8.0, 4);
+        let high = settle(24.0, 4);
+        assert!(high.nominal_mbps() >= low.nominal_mbps(), "{low:?} vs {high:?}");
+    }
+
+    #[test]
+    fn probes_leave_current_rate_occasionally() {
+        let params = OfdmParams::dot11a();
+        let mut sr = SampleRate::new(params, 1000);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Feed successes at R12 so it becomes current.
+        for _ in 0..50 {
+            sr.report(RateId::R12, 1, true);
+        }
+        assert_eq!(sr.current(), RateId::R12);
+        let mut saw_probe = false;
+        for _ in 0..100 {
+            if sr.pick(&mut rng) != RateId::R12 {
+                saw_probe = true;
+            }
+        }
+        assert!(saw_probe, "never probed another rate");
+    }
+
+    #[test]
+    fn total_failure_steps_down() {
+        let params = OfdmParams::dot11a();
+        let mut sr = SampleRate::new(params, 1000);
+        assert_eq!(sr.current(), RateId::R54);
+        for _ in 0..3 {
+            sr.report(RateId::R54, 7, false);
+        }
+        assert!(sr.current() < RateId::R54, "did not step down: {:?}", sr.current());
+    }
+}

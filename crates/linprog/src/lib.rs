@@ -1,0 +1,17 @@
+//! A small dense LP solver and SourceSync's multi-receiver wait-time
+//! optimisation (paper §4.6).
+//!
+//! * [`simplex`] — two-phase tableau simplex with Bland's rule, for
+//!   `min cᵀx, A·x ≤ b, x ≥ 0`,
+//! * [`minimax`] — the min-max |misalignment| formulation over co-sender
+//!   wait times, whose optimum also yields the cyclic-prefix extension the
+//!   lead sender advertises in the synchronization header.
+//!
+//! The problems are tiny (≤ 5 senders and receivers in the paper), so
+//! clarity wins over sparse-matrix sophistication.
+
+pub mod minimax;
+pub mod simplex;
+
+pub use minimax::{MisalignmentProblem, WaitSolution};
+pub use simplex::{LinearProgram, LpOutcome};

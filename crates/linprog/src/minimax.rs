@@ -1,0 +1,258 @@
+//! The multi-receiver wait-time optimisation of paper §4.6.
+//!
+//! With one receiver, a co-sender's wait `wᵢ = T₀ − tᵢ` aligns it perfectly.
+//! With several receivers perfect alignment is generally impossible
+//! (paper Fig. 8), so SourceSync picks the waits that *minimise the maximum
+//! pairwise misalignment* across all receivers — a min-max problem solved
+//! as a linear program — and extends the cyclic prefix by the residual.
+
+use crate::simplex::{LinearProgram, LpOutcome};
+
+/// The §4.6 problem instance. Delays are in seconds (any consistent unit
+/// works; the solution is in the same unit).
+#[derive(Debug, Clone)]
+pub struct MisalignmentProblem {
+    /// `T_j`: one-way delay from the lead sender to receiver `j`.
+    pub lead_delays: Vec<f64>,
+    /// `t_{i,j}`: one-way delay from co-sender `i` to receiver `j`
+    /// (outer index: co-sender; inner: receiver).
+    pub cosender_delays: Vec<Vec<f64>>,
+}
+
+/// The optimised wait times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitSolution {
+    /// `w_i` for each co-sender, relative to the global time reference
+    /// (negative = transmit before the reference).
+    pub waits: Vec<f64>,
+    /// The achieved maximum pairwise misalignment — the amount by which the
+    /// lead sender must extend the CP for this joint transmission.
+    pub max_misalignment: f64,
+}
+
+impl MisalignmentProblem {
+    /// Number of co-senders.
+    pub fn n_cosenders(&self) -> usize {
+        self.cosender_delays.len()
+    }
+
+    /// Number of receivers.
+    pub fn n_receivers(&self) -> usize {
+        self.lead_delays.len()
+    }
+
+    /// The misalignment achieved by a given set of waits: the maximum over
+    /// receivers of all pairwise arrival differences (lead vs co-senders and
+    /// co-senders vs each other).
+    pub fn misalignment_of(&self, waits: &[f64]) -> f64 {
+        assert_eq!(waits.len(), self.n_cosenders(), "one wait per co-sender");
+        let mut worst = 0.0f64;
+        for k in 0..self.n_receivers() {
+            let lead = self.lead_delays[k];
+            let arrivals: Vec<f64> = (0..self.n_cosenders())
+                .map(|i| waits[i] + self.cosender_delays[i][k])
+                .collect();
+            for &a in &arrivals {
+                worst = worst.max((a - lead).abs());
+            }
+            for i in 0..arrivals.len() {
+                for j in i + 1..arrivals.len() {
+                    worst = worst.max((arrivals[i] - arrivals[j]).abs());
+                }
+            }
+        }
+        worst
+    }
+
+    /// Solves for the optimal waits via the LP
+    /// `min z  s.t.  |pairwise misalignment| ≤ z`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or an empty problem.
+    pub fn solve(&self) -> WaitSolution {
+        let c = self.n_cosenders();
+        let r = self.n_receivers();
+        assert!(c > 0, "need at least one co-sender");
+        assert!(r > 0, "need at least one receiver");
+        for (i, row) in self.cosender_delays.iter().enumerate() {
+            assert_eq!(row.len(), r, "co-sender {i} has wrong receiver count");
+        }
+
+        // Variables: [u_0..u_{c-1}, v_0..v_{c-1}, z] with w_i = u_i − v_i,
+        // all ≥ 0. Objective: minimise z.
+        let n_vars = 2 * c + 1;
+        let zi = 2 * c;
+        let mut a: Vec<Vec<f64>> = Vec::new();
+        let mut b: Vec<f64> = Vec::new();
+        let mut push_abs_le_z = |coeffs: Vec<(usize, f64)>, rhs: f64| {
+            // expr ≤ z  and  −expr ≤ z, where expr = Σ coeff·var − rhs... we
+            // encode expr − rhs ≤ z as (Σ coeff·var) − z ≤ rhs.
+            let mut row = vec![0.0; n_vars];
+            for &(j, v) in &coeffs {
+                row[j] += v;
+            }
+            row[zi] = -1.0;
+            a.push(row);
+            b.push(rhs);
+            let mut neg = vec![0.0; n_vars];
+            for &(j, v) in &coeffs {
+                neg[j] -= v;
+            }
+            neg[zi] = -1.0;
+            a.push(neg);
+            b.push(-rhs);
+        };
+
+        for k in 0..r {
+            for i in 0..c {
+                // (w_i + t_ik) − T_k, i.e. u_i − v_i − (T_k − t_ik).
+                push_abs_le_z(
+                    vec![(i, 1.0), (c + i, -1.0)],
+                    self.lead_delays[k] - self.cosender_delays[i][k],
+                );
+            }
+            for i in 0..c {
+                for j in i + 1..c {
+                    // (w_i + t_ik) − (w_j + t_jk).
+                    push_abs_le_z(
+                        vec![(i, 1.0), (c + i, -1.0), (j, -1.0), (c + j, 1.0)],
+                        self.cosender_delays[j][k] - self.cosender_delays[i][k],
+                    );
+                }
+            }
+        }
+
+        let mut cvec = vec![0.0; n_vars];
+        cvec[zi] = 1.0;
+        let lp = LinearProgram { c: cvec, a, b };
+        match lp.solve() {
+            LpOutcome::Optimal(x, _) => {
+                let waits: Vec<f64> = (0..c).map(|i| x[i] - x[c + i]).collect();
+                let max_misalignment = self.misalignment_of(&waits);
+                WaitSolution { waits, max_misalignment }
+            }
+            other => unreachable!("min-max misalignment LP is always feasible and bounded: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_receiver_aligns_perfectly() {
+        let p = MisalignmentProblem {
+            lead_delays: vec![100e-9],
+            cosender_delays: vec![vec![40e-9], vec![160e-9]],
+        };
+        let sol = p.solve();
+        assert!(sol.max_misalignment < 1e-12, "residual {}", sol.max_misalignment);
+        assert!((sol.waits[0] - 60e-9).abs() < 1e-12); // w = T0 − t
+        assert!((sol.waits[1] + 60e-9).abs() < 1e-12); // negative: send early
+    }
+
+    #[test]
+    fn fig8_two_receivers_conflict() {
+        // Paper Fig. 8: to align at Rx1 the co-sender must send early; at
+        // Rx2 it must send late — no wait achieves both. Lead: T1=50ns,
+        // T2=200ns; co-sender: t1=150ns, t2=100ns. Perfect alignment needs
+        // w=-100ns (Rx1) or w=+100ns (Rx2); optimum splits the difference
+        // with 100 ns residual.
+        let p = MisalignmentProblem {
+            lead_delays: vec![50e-9, 200e-9],
+            cosender_delays: vec![vec![150e-9, 100e-9]],
+        };
+        let sol = p.solve();
+        assert!((sol.max_misalignment - 100e-9).abs() < 1e-12, "{}", sol.max_misalignment);
+        assert!(sol.waits[0].abs() < 1e-12, "optimal wait is 0, got {}", sol.waits[0]);
+    }
+
+    #[test]
+    fn beats_or_matches_naive_single_receiver_waits() {
+        // Optimising for all receivers is never worse than picking waits for
+        // receiver 0 only.
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..50 {
+            let n_co = rng.gen_range(1..4usize);
+            let n_rx = rng.gen_range(1..4usize);
+            let lead: Vec<f64> = (0..n_rx).map(|_| rng.gen_range(10e-9..300e-9)).collect();
+            let co: Vec<Vec<f64>> = (0..n_co)
+                .map(|_| (0..n_rx).map(|_| rng.gen_range(10e-9..300e-9)).collect())
+                .collect();
+            let p = MisalignmentProblem { lead_delays: lead.clone(), cosender_delays: co.clone() };
+            let sol = p.solve();
+            let naive: Vec<f64> = (0..n_co).map(|i| lead[0] - co[i][0]).collect();
+            let naive_mis = p.misalignment_of(&naive);
+            assert!(
+                sol.max_misalignment <= naive_mis + 1e-9,
+                "trial {trial}: LP {} worse than naive {naive_mis}",
+                sol.max_misalignment
+            );
+        }
+    }
+
+    #[test]
+    fn lp_matches_brute_force_grid() {
+        // One co-sender, several receivers: scan w on a fine grid and check
+        // the LP is at least as good.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let n_rx = rng.gen_range(2..4usize);
+            let lead: Vec<f64> = (0..n_rx).map(|_| rng.gen_range(0.0..300e-9)).collect();
+            let co: Vec<f64> = (0..n_rx).map(|_| rng.gen_range(0.0..300e-9)).collect();
+            let p = MisalignmentProblem {
+                lead_delays: lead,
+                cosender_delays: vec![co],
+            };
+            let sol = p.solve();
+            let mut best = f64::INFINITY;
+            let mut w = -400e-9;
+            while w <= 400e-9 {
+                best = best.min(p.misalignment_of(&[w]));
+                w += 0.5e-9;
+            }
+            assert!(
+                sol.max_misalignment <= best + 1e-9,
+                "LP {} vs grid {best}",
+                sol.max_misalignment
+            );
+        }
+    }
+
+    #[test]
+    fn identical_geometry_needs_no_waits() {
+        let p = MisalignmentProblem {
+            lead_delays: vec![80e-9, 80e-9],
+            cosender_delays: vec![vec![80e-9, 80e-9], vec![80e-9, 80e-9]],
+        };
+        let sol = p.solve();
+        assert!(sol.max_misalignment < 1e-12);
+        for w in &sol.waits {
+            assert!(w.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn misalignment_of_counts_cosender_pairs() {
+        let p = MisalignmentProblem {
+            lead_delays: vec![0.0],
+            cosender_delays: vec![vec![0.0], vec![0.0]],
+        };
+        // Lead aligned with both, but the two co-senders 10ns apart.
+        let m = p.misalignment_of(&[5e-9, -5e-9]);
+        assert!((m - 10e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "one wait per co-sender")]
+    fn misalignment_dimension_check() {
+        let p = MisalignmentProblem {
+            lead_delays: vec![0.0],
+            cosender_delays: vec![vec![0.0]],
+        };
+        let _ = p.misalignment_of(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,323 @@
+//! A dense two-phase simplex solver for small linear programs.
+//!
+//! SourceSync's multi-receiver synchronization (paper §4.6) is a min-max
+//! problem over at most a handful of wait times, so a straightforward
+//! tableau simplex is entirely adequate. The solver handles:
+//!
+//! `minimise cᵀx  subject to  A·x ≤ b,  x ≥ 0`
+//!
+//! with arbitrary-sign `b` (phase 1 finds a feasible basis). Free variables
+//! are expressed by callers as differences of two non-negative variables.
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found: `(x, objective)`.
+    Optimal(Vec<f64>, f64),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// A linear program in inequality form: minimise `cᵀx` s.t. `A·x ≤ b`, `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Objective coefficients (length `n`).
+    pub c: Vec<f64>,
+    /// Constraint matrix rows (each of length `n`).
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand sides (length `m`).
+    pub b: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Solves the program with the two-phase tableau simplex.
+    ///
+    /// # Panics
+    /// Panics if dimensions are inconsistent.
+    pub fn solve(&self) -> LpOutcome {
+        let n = self.c.len();
+        let m = self.a.len();
+        assert_eq!(self.b.len(), m, "b length mismatch");
+        for row in &self.a {
+            assert_eq!(row.len(), n, "A row length mismatch");
+        }
+
+        // Tableau layout: columns = [x (n) | slack (m) | artificial (≤m) | rhs].
+        // Artificial variables only for rows with negative rhs (after turning
+        // them into ≥ rows we multiply by -1, giving rhs ≥ 0 with a -1 slack,
+        // which needs an artificial basis column).
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut needs_artificial = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut row = vec![0.0; n + m];
+            let flip = self.b[i] < 0.0;
+            for j in 0..n {
+                row[j] = if flip { -self.a[i][j] } else { self.a[i][j] };
+            }
+            row[n + i] = if flip { -1.0 } else { 1.0 };
+            let rhs = if flip { -self.b[i] } else { self.b[i] };
+            row.push(rhs);
+            rows.push(row);
+            needs_artificial.push(flip);
+        }
+        let n_art: usize = needs_artificial.iter().filter(|f| **f).count();
+        let total_cols = n + m + n_art; // + rhs handled separately
+        // Insert artificial columns.
+        let mut art_index = 0usize;
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        for i in 0..m {
+            let rhs = rows[i].pop().expect("rhs present");
+            rows[i].resize(total_cols, 0.0);
+            if needs_artificial[i] {
+                rows[i][n + m + art_index] = 1.0;
+                basis.push(n + m + art_index);
+                art_index += 1;
+            } else {
+                basis.push(n + i);
+            }
+            rows[i].push(rhs);
+        }
+
+        // Phase 1: minimise the sum of artificials.
+        if n_art > 0 {
+            let mut obj = vec![0.0; total_cols + 1];
+            for j in n + m..total_cols {
+                obj[j] = 1.0;
+            }
+            // Make the objective row consistent with the starting basis.
+            for (i, &bv) in basis.iter().enumerate() {
+                if bv >= n + m {
+                    for j in 0..=total_cols {
+                        obj[j] -= rows[i][j];
+                    }
+                }
+            }
+            if !Self::iterate(&mut rows, &mut obj, &mut basis, total_cols) {
+                return LpOutcome::Unbounded; // cannot happen in phase 1
+            }
+            let phase1_value = -obj[total_cols];
+            if phase1_value > 1e-6 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive any artificial still in the basis out (degenerate case):
+            for i in 0..m {
+                if basis[i] >= n + m {
+                    if let Some(j) = (0..n + m).find(|&j| rows[i][j].abs() > EPS) {
+                        Self::pivot(&mut rows, &mut vec![0.0; total_cols + 1], &mut basis, i, j);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: original objective.
+        let mut obj = vec![0.0; total_cols + 1];
+        for j in 0..n {
+            obj[j] = self.c[j];
+        }
+        for (i, &bv) in basis.iter().enumerate() {
+            if bv < total_cols && obj[bv].abs() > EPS {
+                let coef = obj[bv];
+                for j in 0..=total_cols {
+                    obj[j] -= coef * rows[i][j];
+                }
+            }
+        }
+        // Forbid re-entering artificial columns.
+        for j in n + m..total_cols {
+            obj[j] = f64::INFINITY;
+        }
+        if !Self::iterate(&mut rows, &mut obj, &mut basis, total_cols) {
+            return LpOutcome::Unbounded;
+        }
+
+        let mut x = vec![0.0; n];
+        for (i, &bv) in basis.iter().enumerate() {
+            if bv < n {
+                x[bv] = rows[i][total_cols];
+            }
+        }
+        let objective: f64 = self.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+        LpOutcome::Optimal(x, objective)
+    }
+
+    /// Runs simplex iterations until optimality (`true`) or detects an
+    /// unbounded direction (`false`). Bland's rule for cycling safety.
+    fn iterate(
+        rows: &mut [Vec<f64>],
+        obj: &mut [f64],
+        basis: &mut [usize],
+        total_cols: usize,
+    ) -> bool {
+        for _ in 0..10_000 {
+            // Entering column: first with negative reduced cost (Bland).
+            let Some(enter) = (0..total_cols).find(|&j| obj[j] < -EPS) else {
+                return true;
+            };
+            // Leaving row: min ratio, ties by smallest basis index (Bland).
+            let mut leave: Option<(usize, f64)> = None;
+            for (i, row) in rows.iter().enumerate() {
+                if row[enter] > EPS {
+                    let ratio = row[total_cols] / row[enter];
+                    match leave {
+                        Some((li, lr))
+                            if ratio > lr + EPS
+                                || (ratio > lr - EPS && basis[i] >= basis[li]) => {}
+                        _ => leave = Some((i, ratio)),
+                    }
+                }
+            }
+            let Some((leave_row, _)) = leave else {
+                return false; // unbounded
+            };
+            Self::pivot_full(rows, obj, basis, leave_row, enter, total_cols);
+        }
+        true // iteration cap: return the current (near-optimal) basis
+    }
+
+    fn pivot(
+        rows: &mut [Vec<f64>],
+        obj: &mut [f64],
+        basis: &mut [usize],
+        leave_row: usize,
+        enter: usize,
+    ) {
+        let total_cols = rows[leave_row].len() - 1;
+        Self::pivot_full(rows, obj, basis, leave_row, enter, total_cols);
+    }
+
+    fn pivot_full(
+        rows: &mut [Vec<f64>],
+        obj: &mut [f64],
+        basis: &mut [usize],
+        leave_row: usize,
+        enter: usize,
+        total_cols: usize,
+    ) {
+        let pivot = rows[leave_row][enter];
+        for v in rows[leave_row].iter_mut() {
+            *v /= pivot;
+        }
+        for i in 0..rows.len() {
+            if i != leave_row && rows[i][enter].abs() > EPS {
+                let k = rows[i][enter];
+                for j in 0..=total_cols {
+                    let delta = k * rows[leave_row][j];
+                    rows[i][j] -= delta;
+                }
+            }
+        }
+        if obj.len() > enter && obj[enter].abs() > EPS && obj[enter].is_finite() {
+            let k = obj[enter];
+            for j in 0..=total_cols {
+                if obj[j].is_finite() {
+                    obj[j] -= k * rows[leave_row][j];
+                }
+            }
+        }
+        basis[leave_row] = enter;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(outcome: LpOutcome, want_x: &[f64], want_obj: f64) {
+        match outcome {
+            LpOutcome::Optimal(x, obj) => {
+                assert!((obj - want_obj).abs() < 1e-6, "objective {obj} want {want_obj}");
+                for (a, b) in x.iter().zip(want_x) {
+                    assert!((a - b).abs() < 1e-6, "x {x:?} want {want_x:?}");
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36.
+        let lp = LinearProgram {
+            c: vec![-3.0, -5.0],
+            a: vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            b: vec![4.0, 12.0, 18.0],
+        };
+        assert_optimal(lp.solve(), &[2.0, 6.0], -36.0);
+    }
+
+    #[test]
+    fn negative_rhs_needs_phase_one() {
+        // min x s.t. -x ≤ -3 (i.e. x ≥ 3) → x = 3.
+        let lp = LinearProgram { c: vec![1.0], a: vec![vec![-1.0]], b: vec![-3.0] };
+        assert_optimal(lp.solve(), &[3.0], 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let lp = LinearProgram {
+            c: vec![1.0],
+            a: vec![vec![1.0], vec![-1.0]],
+            b: vec![1.0, -2.0],
+        };
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. -x ≤ 0 → x can grow without bound.
+        let lp = LinearProgram { c: vec![-1.0], a: vec![vec![-1.0]], b: vec![0.0] };
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_via_two_inequalities() {
+        // min x + y s.t. x + y = 5 (as ≤ and ≥), x ≥ 1 → objective 5.
+        let lp = LinearProgram {
+            c: vec![1.0, 1.0],
+            a: vec![vec![1.0, 1.0], vec![-1.0, -1.0], vec![-1.0, 0.0]],
+            b: vec![5.0, -5.0, -1.0],
+        };
+        match lp.solve() {
+            LpOutcome::Optimal(x, obj) => {
+                assert!((obj - 5.0).abs() < 1e-6);
+                assert!(x[0] >= 1.0 - 1e-9);
+                assert!((x[0] + x[1] - 5.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_program() {
+        // Redundant constraints should not cycle (Bland's rule).
+        let lp = LinearProgram {
+            c: vec![-1.0, -1.0],
+            a: vec![
+                vec![1.0, 0.0],
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+            ],
+            b: vec![2.0, 2.0, 2.0, 4.0],
+        };
+        assert_optimal(lp.solve(), &[2.0, 2.0], -4.0);
+    }
+
+    #[test]
+    fn zero_objective_feasibility_check() {
+        let lp = LinearProgram {
+            c: vec![0.0, 0.0],
+            a: vec![vec![1.0, 1.0]],
+            b: vec![1.0],
+        };
+        match lp.solve() {
+            LpOutcome::Optimal(_, obj) => assert!(obj.abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Stop-and-wait ARQ with retry accounting.
+//!
+//! The throughput experiments need the medium time a transfer consumes,
+//! including retransmissions and backoff growth. This module simulates the
+//! per-packet attempt loop given a per-attempt success probability (from
+//! the calibrated PER tables) and the DCF timing arithmetic.
+
+use crate::csma::{exchange_duration, Backoff, DcfTiming};
+use rand::Rng;
+use ssync_phy::{Params, RateId};
+use ssync_sim::Duration;
+
+/// Default 802.11 retry limit.
+pub const DEFAULT_RETRY_LIMIT: u32 = 7;
+
+/// Result of delivering (or failing to deliver) one packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArqOutcome {
+    /// Whether the packet was eventually acknowledged.
+    pub delivered: bool,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total medium time consumed, including failed attempts.
+    pub medium_time: Duration,
+}
+
+/// Simulates one packet through stop-and-wait ARQ.
+///
+/// `success_prob` is the per-attempt probability that the DATA frame is
+/// received *and* its ACK returns (callers fold both in). Failed attempts
+/// still consume a full exchange of medium time (the sender waits out the
+/// ACK timeout, modelled as the same duration).
+pub fn send_packet<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &Params,
+    timing: &DcfTiming,
+    rate: RateId,
+    payload_len: usize,
+    success_prob: f64,
+    retry_limit: u32,
+) -> ArqOutcome {
+    let mut backoff = Backoff::new(*timing);
+    let mut total = Duration::ZERO;
+    for attempt in 1..=retry_limit.max(1) {
+        let bo = backoff.draw(rng);
+        total = total + exchange_duration(params, timing, rate, payload_len, bo);
+        if rng.gen::<f64>() < success_prob {
+            return ArqOutcome { delivered: true, attempts: attempt, medium_time: total };
+        }
+        backoff.on_failure();
+    }
+    ArqOutcome { delivered: false, attempts: retry_limit.max(1), medium_time: total }
+}
+
+/// Expected number of attempts for success probability `p` with unlimited
+/// retries (the ETX integrand): `1/p`.
+pub fn expected_attempts(success_prob: f64) -> f64 {
+    if success_prob <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / success_prob
+    }
+}
+
+/// Simulates a bulk transfer of `n_packets` and returns the achieved
+/// goodput in bits/s (delivered payload bits over total medium time).
+#[allow(clippy::too_many_arguments)]
+pub fn bulk_throughput_bps<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &Params,
+    timing: &DcfTiming,
+    rate: RateId,
+    payload_len: usize,
+    success_prob: f64,
+    retry_limit: u32,
+    n_packets: usize,
+) -> f64 {
+    let mut delivered_bits = 0u64;
+    let mut total = Duration::ZERO;
+    for _ in 0..n_packets {
+        let o = send_packet(rng, params, timing, rate, payload_len, success_prob, retry_limit);
+        total = total + o.medium_time;
+        if o.delivered {
+            delivered_bits += (payload_len * 8) as u64;
+        }
+    }
+    if total == Duration::ZERO {
+        0.0
+    } else {
+        delivered_bits as f64 / total.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssync_phy::OfdmParams;
+
+    #[test]
+    fn lossless_link_single_attempt() {
+        let params = OfdmParams::dot11a();
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = send_packet(&mut rng, &params, &DcfTiming::default(), RateId::R12, 1000, 1.0, 7);
+        assert!(o.delivered);
+        assert_eq!(o.attempts, 1);
+    }
+
+    #[test]
+    fn dead_link_exhausts_retries() {
+        let params = OfdmParams::dot11a();
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = send_packet(&mut rng, &params, &DcfTiming::default(), RateId::R12, 1000, 0.0, 7);
+        assert!(!o.delivered);
+        assert_eq!(o.attempts, 7);
+        // Medium time reflects all 7 failed exchanges.
+        assert!(o.medium_time.as_secs_f64() > 7.0 * 0.7e-3);
+    }
+
+    #[test]
+    fn attempts_match_geometric_expectation() {
+        let params = OfdmParams::dot11a();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = 0.5;
+        let n = 3000;
+        let mean_attempts: f64 = (0..n)
+            .map(|_| {
+                send_packet(&mut rng, &params, &DcfTiming::default(), RateId::R12, 500, p, 50)
+                    .attempts as f64
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_attempts - expected_attempts(p)).abs() < 0.1, "{mean_attempts}");
+    }
+
+    #[test]
+    fn throughput_halves_roughly_at_half_loss() {
+        let params = OfdmParams::dot11a();
+        let timing = DcfTiming::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let clean = bulk_throughput_bps(&mut rng, &params, &timing, RateId::R12, 1460, 1.0, 7, 500);
+        let lossy = bulk_throughput_bps(&mut rng, &params, &timing, RateId::R12, 1460, 0.5, 7, 500);
+        let ratio = lossy / clean;
+        assert!((0.35..0.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn expected_attempts_edge_cases() {
+        assert_eq!(expected_attempts(0.0), f64::INFINITY);
+        assert_eq!(expected_attempts(1.0), 1.0);
+        assert_eq!(expected_attempts(0.25), 4.0);
+    }
+}

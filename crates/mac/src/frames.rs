@@ -1,0 +1,173 @@
+//! MAC frame formats and their byte codecs.
+//!
+//! Typed structs with explicit little-endian codecs (not the IEEE bit
+//! layout — a documented simplification). The ACK carries SourceSync's
+//! §4.5 misalignment feedback: the receiver's measured lead/co-sender
+//! arrival offset, which co-senders fold into their next wait time.
+
+/// A MAC-level frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacFrame {
+    /// A unicast data frame.
+    Data(DataFrame),
+    /// An acknowledgement (with optional SourceSync feedback).
+    Ack(AckFrame),
+}
+
+/// A unicast data frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    /// Source node id.
+    pub src: u16,
+    /// Destination node id.
+    pub dst: u16,
+    /// Sequence number (for duplicate detection and ARQ).
+    pub seq: u16,
+    /// Retry flag.
+    pub retry: bool,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// An acknowledgement frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AckFrame {
+    /// The acknowledged source.
+    pub dst: u16,
+    /// The acknowledged sequence number.
+    pub seq: u16,
+    /// SourceSync misalignment feedback, seconds (positive = the co-sender
+    /// arrived late), one entry per co-sender of the acknowledged joint
+    /// frame. Empty for ordinary frames.
+    pub misalign_feedback_s: Vec<f64>,
+}
+
+const TYPE_DATA: u8 = 1;
+const TYPE_ACK: u8 = 2;
+
+impl MacFrame {
+    /// Serialises to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            MacFrame::Data(d) => {
+                let mut out = vec![TYPE_DATA];
+                out.extend_from_slice(&d.src.to_le_bytes());
+                out.extend_from_slice(&d.dst.to_le_bytes());
+                out.extend_from_slice(&d.seq.to_le_bytes());
+                out.push(d.retry as u8);
+                out.extend_from_slice(&(d.payload.len() as u16).to_le_bytes());
+                out.extend_from_slice(&d.payload);
+                out
+            }
+            MacFrame::Ack(a) => {
+                let mut out = vec![TYPE_ACK];
+                out.extend_from_slice(&a.dst.to_le_bytes());
+                out.extend_from_slice(&a.seq.to_le_bytes());
+                out.push(a.misalign_feedback_s.len() as u8);
+                for m in &a.misalign_feedback_s {
+                    out.extend_from_slice(&m.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses bytes; `None` on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<MacFrame> {
+        match *bytes.first()? {
+            TYPE_DATA => {
+                if bytes.len() < 10 {
+                    return None;
+                }
+                let src = u16::from_le_bytes([bytes[1], bytes[2]]);
+                let dst = u16::from_le_bytes([bytes[3], bytes[4]]);
+                let seq = u16::from_le_bytes([bytes[5], bytes[6]]);
+                let retry = bytes[7] != 0;
+                let len = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
+                let payload = bytes.get(10..10 + len)?.to_vec();
+                Some(MacFrame::Data(DataFrame { src, dst, seq, retry, payload }))
+            }
+            TYPE_ACK => {
+                if bytes.len() < 6 {
+                    return None;
+                }
+                let dst = u16::from_le_bytes([bytes[1], bytes[2]]);
+                let seq = u16::from_le_bytes([bytes[3], bytes[4]]);
+                let n = bytes[5] as usize;
+                let mut feedback = Vec::with_capacity(n);
+                for i in 0..n {
+                    let chunk = bytes.get(6 + 8 * i..14 + 8 * i)?;
+                    feedback.push(f64::from_le_bytes(chunk.try_into().ok()?));
+                }
+                Some(MacFrame::Ack(AckFrame { dst, seq, misalign_feedback_s: feedback }))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let f = MacFrame::Data(DataFrame {
+            src: 3,
+            dst: 9,
+            seq: 1234,
+            retry: true,
+            payload: vec![1, 2, 3, 4, 5],
+        });
+        assert_eq!(MacFrame::from_bytes(&f.to_bytes()), Some(f));
+    }
+
+    #[test]
+    fn ack_roundtrip_with_feedback() {
+        let f = MacFrame::Ack(AckFrame {
+            dst: 7,
+            seq: 42,
+            misalign_feedback_s: vec![12.5e-9, -3.25e-9],
+        });
+        assert_eq!(MacFrame::from_bytes(&f.to_bytes()), Some(f));
+    }
+
+    #[test]
+    fn ack_roundtrip_empty_feedback() {
+        let f = MacFrame::Ack(AckFrame { dst: 0, seq: 0, misalign_feedback_s: vec![] });
+        assert_eq!(MacFrame::from_bytes(&f.to_bytes()), Some(f));
+    }
+
+    #[test]
+    fn empty_payload_data() {
+        let f = MacFrame::Data(DataFrame {
+            src: 1,
+            dst: 2,
+            seq: 3,
+            retry: false,
+            payload: vec![],
+        });
+        assert_eq!(MacFrame::from_bytes(&f.to_bytes()), Some(f));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(MacFrame::from_bytes(&[]), None);
+        assert_eq!(MacFrame::from_bytes(&[99]), None);
+        assert_eq!(MacFrame::from_bytes(&[TYPE_DATA, 0, 0]), None);
+        // Truncated payload.
+        let f = MacFrame::Data(DataFrame {
+            src: 1,
+            dst: 2,
+            seq: 3,
+            retry: false,
+            payload: vec![0; 32],
+        });
+        let bytes = f.to_bytes();
+        assert_eq!(MacFrame::from_bytes(&bytes[..bytes.len() - 1]), None);
+        // Truncated feedback.
+        let a = MacFrame::Ack(AckFrame { dst: 1, seq: 2, misalign_feedback_s: vec![1.0] });
+        let bytes = a.to_bytes();
+        assert_eq!(MacFrame::from_bytes(&bytes[..bytes.len() - 2]), None);
+    }
+}

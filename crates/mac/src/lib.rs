@@ -1,0 +1,21 @@
+//! An 802.11-style MAC with SourceSync's joint-frame extensions.
+//!
+//! SourceSync deliberately leaves medium access almost untouched (paper
+//! §3): the lead sender contends exactly as in 802.11 DCF, and co-senders
+//! join its transmission rather than contending themselves. Accordingly
+//! this crate provides:
+//!
+//! * [`frames`] — typed MAC frames, including the ACK field carrying the
+//!   §4.5 misalignment feedback,
+//! * [`csma`] — DCF timing (DIFS/SIFS/slots), binary-exponential backoff,
+//!   and exchange-duration arithmetic,
+//! * [`arq`] — stop-and-wait retransmission with medium-time accounting,
+//!   the building block of every throughput experiment.
+
+pub mod arq;
+pub mod csma;
+pub mod frames;
+
+pub use arq::{bulk_throughput_bps, expected_attempts, send_packet, ArqOutcome, DEFAULT_RETRY_LIMIT};
+pub use csma::{exchange_duration, saturation_throughput_bps, Backoff, DcfTiming};
+pub use frames::{AckFrame, DataFrame, MacFrame};

@@ -1,0 +1,186 @@
+//! Per-symbol block interleaving.
+//!
+//! 802.11a interleaves the coded bits of each OFDM symbol with two
+//! permutations: the first spreads adjacent coded bits across non-adjacent
+//! subcarriers (defeating frequency-selective fades — exactly the impairment
+//! SourceSync's sender diversity attacks), the second rotates bits within a
+//! subcarrier's constellation positions so long runs do not always land on
+//! low-reliability bits.
+//!
+//! The standard formulas assume `N_CBPS` divisible by 16; the WiGLAN
+//! numerology (20 data carriers) is not always, so rows fall back to the
+//! largest divisor of `N_CBPS` not exceeding 16. For `dot11a` the result is
+//! bit-identical to the standard.
+
+use crate::params::{Modulation, OfdmParams};
+
+/// Interleaving table for one (numerology, modulation) pair.
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    /// `perm[k]` = position after interleaving of input bit `k`.
+    perm: Vec<usize>,
+    /// Inverse permutation.
+    inv: Vec<usize>,
+}
+
+fn rows_for(n_cbps: usize) -> usize {
+    (1..=16).rev().find(|r| n_cbps % r == 0).unwrap_or(1)
+}
+
+impl Interleaver {
+    /// Builds the interleaver for one OFDM symbol's worth of coded bits.
+    pub fn new(params: &OfdmParams, modulation: Modulation) -> Self {
+        let n_cbps = params.coded_bits_per_symbol(modulation);
+        let n_bpsc = modulation.bits_per_symbol();
+        let rows = rows_for(n_cbps);
+        let cols = n_cbps / rows;
+        let s = (n_bpsc / 2).max(1);
+        let mut perm = vec![0usize; n_cbps];
+        for k in 0..n_cbps {
+            // First permutation (row-column write/read):
+            let i = cols * (k % rows) + k / rows;
+            let g = i / s;
+            // Second permutation (constellation-bit rotation). The 802.11
+            // formula is only a permutation when every s-group lies inside
+            // one column block (cols divisible by s — true for all dot11a
+            // cases); otherwise rotate within the group by the group index,
+            // which serves the same purpose and is always bijective.
+            let j = if cols % s == 0 {
+                s * g + (i + n_cbps - (rows * i) / n_cbps) % s
+            } else {
+                s * g + (i % s + g) % s
+            };
+            perm[k] = j;
+        }
+        let mut inv = vec![0usize; n_cbps];
+        for (k, &j) in perm.iter().enumerate() {
+            inv[j] = k;
+        }
+        Interleaver { perm, inv }
+    }
+
+    /// Number of coded bits per symbol this table handles.
+    #[inline]
+    pub fn block_len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Interleaves exactly one block.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != block_len()`.
+    pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.block_len(), "interleaver block size mismatch");
+        let mut out = vec![0u8; bits.len()];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.perm[k]] = b;
+        }
+        out
+    }
+
+    /// De-interleaves one block of LLRs (receiver side).
+    ///
+    /// # Panics
+    /// Panics if `llrs.len() != block_len()`.
+    pub fn deinterleave_llrs(&self, llrs: &[f64]) -> Vec<f64> {
+        assert_eq!(llrs.len(), self.block_len(), "deinterleaver block size mismatch");
+        let mut out = vec![0.0; llrs.len()];
+        for (k, &l) in llrs.iter().enumerate() {
+            out[self.inv[k]] = l;
+        }
+        out
+    }
+
+    /// De-interleaves one block of hard bits (used by tests).
+    pub fn deinterleave_bits(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.block_len(), "deinterleaver block size mismatch");
+        let mut out = vec![0u8; bits.len()];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.inv[k]] = b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::OfdmParams;
+
+    #[test]
+    fn permutation_is_bijective() {
+        for params in [OfdmParams::dot11a(), OfdmParams::wiglan()] {
+            for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+                let il = Interleaver::new(&params, m);
+                let mut seen = vec![false; il.block_len()];
+                for k in 0..il.block_len() {
+                    let j = il.perm[k];
+                    assert!(!seen[j], "{}/{m:?}: position {j} hit twice", params.name);
+                    seen[j] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let params = OfdmParams::dot11a();
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let il = Interleaver::new(&params, m);
+            let bits: Vec<u8> = (0..il.block_len()).map(|i| (i % 2) as u8).collect();
+            let inter = il.interleave(&bits);
+            assert_eq!(il.deinterleave_bits(&inter), bits);
+            let llrs: Vec<f64> = bits.iter().map(|b| *b as f64 - 0.5).collect();
+            let llr_inter: Vec<f64> = il
+                .interleave(&bits)
+                .iter()
+                .map(|b| *b as f64 - 0.5)
+                .collect();
+            assert_eq!(il.deinterleave_llrs(&llr_inter), llrs);
+        }
+    }
+
+    #[test]
+    fn matches_80211_bpsk_vector() {
+        // For BPSK/dot11a (N_CBPS=48, s=1) the interleaver is the pure
+        // row-column permutation with 16 rows: k -> 3*(k mod 16) + k/16.
+        let il = Interleaver::new(&OfdmParams::dot11a(), Modulation::Bpsk);
+        for k in 0..48 {
+            assert_eq!(il.perm[k], 3 * (k % 16) + k / 16);
+        }
+    }
+
+    #[test]
+    fn spreads_adjacent_bits() {
+        // Adjacent coded bits must land at least a few subcarriers apart
+        // (that is the interleaver's whole job).
+        let params = OfdmParams::dot11a();
+        let il = Interleaver::new(&params, Modulation::Qpsk);
+        let n_bpsc = 2;
+        for k in 0..il.block_len() - 1 {
+            let sc_a = il.perm[k] / n_bpsc;
+            let sc_b = il.perm[k + 1] / n_bpsc;
+            assert!(
+                (sc_a as i64 - sc_b as i64).unsigned_abs() >= 2,
+                "bits {k},{} map to adjacent subcarriers {sc_a},{sc_b}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn wiglan_all_modulations_construct() {
+        let params = OfdmParams::wiglan();
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let il = Interleaver::new(&params, m);
+            assert_eq!(il.block_len(), params.coded_bits_per_symbol(m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block size mismatch")]
+    fn wrong_block_size_panics() {
+        let il = Interleaver::new(&OfdmParams::dot11a(), Modulation::Bpsk);
+        let _ = il.interleave(&[0u8; 10]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Constellation mapping and soft demapping.
+//!
+//! Gray-coded BPSK/QPSK/16-QAM/64-QAM with the 802.11 normalisation factors
+//! (1, 1/√2, 1/√10, 1/√42) so every constellation has unit average power.
+//! Demapping produces exact max-log per-bit LLRs by scanning the
+//! constellation — O(M) per symbol, simple and correct, and fast enough for
+//! a simulator.
+
+pub use crate::params::Modulation;
+use ssync_dsp::Complex64;
+
+/// Per-axis Gray-coded PAM levels for `bits_per_axis` bits, in 802.11 order.
+///
+/// 1 bit: `0 → −1, 1 → +1`; 2 bits: `00 → −3, 01 → −1, 11 → +1, 10 → +3`;
+/// 3 bits: standard 8-level Gray ordering.
+fn pam_level(bits: &[u8]) -> f64 {
+    match bits {
+        [b0] => (2 * b0) as f64 - 1.0,
+        [b0, b1] => {
+            let idx = (b0 << 1 | b1) as usize; // 00,01,11,10 -> -3,-1,1,3
+            const MAP: [f64; 4] = [-3.0, -1.0, 3.0, 1.0];
+            MAP[idx]
+        }
+        [b0, b1, b2] => {
+            let idx = (b0 << 2 | b1 << 1 | b2) as usize;
+            const MAP: [f64; 8] = [-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0];
+            MAP[idx]
+        }
+        _ => unreachable!("1..=3 bits per axis"),
+    }
+}
+
+/// Normalisation factor K_MOD so E[|x|²] = 1.
+pub fn normalization(m: Modulation) -> f64 {
+    match m {
+        Modulation::Bpsk => 1.0,
+        Modulation::Qpsk => 1.0 / 2f64.sqrt(),
+        Modulation::Qam16 => 1.0 / 10f64.sqrt(),
+        Modulation::Qam64 => 1.0 / 42f64.sqrt(),
+    }
+}
+
+/// Maps `bits_per_symbol` bits to one constellation point.
+///
+/// # Panics
+/// Panics if `bits.len() != m.bits_per_symbol()`.
+pub fn map_symbol(m: Modulation, bits: &[u8]) -> Complex64 {
+    assert_eq!(bits.len(), m.bits_per_symbol(), "bit group size mismatch");
+    let k = normalization(m);
+    match m {
+        Modulation::Bpsk => Complex64::new(pam_level(&bits[..1]) * k, 0.0),
+        Modulation::Qpsk => {
+            Complex64::new(pam_level(&bits[..1]) * k, pam_level(&bits[1..2]) * k)
+        }
+        Modulation::Qam16 => {
+            Complex64::new(pam_level(&bits[..2]) * k, pam_level(&bits[2..4]) * k)
+        }
+        Modulation::Qam64 => {
+            Complex64::new(pam_level(&bits[..3]) * k, pam_level(&bits[3..6]) * k)
+        }
+    }
+}
+
+/// Maps a bit stream to constellation points; the stream length must be a
+/// multiple of `bits_per_symbol`.
+pub fn map_bits(m: Modulation, bits: &[u8]) -> Vec<Complex64> {
+    let bps = m.bits_per_symbol();
+    assert_eq!(bits.len() % bps, 0, "bit stream not a multiple of bits/symbol");
+    bits.chunks(bps).map(|g| map_symbol(m, g)).collect()
+}
+
+/// The full constellation: all `2^bps` points with their bit labels.
+pub fn constellation(m: Modulation) -> Vec<(Vec<u8>, Complex64)> {
+    let bps = m.bits_per_symbol();
+    (0..(1usize << bps))
+        .map(|v| {
+            let bits: Vec<u8> = (0..bps).map(|i| ((v >> (bps - 1 - i)) & 1) as u8).collect();
+            let pt = map_symbol(m, &bits);
+            (bits, pt)
+        })
+        .collect()
+}
+
+/// Exact max-log LLRs for one received symbol `y` with channel gain `h` and
+/// noise variance `n0` (per complex dimension total). Convention: positive
+/// LLR means bit 0 is more likely (matches [`crate::viterbi`]).
+///
+/// The scan equalises by comparing `y` against `h·x` for every constellation
+/// point `x`, which is exact for a single-tap (per-subcarrier) channel.
+pub fn demap_llrs(m: Modulation, y: Complex64, h: Complex64, n0: f64) -> Vec<f64> {
+    let bps = m.bits_per_symbol();
+    let points = constellation(m);
+    let mut min0 = vec![f64::INFINITY; bps];
+    let mut min1 = vec![f64::INFINITY; bps];
+    for (bits, x) in &points {
+        let d = y.dist(h * *x);
+        let metric = d * d;
+        for (i, &b) in bits.iter().enumerate() {
+            if b == 0 {
+                if metric < min0[i] {
+                    min0[i] = metric;
+                }
+            } else if metric < min1[i] {
+                min1[i] = metric;
+            }
+        }
+    }
+    let scale = 1.0 / n0.max(1e-12);
+    (0..bps).map(|i| (min1[i] - min0[i]) * scale).collect()
+}
+
+/// Hard-decision demap: the bit label of the nearest constellation point
+/// after equalising with `h`.
+pub fn demap_hard(m: Modulation, y: Complex64, h: Complex64) -> Vec<u8> {
+    constellation(m)
+        .into_iter()
+        .min_by(|(_, a), (_, b)| {
+            y.dist(h * *a)
+                .partial_cmp(&y.dist(h * *b))
+                .expect("finite distances")
+        })
+        .map(|(bits, _)| bits)
+        .expect("constellation not empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use ssync_dsp::rng::ComplexGaussian;
+
+    const ALL: [Modulation; 4] =
+        [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64];
+
+    #[test]
+    fn unit_average_power() {
+        for m in ALL {
+            let pts = constellation(m);
+            let p: f64 = pts.iter().map(|(_, x)| x.norm_sqr()).sum::<f64>() / pts.len() as f64;
+            assert!((p - 1.0).abs() < 1e-12, "{m:?}: power {p}");
+        }
+    }
+
+    #[test]
+    fn constellation_points_distinct() {
+        for m in ALL {
+            let pts = constellation(m);
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    assert!(pts[i].1.dist(pts[j].1) > 1e-9, "{m:?}: duplicate points");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_property_neighbours_differ_by_one_bit() {
+        // Along each axis, adjacent PAM levels must differ in exactly one bit.
+        for m in [Modulation::Qam16, Modulation::Qam64] {
+            let pts = constellation(m);
+            for (bits_a, a) in &pts {
+                for (bits_b, b) in &pts {
+                    let dx = (a.re - b.re).abs();
+                    let dy = (a.im - b.im).abs();
+                    let k = normalization(m) * 2.0;
+                    // Horizontally adjacent, same row:
+                    if dy < 1e-12 && (dx - k).abs() < 1e-9 {
+                        let diff: usize =
+                            bits_a.iter().zip(bits_b).filter(|(x, y)| x != y).count();
+                        assert_eq!(diff, 1, "{m:?}: neighbours differ by {diff} bits");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hard_demap_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for m in ALL {
+            for _ in 0..50 {
+                let bits: Vec<u8> =
+                    (0..m.bits_per_symbol()).map(|_| rng.gen_range(0..2u8)).collect();
+                let x = map_symbol(m, &bits);
+                // Random complex channel, no noise.
+                let h = Complex64::from_polar(rng.gen_range(0.2..2.0), rng.gen_range(0.0..6.28));
+                assert_eq!(demap_hard(m, h * x, h), bits, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn llr_signs_match_hard_decisions_at_high_snr() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for m in ALL {
+            for _ in 0..50 {
+                let bits: Vec<u8> =
+                    (0..m.bits_per_symbol()).map(|_| rng.gen_range(0..2u8)).collect();
+                let x = map_symbol(m, &bits);
+                let h = Complex64::from_polar(1.0, rng.gen_range(0.0..6.28));
+                let llrs = demap_llrs(m, h * x, h, 1e-3);
+                for (i, &b) in bits.iter().enumerate() {
+                    if b == 0 {
+                        assert!(llrs[i] > 0.0, "{m:?} bit {i}");
+                    } else {
+                        assert!(llrs[i] < 0.0, "{m:?} bit {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_scales_with_noise() {
+        let m = Modulation::Qpsk;
+        let bits = [0u8, 1u8];
+        let x = map_symbol(m, &bits);
+        let h = Complex64::ONE;
+        let l_low_noise = demap_llrs(m, x, h, 0.01);
+        let l_high_noise = demap_llrs(m, x, h, 1.0);
+        assert!(l_low_noise[0].abs() > l_high_noise[0].abs() * 10.0);
+    }
+
+    #[test]
+    fn qpsk_decodes_under_noise_mostly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let noise = ComplexGaussian::with_power(0.02);
+        let mut errors = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let bits: Vec<u8> = (0..2).map(|_| rng.gen_range(0..2u8)).collect();
+            let x = map_symbol(Modulation::Qpsk, &bits);
+            let y = x + noise.sample(&mut rng);
+            if demap_hard(Modulation::Qpsk, y, Complex64::ONE) != bits {
+                errors += 1;
+            }
+        }
+        // At 17 dB SNR, QPSK symbol errors should be extremely rare.
+        assert!(errors < 5, "errors {errors}/{trials}");
+    }
+
+    #[test]
+    fn map_bits_chunks() {
+        let bits = [0u8, 1, 1, 0, 0, 0, 1, 1];
+        let syms = map_bits(Modulation::Qpsk, &bits);
+        assert_eq!(syms.len(), 4);
+        assert_eq!(syms[0], map_symbol(Modulation::Qpsk, &[0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn map_bits_rejects_ragged() {
+        let _ = map_bits(Modulation::Qam16, &[0u8; 7]);
+    }
+}

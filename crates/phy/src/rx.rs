@@ -1,0 +1,423 @@
+//! The receiver: detection → CFO correction → channel estimation → SIGNAL
+//! decode → equalisation with pilot phase tracking → Viterbi → CRC check.
+//!
+//! The FFT windows for data symbols are placed `window_backoff` samples
+//! *early* (inside the cyclic prefix), and the LTS estimation windows are
+//! backed off by the same amount, so the common phase ramp cancels in
+//! equalisation while late-timing ISI is avoided. This is the standard
+//! 802.11 receiver trick and is load-bearing for the paper's Fig. 3/Fig. 4
+//! story: a window is valid anywhere inside the CP slack.
+
+use crate::chanest::{self, ChannelEstimate};
+use crate::crc;
+use crate::detect::{apply_cfo, Detection, Detector, DetectorConfig};
+use crate::frame::{self, SignalField};
+use crate::modulation;
+use crate::ofdm;
+use crate::params::Params;
+use crate::preamble::LTS_REPS;
+use ssync_dsp::stats;
+use ssync_dsp::{Complex64, Fft};
+
+/// Receiver failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RxError {
+    /// No packet was detected in the buffer.
+    NoPacket,
+    /// A packet was detected but the SIGNAL field did not decode.
+    BadSignal(Detection),
+    /// The frame decoded but its CRC-32 check failed.
+    BadCrc(Box<RxDiagnostics>),
+    /// The buffer ended before the full frame (truncated capture).
+    Truncated(Detection),
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::NoPacket => write!(f, "no packet detected"),
+            RxError::BadSignal(_) => write!(f, "SIGNAL field failed to decode"),
+            RxError::BadCrc(_) => write!(f, "frame CRC check failed"),
+            RxError::Truncated(_) => write!(f, "buffer truncated mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// Measurements the receiver gathered while decoding (the raw material of
+/// most of the paper's evaluation plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RxDiagnostics {
+    /// Detection and fine-timing result.
+    pub detection: Detection,
+    /// Channel estimate from the long training.
+    pub channel: ChannelEstimate,
+    /// Per-occupied-carrier SNR in dB (Fig. 16 raw data).
+    pub per_carrier_snr_db: Vec<f64>,
+    /// Mean SNR across occupied carriers in dB (Fig. 15 raw data).
+    pub mean_snr_db: f64,
+    /// Decision-directed error-vector SNR over data symbols, dB.
+    pub evm_snr_db: f64,
+    /// Residual timing offset implied by the channel phase slope, in samples
+    /// (the quantity SourceSync feeds back in ACKs, §4.5).
+    pub timing_offset_samples: f64,
+}
+
+/// A successfully received frame.
+#[derive(Debug, Clone)]
+pub struct RxResult {
+    /// Decoded payload with the CRC stripped.
+    pub payload: Vec<u8>,
+    /// Decoded SIGNAL field.
+    pub signal: SignalField,
+    /// Receiver measurements.
+    pub diag: RxDiagnostics,
+}
+
+/// A planned receiver for one numerology.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    params: Params,
+    fft: Fft,
+    detector: Detector,
+    /// Samples of early FFT-window placement inside the CP.
+    window_backoff: usize,
+}
+
+impl Receiver {
+    /// Creates a receiver with default thresholds and a backoff of `cp/4`.
+    pub fn new(params: Params) -> Self {
+        let fft = Fft::new(params.fft_size);
+        let detector = Detector::new(&params, &fft);
+        let window_backoff = params.cp_len / 4;
+        Receiver { params, fft, detector, window_backoff }
+    }
+
+    /// Overrides detector thresholds.
+    pub fn with_detector_config(mut self, config: DetectorConfig) -> Self {
+        self.detector = Detector::with_config(&self.params, &self.fft, config);
+        self
+    }
+
+    /// The numerology in use.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Receives the first frame found in `samples`, scanning from index 0.
+    pub fn receive(&self, samples: &[Complex64]) -> Result<RxResult, RxError> {
+        self.receive_from(samples, 0)
+    }
+
+    /// Receives the first frame found scanning from `from`.
+    pub fn receive_from(&self, samples: &[Complex64], from: usize) -> Result<RxResult, RxError> {
+        let det = self
+            .detector
+            .detect(&self.params, samples, from)
+            .ok_or(RxError::NoPacket)?;
+        self.receive_at(samples, det)
+    }
+
+    /// Decodes a frame given an existing detection (used by the joint-frame
+    /// receiver in `ssync-core`, which shares one detection across senders).
+    pub fn receive_at(&self, samples: &[Complex64], det: Detection) -> Result<RxResult, RxError> {
+        let n = self.params.fft_size;
+        // CFO-correct a working copy. Rotation is referenced to sample 0 so
+        // all later windows share the same reference.
+        let mut buf = samples.to_vec();
+        apply_cfo(&mut buf, -det.cfo_hz, self.params.sample_rate_hz);
+
+        // Channel estimate with the common window backoff.
+        let b = self.window_backoff.min(det.lts_start);
+        let est = chanest::estimate_from_lts(&self.params, &self.fft, &buf, det.lts_start - b);
+        let timing_offset =
+            chanest::detection_delay_samples(&self.params, &est, 3e6) - b as f64;
+
+        // SIGNAL field.
+        let sig_start = det.lts_start + LTS_REPS * n;
+        let n_sig = frame::n_signal_symbols(&self.params);
+        let sym_len = self.params.symbol_len();
+        if buf.len() < sig_start + n_sig * sym_len {
+            return Err(RxError::Truncated(det));
+        }
+        let sig_llrs = self.symbol_llrs(
+            &buf,
+            sig_start,
+            n_sig,
+            self.params.cp_len,
+            modulation::Modulation::Bpsk,
+            &est,
+            0,
+        );
+        let signal = frame::decode_signal(&self.params, &sig_llrs)
+            .ok_or(RxError::BadSignal(det))?;
+
+        // DATA field.
+        let data_start = sig_start + n_sig * sym_len;
+        let n_data = frame::n_data_symbols(&self.params, signal.length as usize, signal.rate);
+        if buf.len() < data_start + n_data * sym_len {
+            return Err(RxError::Truncated(det));
+        }
+        let m = signal.rate.modulation();
+        let data_llrs =
+            self.symbol_llrs(&buf, data_start, n_data, self.params.cp_len, m, &est, n_sig);
+        let psdu =
+            frame::decode_data(&self.params, &data_llrs, signal.rate, signal.length as usize);
+
+        // Diagnostics.
+        let per_carrier = est.per_carrier_snr_db(est.noise_power);
+        let mean_snr_db = stats::db_from_linear(est.mean_power() / est.noise_power.max(1e-15));
+        let evm_snr_db = self.decision_directed_evm(&buf, data_start, n_data, m, &est, n_sig);
+        let diag = RxDiagnostics {
+            detection: det,
+            channel: est,
+            per_carrier_snr_db: per_carrier,
+            mean_snr_db,
+            evm_snr_db,
+            timing_offset_samples: timing_offset,
+        };
+
+        match psdu.as_deref().and_then(crc::check_crc) {
+            Some(payload) => Ok(RxResult { payload: payload.to_vec(), signal, diag }),
+            None => Err(RxError::BadCrc(Box::new(diag))),
+        }
+    }
+
+    /// Demodulates `n_syms` symbols starting at `start`, returning per-symbol
+    /// LLR vectors. Pilot phase tracking is applied per symbol; pilot symbol
+    /// indices begin at `first_symbol_index` (so DATA pilots continue the
+    /// SIGNAL-field polarity sequence, as in the transmitter).
+    fn symbol_llrs(
+        &self,
+        buf: &[Complex64],
+        start: usize,
+        n_syms: usize,
+        cp_len: usize,
+        m: modulation::Modulation,
+        est: &ChannelEstimate,
+        first_symbol_index: usize,
+    ) -> Vec<Vec<f64>> {
+        let sym_len = self.params.fft_size + cp_len;
+        let b = self.window_backoff.min(cp_len);
+        let mut out = Vec::with_capacity(n_syms);
+        for s in 0..n_syms {
+            let sym_start = start + s * sym_len;
+            let grid =
+                ofdm::demodulate_window(&self.params, &self.fft, buf, sym_start + cp_len - b);
+            let theta = self.pilot_phase(&grid, est, first_symbol_index + s);
+            let rot = Complex64::cis(theta);
+            let mut llrs = Vec::with_capacity(self.params.n_data() * m.bits_per_symbol());
+            for &k in &self.params.data_carriers {
+                let y = grid[self.params.bin(k)];
+                let h = est.gain(k).unwrap_or(Complex64::ONE) * rot;
+                llrs.extend(modulation::demap_llrs(m, y, h, est.noise_power));
+            }
+            out.push(llrs);
+        }
+        out
+    }
+
+    /// Common phase error of one symbol, from its pilots.
+    fn pilot_phase(&self, grid: &[Complex64], est: &ChannelEstimate, symbol_index: usize) -> f64 {
+        let pol = crate::scramble::pilot_polarity(symbol_index);
+        let mut acc = Complex64::ZERO;
+        for &k in &self.params.pilot_carriers {
+            let y = grid[self.params.bin(k)];
+            let h = est.gain(k).unwrap_or(Complex64::ONE);
+            acc += y * (h * Complex64::real(pol)).conj();
+        }
+        acc.arg()
+    }
+
+    /// Decision-directed EVM over the data symbols, reported as an SNR in dB.
+    fn decision_directed_evm(
+        &self,
+        buf: &[Complex64],
+        data_start: usize,
+        n_syms: usize,
+        m: modulation::Modulation,
+        est: &ChannelEstimate,
+        first_symbol_index: usize,
+    ) -> f64 {
+        let cp = self.params.cp_len;
+        let sym_len = self.params.symbol_len();
+        let b = self.window_backoff.min(cp);
+        let mut err = 0.0;
+        let mut sig = 0.0;
+        for s in 0..n_syms {
+            let sym_start = data_start + s * sym_len;
+            if buf.len() < sym_start + cp - b + self.params.fft_size {
+                break;
+            }
+            let grid = ofdm::demodulate_window(&self.params, &self.fft, buf, sym_start + cp - b);
+            let theta = self.pilot_phase(&grid, est, first_symbol_index + s);
+            let rot = Complex64::cis(theta);
+            for &k in &self.params.data_carriers {
+                let y = grid[self.params.bin(k)];
+                let h = est.gain(k).unwrap_or(Complex64::ONE) * rot;
+                if h.norm_sqr() < 1e-12 {
+                    continue;
+                }
+                let eq = y / h;
+                let bits = modulation::demap_hard(m, eq, Complex64::ONE);
+                let nearest = modulation::map_symbol(m, &bits);
+                err += eq.dist(nearest).powi(2);
+                sig += nearest.norm_sqr();
+            }
+        }
+        stats::snr_db_from_evm(sig, err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{OfdmParams, RateId};
+    use crate::tx::Transmitter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use ssync_dsp::rng::ComplexGaussian;
+
+    fn on_air(
+        tx_wave: &[Complex64],
+        lead_pad: usize,
+        snr_db: f64,
+        seed: u64,
+    ) -> Vec<Complex64> {
+        let noise_p = ssync_dsp::stats::linear_from_db(-snr_db);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = lead_pad + tx_wave.len() + 500;
+        let mut buf = ComplexGaussian::with_power(noise_p).sample_vec(&mut rng, total);
+        for (i, s) in tx_wave.iter().enumerate() {
+            buf[lead_pad + i] += *s;
+        }
+        buf
+    }
+
+    #[test]
+    fn loopback_awgn_high_snr_all_rates() {
+        let params = OfdmParams::dot11a();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params);
+        let mut rng = StdRng::seed_from_u64(42);
+        for rate in RateId::ALL {
+            let payload: Vec<u8> = (0..300).map(|_| rng.gen()).collect();
+            let wave = tx.frame_waveform(&payload, rate, 0);
+            let buf = on_air(&wave, 200, 35.0, rate.to_index() as u64);
+            let got = rx.receive(&buf).unwrap_or_else(|e| panic!("{rate:?}: {e}"));
+            assert_eq!(got.payload, payload, "{rate:?}");
+            assert_eq!(got.signal.rate, rate);
+        }
+    }
+
+    #[test]
+    fn loopback_wiglan() {
+        let params = OfdmParams::wiglan();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params);
+        let payload = vec![0x5A; 200];
+        let wave = tx.frame_waveform(&payload, RateId::R12, 0);
+        let buf = on_air(&wave, 300, 30.0, 7);
+        let got = rx.receive(&buf).expect("decode failed");
+        assert_eq!(got.payload, payload);
+    }
+
+    #[test]
+    fn survives_cfo() {
+        let params = OfdmParams::dot11a();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params.clone());
+        let payload = vec![0xC3; 400];
+        let mut wave = tx.frame_waveform(&payload, RateId::R24, 0);
+        apply_cfo(&mut wave, 73e3, params.sample_rate_hz);
+        let buf = on_air(&wave, 250, 30.0, 8);
+        let got = rx.receive(&buf).expect("decode failed under CFO");
+        assert_eq!(got.payload, payload);
+        assert!((got.diag.detection.cfo_hz - 73e3).abs() < 2e3);
+    }
+
+    #[test]
+    fn moderate_snr_decodes_low_rate_not_highest() {
+        let params = OfdmParams::dot11a();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params);
+        let payload = vec![0x11; 500];
+        // ~9 dB: R6 should pass, R54 should fail.
+        let w6 = tx.frame_waveform(&payload, RateId::R6, 0);
+        let got = rx.receive(&on_air(&w6, 200, 9.0, 9));
+        assert!(got.is_ok(), "R6 at 9 dB failed: {:?}", got.err().map(|e| e.to_string()));
+        let w54 = tx.frame_waveform(&payload, RateId::R54, 0);
+        let got54 = rx.receive(&on_air(&w54, 200, 9.0, 10));
+        assert!(got54.is_err(), "R54 at 9 dB unexpectedly decoded");
+    }
+
+    #[test]
+    fn diagnostics_report_sane_snr() {
+        let params = OfdmParams::dot11a();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params.clone());
+        let payload = vec![0u8; 300];
+        let wave = tx.frame_waveform(&payload, RateId::R12, 0);
+        let snr_db = 20.0;
+        let buf = on_air(&wave, 200, snr_db, 11);
+        let got = rx.receive(&buf).expect("decode failed");
+        // The channel-estimate SNR should be within a few dB of the set SNR
+        // (noise measurement from one LTS pair is coarse).
+        assert!(
+            (got.diag.mean_snr_db - snr_db).abs() < 4.0,
+            "estimated {} vs set {snr_db}",
+            got.diag.mean_snr_db
+        );
+        assert_eq!(got.diag.per_carrier_snr_db.len(), 52);
+        assert!(got.diag.evm_snr_db > 10.0);
+        assert!(got.diag.timing_offset_samples.abs() < 1.5);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let params = OfdmParams::dot11a();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params);
+        let payload = vec![0xEE; 200];
+        let wave = tx.frame_waveform(&payload, RateId::R54, 0);
+        // 5 dB SNR: 64-QAM 3/4 cannot survive; expect BadCrc or BadSignal.
+        let buf = on_air(&wave, 200, 5.0, 12);
+        match rx.receive(&buf) {
+            Err(RxError::BadCrc(_)) | Err(RxError::BadSignal(_)) | Err(RxError::NoPacket) => {}
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_reports_truncation() {
+        let params = OfdmParams::dot11a();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params);
+        let wave = tx.frame_waveform(&[0u8; 1000], RateId::R6, 0);
+        let full = on_air(&wave, 200, 30.0, 13);
+        let cut = &full[..200 + wave.len() / 2];
+        match rx.receive(cut) {
+            Err(RxError::Truncated(_)) | Err(RxError::NoPacket) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_travel_in_signal_field() {
+        let params = OfdmParams::dot11a();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params);
+        let wave = tx.frame_waveform(&[1, 2, 3], RateId::R6, frame::FLAG_JOINT);
+        let buf = on_air(&wave, 120, 25.0, 14);
+        let got = rx.receive(&buf).expect("decode failed");
+        assert_eq!(got.signal.flags & frame::FLAG_JOINT, frame::FLAG_JOINT);
+    }
+
+    #[test]
+    fn empty_buffer_is_no_packet() {
+        let params = OfdmParams::dot11a();
+        let rx = Receiver::new(params);
+        assert!(matches!(rx.receive(&[]), Err(RxError::NoPacket)));
+    }
+}

@@ -1,0 +1,120 @@
+//! The 802.11 frame-synchronous scrambler, generator `x⁷ + x⁴ + 1`.
+//!
+//! Scrambling whitens the transmitted bit stream so constant payloads do not
+//! produce spectral lines; the same function descrambles (XOR with the same
+//! PRBS). The pilot-polarity sequence of 802.11 is the output of this PRBS
+//! seeded with all-ones, which we reuse in [`crate::ofdm`].
+
+/// 7-bit LFSR scrambler state. State must be non-zero.
+#[derive(Debug, Clone, Copy)]
+pub struct Scrambler {
+    state: u8,
+}
+
+/// The fixed scrambler seed used for data (deterministic experiments; 802.11
+/// randomises this per frame, which only matters for spectral regulation).
+pub const DEFAULT_SEED: u8 = 0b101_1101;
+
+/// Seed producing the 802.11 pilot polarity sequence.
+pub const PILOT_SEED: u8 = 0b111_1111;
+
+impl Scrambler {
+    /// Creates a scrambler with the given 7-bit seed.
+    ///
+    /// # Panics
+    /// Panics if the seed is zero or wider than 7 bits (an all-zero LFSR
+    /// never leaves the zero state).
+    pub fn new(seed: u8) -> Self {
+        assert!(seed != 0 && seed < 0x80, "scrambler seed must be a non-zero 7-bit value");
+        Scrambler { state: seed }
+    }
+
+    /// Produces the next PRBS bit and advances the register.
+    pub fn next_bit(&mut self) -> u8 {
+        let bit = ((self.state >> 6) ^ (self.state >> 3)) & 1;
+        self.state = ((self.state << 1) | bit) & 0x7F;
+        bit
+    }
+
+    /// Scrambles (or descrambles — the operation is an involution) a bit
+    /// slice in place.
+    pub fn scramble_in_place(&mut self, bits: &mut [u8]) {
+        for b in bits.iter_mut() {
+            *b ^= self.next_bit();
+        }
+    }
+
+    /// Scrambles into a fresh vector.
+    pub fn scramble(mut self, bits: &[u8]) -> Vec<u8> {
+        let mut out = bits.to_vec();
+        self.scramble_in_place(&mut out);
+        out
+    }
+}
+
+/// The pilot polarity for OFDM symbol `n` (+1.0 or −1.0): 802.11's
+/// `p_{n mod 127}` sequence from the all-ones-seeded PRBS.
+pub fn pilot_polarity(symbol_index: usize) -> f64 {
+    let mut s = Scrambler::new(PILOT_SEED);
+    let mut bit = 0;
+    for _ in 0..=(symbol_index % 127) {
+        bit = s.next_bit();
+    }
+    if bit == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_is_127() {
+        let mut s = Scrambler::new(DEFAULT_SEED);
+        let first: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
+        let second: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
+        assert_eq!(first, second);
+        // And the sequence is not constant.
+        assert!(first.iter().any(|b| *b == 0) && first.iter().any(|b| *b == 1));
+    }
+
+    #[test]
+    fn scramble_is_involution() {
+        let bits: Vec<u8> = (0..200).map(|i| (i * 7 % 3 == 0) as u8).collect();
+        let scrambled = Scrambler::new(DEFAULT_SEED).scramble(&bits);
+        assert_ne!(scrambled, bits);
+        let back = Scrambler::new(DEFAULT_SEED).scramble(&scrambled);
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn balanced_output() {
+        let mut s = Scrambler::new(DEFAULT_SEED);
+        let ones: usize = (0..127).map(|_| s.next_bit() as usize).sum();
+        // A maximal-length 7-bit LFSR emits 64 ones and 63 zeros per period.
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    fn pilot_polarity_first_values() {
+        // 802.11a Annex G: the polarity sequence starts 1,1,1,1,-1,-1,-1,1...
+        let head: Vec<f64> = (0..8).map(pilot_polarity).collect();
+        assert_eq!(head, vec![1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn pilot_polarity_periodic() {
+        for n in 0..10 {
+            assert_eq!(pilot_polarity(n), pilot_polarity(n + 127));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_seed_rejected() {
+        let _ = Scrambler::new(0);
+    }
+}

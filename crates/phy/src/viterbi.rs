@@ -1,0 +1,186 @@
+//! Soft-decision Viterbi decoder for the K=7 convolutional code.
+//!
+//! Works on log-likelihood ratios with the convention `LLR > 0 ⇒ bit 0 more
+//! likely` (so an erasure from depuncturing is exactly `0.0`). The decoder
+//! assumes a terminated trellis (encoder flushed to state 0 with
+//! [`crate::convcode::TAIL_BITS`] zeros) and performs full traceback, which
+//! is fine for packet-sized messages.
+
+use crate::convcode::{G0, G1, N_STATES};
+
+#[inline]
+fn parity(x: u8) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Expected (g0, g1) coded bits for each `(state, input)` pair.
+fn expected_outputs() -> [[(u8, u8); 2]; N_STATES] {
+    let mut table = [[(0u8, 0u8); 2]; N_STATES];
+    for (state, entry) in table.iter_mut().enumerate() {
+        for input in 0..2u8 {
+            let reg = ((input) << 6) | state as u8;
+            entry[input as usize] = (parity(reg & G0), parity(reg & G1));
+        }
+    }
+    table
+}
+
+#[inline]
+fn next_state(state: usize, input: u8) -> usize {
+    ((state >> 1) | ((input as usize) << 5)) & (N_STATES - 1)
+}
+
+/// Decodes a terminated mother-code LLR stream (`2` LLRs per trellis step,
+/// erasures as `0.0`) into information bits *including* the tail — callers
+/// strip the final [`crate::convcode::TAIL_BITS`].
+///
+/// Survivor storage is a full `(predecessor state, input)` record per state
+/// per step, so traceback is exact. Returns `None` for empty or odd-length
+/// input.
+pub fn decode_terminated(llrs: &[f64]) -> Option<Vec<u8>> {
+    if llrs.is_empty() || llrs.len() % 2 != 0 {
+        return None;
+    }
+    let n_steps = llrs.len() / 2;
+    let outputs = expected_outputs();
+
+    const NEG_INF: f64 = f64::NEG_INFINITY;
+    let mut metric = vec![NEG_INF; N_STATES];
+    metric[0] = 0.0; // encoder starts in state 0
+    let mut survivors: Vec<[u16; N_STATES]> = Vec::with_capacity(n_steps);
+
+    let mut next = vec![NEG_INF; N_STATES];
+    for step in 0..n_steps {
+        let l0 = llrs[2 * step];
+        let l1 = llrs[2 * step + 1];
+        next.iter_mut().for_each(|m| *m = NEG_INF);
+        let mut surv = [0u16; N_STATES];
+        for state in 0..N_STATES {
+            let m = metric[state];
+            if m == NEG_INF {
+                continue;
+            }
+            for input in 0..2u8 {
+                let (c0, c1) = outputs[state][input as usize];
+                // Correlation metric: positive LLR favours coded bit 0.
+                let branch = (if c0 == 0 { l0 } else { -l0 }) + (if c1 == 0 { l1 } else { -l1 });
+                let ns = next_state(state, input);
+                let cand = m + branch;
+                if cand > next[ns] {
+                    next[ns] = cand;
+                    surv[ns] = ((state as u16) << 1) | input as u16;
+                }
+            }
+        }
+        survivors.push(surv);
+        std::mem::swap(&mut metric, &mut next);
+    }
+
+    let mut state = 0usize; // terminated trellis ends in state 0
+    let mut bits = vec![0u8; n_steps];
+    for step in (0..n_steps).rev() {
+        let packed = survivors[step][state];
+        bits[step] = (packed & 1) as u8;
+        state = (packed >> 1) as usize;
+    }
+    Some(bits)
+}
+
+/// Converts hard bits to strong LLRs (bit 0 → +1.0, bit 1 → −1.0); useful for
+/// tests and hard-decision paths.
+pub fn llrs_from_bits(bits: &[u8]) -> Vec<f64> {
+    bits.iter().map(|b| if *b == 0 { 1.0 } else { -1.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convcode::{encode_half, TAIL_BITS};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn encode_with_tail(info: &[u8]) -> Vec<u8> {
+        let mut bits = info.to_vec();
+        bits.extend(std::iter::repeat(0).take(TAIL_BITS));
+        encode_half(&bits)
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [1usize, 8, 24, 100, 1000] {
+            let info: Vec<u8> = (0..len).map(|_| rng.gen_range(0..2u8)).collect();
+            let coded = encode_with_tail(&info);
+            let decoded = decode_terminated(&llrs_from_bits(&coded)).unwrap();
+            assert_eq!(&decoded[..len], &info[..], "len {len}");
+            assert!(decoded[len..].iter().all(|b| *b == 0), "tail not zero");
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_hard_errors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let info: Vec<u8> = (0..200).map(|_| rng.gen_range(0..2u8)).collect();
+        let mut coded = encode_with_tail(&info);
+        // Flip ~4% of coded bits, spaced out (within free-distance limits).
+        let mut i = 5;
+        while i < coded.len() {
+            coded[i] ^= 1;
+            i += 25;
+        }
+        let decoded = decode_terminated(&llrs_from_bits(&coded)).unwrap();
+        assert_eq!(&decoded[..200], &info[..]);
+    }
+
+    #[test]
+    fn erasures_are_neutral() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let info: Vec<u8> = (0..100).map(|_| rng.gen_range(0..2u8)).collect();
+        let coded = encode_with_tail(&info);
+        let mut llrs = llrs_from_bits(&coded);
+        // Erase every 4th LLR entirely (as 3/4 puncturing would).
+        for l in llrs.iter_mut().step_by(4) {
+            *l = 0.0;
+        }
+        let decoded = decode_terminated(&llrs).unwrap();
+        assert_eq!(&decoded[..100], &info[..]);
+    }
+
+    #[test]
+    fn gaussian_noise_decoding() {
+        // End-to-end BPSK-over-AWGN sanity: at Eb/N0 ≈ 6 dB, rate-1/2 coded
+        // BPSK should decode error-free for a short packet.
+        let mut rng = StdRng::seed_from_u64(4);
+        let info: Vec<u8> = (0..500).map(|_| rng.gen_range(0..2u8)).collect();
+        let coded = encode_with_tail(&info);
+        let sigma = 0.5f64;
+        let gauss = ssync_dsp::rng::Gaussian::standard();
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|b| {
+                let tx = if *b == 0 { 1.0 } else { -1.0 };
+                let noisy = tx + sigma * gauss.sample(&mut rng);
+                2.0 * noisy / (sigma * sigma)
+            })
+            .collect();
+        let decoded = decode_terminated(&llrs).unwrap();
+        assert_eq!(&decoded[..500], &info[..]);
+    }
+
+    #[test]
+    fn all_zero_and_all_one_messages() {
+        for bit in [0u8, 1u8] {
+            let info = vec![bit; 64];
+            let coded = encode_with_tail(&info);
+            let decoded = decode_terminated(&llrs_from_bits(&coded)).unwrap();
+            assert_eq!(&decoded[..64], &info[..]);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs() {
+        assert!(decode_terminated(&[]).is_none());
+        assert!(decode_terminated(&[1.0]).is_none());
+        assert!(decode_terminated(&[1.0, 1.0, 1.0]).is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! The ETX metric (De Couto et al.) and shortest-ETX-path routing.
+//!
+//! ETX of a link is the expected number of DATA/ACK exchanges to get one
+//! packet across: `1 / (d_f · d_r)`. Path ETX sums link ETX; ExOR uses the
+//! same metric to order forwarders by distance to the destination
+//! (paper §7.2).
+
+use crate::topology::MeshTopology;
+use ssync_phy::ber::PerTable;
+use ssync_phy::RateId;
+
+/// Link ETX from forward and reverse delivery probabilities.
+pub fn link_etx(delivery_fwd: f64, delivery_rev: f64) -> f64 {
+    let p = delivery_fwd * delivery_rev;
+    if p <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / p
+    }
+}
+
+/// Per-node ETX distances to a destination (Dijkstra over link ETX).
+/// `etx[dst] = 0`; unreachable nodes get `inf`.
+pub fn etx_to_destination(
+    topo: &MeshTopology,
+    per: &PerTable,
+    rate: RateId,
+    dst: usize,
+) -> Vec<f64> {
+    let n = topo.n;
+    let delivery = topo.delivery_matrix(per, rate);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    dist[dst] = 0.0;
+    for _ in 0..n {
+        // Extract-min.
+        let mut u = None;
+        let mut best = f64::INFINITY;
+        for v in 0..n {
+            if !done[v] && dist[v] < best {
+                best = dist[v];
+                u = Some(v);
+            }
+        }
+        let Some(u) = u else { break };
+        done[u] = true;
+        for v in 0..n {
+            if v == u || done[v] {
+                continue;
+            }
+            // Cost of the hop v → u (towards the destination): forward
+            // delivery v→u, reverse (ACK) u→v.
+            let cost = link_etx(delivery[v][u], delivery[u][v]);
+            if dist[u] + cost < dist[v] {
+                dist[v] = dist[u] + cost;
+            }
+        }
+    }
+    dist
+}
+
+/// The minimum-ETX path `src → dst` as a node list (inclusive), or `None`
+/// if unreachable.
+pub fn best_path(
+    topo: &MeshTopology,
+    per: &PerTable,
+    rate: RateId,
+    src: usize,
+    dst: usize,
+) -> Option<Vec<usize>> {
+    let dist = etx_to_destination(topo, per, rate, dst);
+    if !dist[src].is_finite() {
+        return None;
+    }
+    let delivery = topo.delivery_matrix(per, rate);
+    let mut path = vec![src];
+    let mut here = src;
+    // Greedy descent along the distance field (safe: Dijkstra potentials).
+    while here != dst {
+        let mut next = None;
+        let mut best = f64::INFINITY;
+        for v in 0..topo.n {
+            if v == here {
+                continue;
+            }
+            let cost = link_etx(delivery[here][v], delivery[v][here]);
+            let total = cost + dist[v];
+            if total < best - 1e-12 {
+                best = total;
+                next = Some(v);
+            }
+        }
+        let next = next?;
+        if path.contains(&next) {
+            return None; // should not happen with consistent potentials
+        }
+        path.push(next);
+        here = next;
+    }
+    Some(path)
+}
+
+/// Orders candidate forwarders by increasing ETX distance to the
+/// destination (the ExOR priority order: closest to the destination
+/// first). Nodes with infinite distance are dropped.
+pub fn forwarder_priority(
+    topo: &MeshTopology,
+    per: &PerTable,
+    rate: RateId,
+    candidates: &[usize],
+    dst: usize,
+) -> Vec<usize> {
+    let dist = etx_to_destination(topo, per, rate, dst);
+    let mut order: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| dist[c].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| dist[a].partial_cmp(&dist[b]).expect("finite distances"));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node chain 0—1—2—3 with good adjacent links and no shortcuts.
+    fn chain() -> MeshTopology {
+        let inf = f64::NEG_INFINITY;
+        MeshTopology::from_snrs(vec![
+            vec![inf, 25.0, -10.0, -10.0],
+            vec![25.0, inf, 25.0, -10.0],
+            vec![-10.0, 25.0, inf, 25.0],
+            vec![-10.0, -10.0, 25.0, inf],
+        ])
+    }
+
+    #[test]
+    fn link_etx_values() {
+        assert_eq!(link_etx(1.0, 1.0), 1.0);
+        assert_eq!(link_etx(0.5, 1.0), 2.0);
+        assert_eq!(link_etx(0.5, 0.5), 4.0);
+        assert_eq!(link_etx(0.0, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn chain_distances_monotone() {
+        let per = PerTable::analytic();
+        let d = etx_to_destination(&chain(), &per, RateId::R12, 3);
+        assert_eq!(d[3], 0.0);
+        assert!(d[2] < d[1] && d[1] < d[0], "{d:?}");
+        assert!(d[0].is_finite());
+    }
+
+    #[test]
+    fn best_path_follows_chain() {
+        let per = PerTable::analytic();
+        let p = best_path(&chain(), &per, RateId::R12, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let inf = f64::NEG_INFINITY;
+        let t = MeshTopology::from_snrs(vec![vec![inf, inf], vec![inf, inf]]);
+        let per = PerTable::analytic();
+        assert!(best_path(&t, &per, RateId::R12, 0, 1).is_none());
+    }
+
+    #[test]
+    fn priority_orders_by_distance() {
+        let per = PerTable::analytic();
+        let order = forwarder_priority(&chain(), &per, RateId::R12, &[0, 1, 2], 3);
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn direct_beats_relay_when_strong() {
+        // Strong direct link: the best path is one hop.
+        let inf = f64::NEG_INFINITY;
+        let t = MeshTopology::from_snrs(vec![
+            vec![inf, 30.0, 30.0],
+            vec![30.0, inf, 30.0],
+            vec![30.0, 30.0, inf],
+        ]);
+        let per = PerTable::analytic();
+        let p = best_path(&t, &per, RateId::R12, 0, 2).unwrap();
+        assert_eq!(p, vec![0, 2]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Mesh routing protocols for the SourceSync reproduction (paper §7.2).
+//!
+//! * [`topology`] — packet-level link statistics (SNR / delivery
+//!   probability) extracted from the sample-level network, plus the joint
+//!   SNR-combining rule for SourceSync transmissions,
+//! * [`etx`] — the ETX metric, Dijkstra shortest-ETX paths, and the ExOR
+//!   forwarder priority ordering,
+//! * [`singlepath`] — the traditional best-path + per-hop-ARQ baseline,
+//! * [`exor`] — batch-mode ExOR with the priority scheduler, with and
+//!   without SourceSync joint forwarding.
+//!
+//! Together these regenerate the paper's Fig. 18 comparison: single path
+//! vs ExOR vs ExOR+SourceSync.
+
+pub mod etx;
+pub mod exor;
+pub mod singlepath;
+pub mod topology;
+
+pub use etx::{best_path, etx_to_destination, forwarder_priority, link_etx};
+pub use exor::{run_batch, ExorConfig};
+pub use singlepath::{run_transfer, TransferOutcome};
+pub use topology::MeshTopology;

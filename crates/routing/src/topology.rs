@@ -1,0 +1,169 @@
+//! Packet-level mesh topology: per-link delivery probabilities and SNRs.
+//!
+//! The routing experiments run at packet level for tractability; the
+//! per-link numbers are derived from the same channel models and the PER
+//! tables calibrated through the sample-level modem, so the abstraction is
+//! pinned to the real signal chain (see `ssync_phy::ber`).
+
+use ssync_phy::ber::PerTable;
+use ssync_phy::RateId;
+use ssync_sim::{Network, NodeId};
+
+/// A mesh topology reduced to link statistics.
+#[derive(Debug, Clone)]
+pub struct MeshTopology {
+    /// Number of nodes.
+    pub n: usize,
+    /// `snr_db[i][j]`: mean SNR of the directed link `i → j` (−inf if no
+    /// link).
+    pub snr_db: Vec<Vec<f64>>,
+}
+
+impl MeshTopology {
+    /// Extracts link statistics from a built network.
+    pub fn from_network(net: &Network) -> Self {
+        let n = net.len();
+        let snr_db = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            f64::NEG_INFINITY
+                        } else {
+                            net.snr_db(NodeId(i), NodeId(j))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        MeshTopology { n, snr_db }
+    }
+
+    /// A topology from explicit SNRs (tests, controlled sweeps).
+    pub fn from_snrs(snr_db: Vec<Vec<f64>>) -> Self {
+        let n = snr_db.len();
+        for row in &snr_db {
+            assert_eq!(row.len(), n, "SNR matrix must be square");
+        }
+        MeshTopology { n, snr_db }
+    }
+
+    /// Delivery probability of `i → j` at `rate` under `per`. A link with
+    /// `−inf` SNR (no link) delivers nothing, regardless of how the PER
+    /// curve clamps. Single-sender links pay the frequency-selective
+    /// fading penalty ([`ssync_phy::ber::FADING_PENALTY_DB`]) against the
+    /// AWGN-calibrated PER table; joint transmissions do not (their
+    /// composite channel is diversity-flattened, paper Fig. 16).
+    pub fn delivery(&self, per: &PerTable, rate: RateId, i: usize, j: usize) -> f64 {
+        let snr = self.snr_db[i][j];
+        if i == j || snr == f64::NEG_INFINITY {
+            return 0.0;
+        }
+        1.0 - per.per(rate, snr - ssync_phy::ber::FADING_PENALTY_DB)
+    }
+
+    /// The full delivery matrix at one rate.
+    pub fn delivery_matrix(&self, per: &PerTable, rate: RateId) -> Vec<Vec<f64>> {
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.delivery(per, rate, i, j)).collect())
+            .collect()
+    }
+
+    /// Effective SNR (dB) at `dst` when `senders` transmit jointly with
+    /// SourceSync: linear receive powers add (Alamouti guarantees coherent
+    /// combining never goes destructive — paper §6), so
+    /// `SNR_eff = Σᵢ SNRᵢ` in linear units.
+    pub fn joint_snr_db(&self, senders: &[usize], dst: usize) -> f64 {
+        let total: f64 = senders
+            .iter()
+            .filter(|&&s| s != dst)
+            .map(|&s| ssync_dsp::stats::linear_from_db(self.snr_db[s][dst]))
+            .sum();
+        ssync_dsp::stats::db_from_linear(total)
+    }
+
+    /// Joint delivery probability from a sender set.
+    pub fn joint_delivery(
+        &self,
+        per: &PerTable,
+        rate: RateId,
+        senders: &[usize],
+        dst: usize,
+    ) -> f64 {
+        let active: Vec<usize> =
+            senders.iter().copied().filter(|&s| s != dst).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        if active.len() == 1 {
+            return self.delivery(per, rate, active[0], dst);
+        }
+        let snr = self.joint_snr_db(&active, dst);
+        if snr == f64::NEG_INFINITY {
+            return 0.0;
+        }
+        1.0 - per.per(rate, snr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node(snr: f64) -> MeshTopology {
+        MeshTopology::from_snrs(vec![
+            vec![f64::NEG_INFINITY, snr],
+            vec![snr, f64::NEG_INFINITY],
+        ])
+    }
+
+    #[test]
+    fn delivery_tracks_snr() {
+        let per = PerTable::analytic();
+        let good = two_node(30.0);
+        let bad = two_node(0.0);
+        assert!(good.delivery(&per, RateId::R12, 0, 1) > 0.99);
+        assert!(bad.delivery(&per, RateId::R12, 0, 1) < 0.05);
+        assert_eq!(good.delivery(&per, RateId::R12, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn joint_snr_adds_linearly() {
+        let t = MeshTopology::from_snrs(vec![
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY, 10.0],
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY, 10.0],
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY],
+        ]);
+        // Two equal 10 dB senders → 13 dB joint.
+        let joint = t.joint_snr_db(&[0, 1], 2);
+        assert!((joint - 13.01).abs() < 0.1, "joint {joint}");
+        // A single sender leaves SNR unchanged.
+        assert!((t.joint_snr_db(&[0], 2) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_delivery_beats_single() {
+        let per = PerTable::analytic();
+        let t = MeshTopology::from_snrs(vec![
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY, 7.0],
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY, 7.0],
+            vec![f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY],
+        ]);
+        let single = t.joint_delivery(&per, RateId::R12, &[0], 2);
+        let joint = t.joint_delivery(&per, RateId::R12, &[0, 1], 2);
+        assert!(joint > single, "joint {joint} single {single}");
+    }
+
+    #[test]
+    fn joint_excludes_destination_from_senders() {
+        let per = PerTable::analytic();
+        let t = two_node(10.0);
+        assert_eq!(t.joint_delivery(&per, RateId::R12, &[1], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_matrix_rejected() {
+        let _ = MeshTopology::from_snrs(vec![vec![0.0], vec![0.0, 1.0]]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Packet-level fault injection (smoltcp-style `--drop-chance` /
+//! `--corrupt-chance`), for exercising protocol robustness in examples and
+//! tests independently of the physical channel.
+
+use rand::Rng;
+
+/// A fault injector applied to packets in flight.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultInjector {
+    /// Probability a packet is silently dropped, in `[0, 1]`.
+    pub drop_chance: f64,
+    /// Probability one random byte of the packet is flipped, in `[0, 1]`.
+    pub corrupt_chance: f64,
+}
+
+impl FaultInjector {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Creates an injector.
+    ///
+    /// # Panics
+    /// Panics if a probability lies outside `[0, 1]`.
+    pub fn new(drop_chance: f64, corrupt_chance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_chance), "drop chance out of range");
+        assert!((0.0..=1.0).contains(&corrupt_chance), "corrupt chance out of range");
+        FaultInjector { drop_chance, corrupt_chance }
+    }
+
+    /// Applies faults to a packet: `None` if dropped, otherwise the
+    /// (possibly corrupted) bytes.
+    pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, packet: &[u8]) -> Option<Vec<u8>> {
+        if self.drop_chance > 0.0 && rng.gen::<f64>() < self.drop_chance {
+            return None;
+        }
+        let mut out = packet.to_vec();
+        if self.corrupt_chance > 0.0 && !out.is_empty() && rng.gen::<f64>() < self.corrupt_chance
+        {
+            let idx = rng.gen_range(0..out.len());
+            let bit = rng.gen_range(0..8);
+            out[idx] ^= 1 << bit;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_transparent() {
+        let inj = FaultInjector::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pkt = vec![1, 2, 3];
+        assert_eq!(inj.apply(&mut rng, &pkt), Some(pkt));
+    }
+
+    #[test]
+    fn drop_rate_statistics() {
+        let inj = FaultInjector::new(0.3, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|_| inj.apply(&mut rng, &[0u8; 4]).is_none())
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let inj = FaultInjector::new(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pkt = vec![0u8; 16];
+        for _ in 0..100 {
+            let out = inj.apply(&mut rng, &pkt).unwrap();
+            let flipped: u32 = out.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(flipped, 1);
+        }
+    }
+
+    #[test]
+    fn empty_packet_survives_corruption() {
+        let inj = FaultInjector::new(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(inj.apply(&mut rng, &[]), Some(vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_rejected() {
+        let _ = FaultInjector::new(1.5, 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! The shared wireless medium at sample resolution.
+//!
+//! Every transmission is a complex baseband waveform placed on the ether at
+//! an absolute femtosecond start time. A receiver capturing a window sees
+//! the *superposition* of every transmission propagated through its
+//! per-pair [`Link`] (gain, multipath, CFO, fractional delay) plus AWGN at
+//! unit noise power — exactly the composite-channel physics of paper §5.
+//!
+//! All nodes share the ether sample grid; clock *frequency* offsets are
+//! modelled (CFO), per-node sampling-phase offsets are not (documented
+//! simplification in DESIGN.md — their effect is a constant sub-sample
+//! delay absorbed by the same phase-slope machinery under test).
+
+use crate::node::NodeId;
+use crate::time::Time;
+use rand::Rng;
+use ssync_channel::{add_awgn, Link};
+use ssync_dsp::Complex64;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One transmission on the ether.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// The transmitting node.
+    pub tx: NodeId,
+    /// Ether time of the first waveform sample.
+    pub start: Time,
+    /// The unit-power baseband waveform.
+    pub waveform: Arc<Vec<Complex64>>,
+}
+
+/// The sample-level medium.
+#[derive(Debug, Default)]
+pub struct WaveformMedium {
+    /// Sample period, femtoseconds.
+    pub sample_period_fs: u64,
+    links: HashMap<(NodeId, NodeId), Link>,
+    transmissions: Vec<Transmission>,
+    /// Receiver noise power (unit convention: link gains already fold the
+    /// power budget in, so this is 1.0 unless an experiment scales it).
+    pub noise_power: f64,
+}
+
+impl WaveformMedium {
+    /// An empty medium on a sample grid.
+    pub fn new(sample_period_fs: u64) -> Self {
+        WaveformMedium {
+            sample_period_fs,
+            links: HashMap::new(),
+            transmissions: Vec::new(),
+            noise_power: 1.0,
+        }
+    }
+
+    /// Installs the directed link `tx → rx`.
+    pub fn set_link(&mut self, tx: NodeId, rx: NodeId, link: Link) {
+        self.links.insert((tx, rx), link);
+    }
+
+    /// The directed link `tx → rx`, if any.
+    pub fn link(&self, tx: NodeId, rx: NodeId) -> Option<&Link> {
+        self.links.get(&(tx, rx))
+    }
+
+    /// Mutable link access (experiments that perturb delays — mobility).
+    pub fn link_mut(&mut self, tx: NodeId, rx: NodeId) -> Option<&mut Link> {
+        self.links.get_mut(&(tx, rx))
+    }
+
+    /// Places a waveform on the ether.
+    ///
+    /// # Panics
+    /// Panics if `start` is not on the sample grid (transmitters can only
+    /// start on their clock ticks; callers use [`Time::ceil_to_sample`]).
+    pub fn transmit(&mut self, tx: NodeId, start: Time, waveform: Vec<Complex64>) {
+        assert_eq!(
+            start.0 % self.sample_period_fs,
+            0,
+            "transmission start {start} not on the sample grid"
+        );
+        self.transmissions.push(Transmission { tx, start, waveform: Arc::new(waveform) });
+    }
+
+    /// Removes all transmissions (reuse the topology for the next trial).
+    pub fn clear_transmissions(&mut self) {
+        self.transmissions.clear();
+    }
+
+    /// All transmissions currently on the ether.
+    pub fn transmissions(&self) -> &[Transmission] {
+        &self.transmissions
+    }
+
+    /// Captures `n_samples` at receiver `rx` starting at ether time `from`
+    /// (which must lie on the sample grid): superposition of all
+    /// transmissions with a `tx → rx` link, plus AWGN.
+    pub fn capture<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        rx: NodeId,
+        from: Time,
+        n_samples: usize,
+    ) -> Vec<Complex64> {
+        assert_eq!(from.0 % self.sample_period_fs, 0, "capture start not on the sample grid");
+        let from_sample = (from.0 / self.sample_period_fs) as i64;
+        let mut buf = vec![Complex64::ZERO; n_samples];
+        for t in &self.transmissions {
+            if t.tx == rx {
+                continue; // half-duplex: a node does not hear itself
+            }
+            let Some(link) = self.links.get(&(t.tx, rx)) else {
+                continue;
+            };
+            let (rx_wave, base_sample) =
+                link.propagate(&t.waveform, t.start.0, self.sample_period_fs);
+            let base = base_sample as i64;
+            // Overlap [base, base+len) with [from_sample, from_sample+n).
+            let lo = base.max(from_sample);
+            let hi = (base + rx_wave.len() as i64).min(from_sample + n_samples as i64);
+            for s in lo..hi {
+                buf[(s - from_sample) as usize] += rx_wave[(s - base) as usize];
+            }
+        }
+        add_awgn(rng, &mut buf, self.noise_power);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const PERIOD: u64 = 50_000_000; // 20 Msps
+
+    fn quiet_medium() -> WaveformMedium {
+        let mut m = WaveformMedium::new(PERIOD);
+        m.noise_power = 0.0;
+        m
+    }
+
+    #[test]
+    fn single_link_delivery() {
+        let mut m = quiet_medium();
+        m.set_link(NodeId(0), NodeId(1), Link::ideal());
+        m.transmit(NodeId(0), Time(2 * PERIOD), vec![Complex64::ONE, Complex64::J]);
+        let buf = m.capture(&mut StdRng::seed_from_u64(1), NodeId(1), Time::ZERO, 6);
+        assert!(buf[0].abs() < 1e-12);
+        assert!(buf[2].dist(Complex64::ONE) < 1e-12);
+        assert!(buf[3].dist(Complex64::J) < 1e-12);
+    }
+
+    #[test]
+    fn no_link_means_silence() {
+        let mut m = quiet_medium();
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE; 4]);
+        let buf = m.capture(&mut StdRng::seed_from_u64(2), NodeId(1), Time::ZERO, 4);
+        assert!(buf.iter().all(|s| s.abs() < 1e-12));
+    }
+
+    #[test]
+    fn half_duplex_self_silence() {
+        let mut m = quiet_medium();
+        m.set_link(NodeId(0), NodeId(0), Link::ideal());
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE; 4]);
+        let buf = m.capture(&mut StdRng::seed_from_u64(3), NodeId(0), Time::ZERO, 4);
+        assert!(buf.iter().all(|s| s.abs() < 1e-12));
+    }
+
+    #[test]
+    fn superposition_of_two_senders() {
+        let mut m = quiet_medium();
+        m.set_link(NodeId(0), NodeId(2), Link::ideal());
+        m.set_link(NodeId(1), NodeId(2), Link::ideal());
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE; 4]);
+        m.transmit(NodeId(1), Time::ZERO, vec![Complex64::J; 4]);
+        let buf = m.capture(&mut StdRng::seed_from_u64(4), NodeId(2), Time::ZERO, 4);
+        for s in &buf {
+            assert!(s.dist(Complex64::new(1.0, 1.0)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn staggered_transmissions_offset_in_buffer() {
+        let mut m = quiet_medium();
+        m.set_link(NodeId(0), NodeId(2), Link::ideal());
+        m.set_link(NodeId(1), NodeId(2), Link::ideal());
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE; 2]);
+        m.transmit(NodeId(1), Time(3 * PERIOD), vec![Complex64::ONE; 2]);
+        let buf = m.capture(&mut StdRng::seed_from_u64(5), NodeId(2), Time::ZERO, 6);
+        assert!(buf[0].abs() > 0.9 && buf[1].abs() > 0.9);
+        assert!(buf[2].abs() < 1e-12);
+        assert!(buf[3].abs() > 0.9 && buf[4].abs() > 0.9);
+        assert!(buf[5].abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_shifts_arrival() {
+        let mut m = quiet_medium();
+        let mut link = Link::ideal();
+        link.delay_fs = 5 * PERIOD; // exactly 5 samples
+        m.set_link(NodeId(0), NodeId(1), link);
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE]);
+        let buf = m.capture(&mut StdRng::seed_from_u64(6), NodeId(1), Time::ZERO, 8);
+        for (i, s) in buf.iter().enumerate() {
+            if i == 5 {
+                assert!(s.dist(Complex64::ONE) < 1e-12);
+            } else {
+                assert!(s.abs() < 1e-12, "sample {i} not silent");
+            }
+        }
+    }
+
+    #[test]
+    fn capture_window_clips_transmission() {
+        let mut m = quiet_medium();
+        m.set_link(NodeId(0), NodeId(1), Link::ideal());
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE; 10]);
+        // Window starts inside the transmission.
+        let buf = m.capture(&mut StdRng::seed_from_u64(7), NodeId(1), Time(5 * PERIOD), 10);
+        for (i, s) in buf.iter().enumerate() {
+            if i < 5 {
+                assert!(s.abs() > 0.9, "sample {i}");
+            } else {
+                assert!(s.abs() < 1e-12, "sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_present_by_default() {
+        let mut m = WaveformMedium::new(PERIOD);
+        m.set_link(NodeId(0), NodeId(1), Link::ideal());
+        let buf = m.capture(&mut StdRng::seed_from_u64(8), NodeId(1), Time::ZERO, 10_000);
+        let p = ssync_dsp::complex::mean_power(&buf);
+        assert!((p - 1.0).abs() < 0.05, "noise power {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample grid")]
+    fn off_grid_transmit_rejected() {
+        let mut m = quiet_medium();
+        m.transmit(NodeId(0), Time(1), vec![Complex64::ONE]);
+    }
+
+    #[test]
+    fn clear_transmissions_resets() {
+        let mut m = quiet_medium();
+        m.set_link(NodeId(0), NodeId(1), Link::ideal());
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE]);
+        m.clear_transmissions();
+        assert!(m.transmissions().is_empty());
+        let buf = m.capture(&mut StdRng::seed_from_u64(9), NodeId(1), Time::ZERO, 2);
+        assert!(buf.iter().all(|s| s.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,217 @@
+//! Topology construction: placed nodes + drawn channels → a ready medium.
+
+use crate::medium::WaveformMedium;
+use crate::node::{NodeId, RadioNode};
+use rand::Rng;
+use ssync_channel::{Link, MultipathProfile, PathLossModel, Position, PowerBudget};
+use ssync_phy::Params;
+
+/// The channel models a topology is drawn under.
+#[derive(Debug, Clone)]
+pub struct ChannelModels {
+    /// Large-scale loss.
+    pub pathloss: PathLossModel,
+    /// Power budget (TX power, noise floor).
+    pub budget: PowerBudget,
+    /// Small-scale fading profile.
+    pub multipath: MultipathProfile,
+}
+
+impl ChannelModels {
+    /// Testbed-like defaults for a numerology.
+    pub fn testbed(params: &Params) -> Self {
+        ChannelModels {
+            pathloss: PathLossModel::default(),
+            budget: PowerBudget::default(),
+            multipath: MultipathProfile::testbed(params.sample_rate_hz),
+        }
+    }
+
+    /// Ideal free-space, flat-fading models (unit tests, controlled sweeps).
+    pub fn clean(params: &Params) -> Self {
+        ChannelModels {
+            pathloss: PathLossModel::deterministic(3.0),
+            budget: PowerBudget::default(),
+            multipath: MultipathProfile::flat(params.sample_rate_hz),
+        }
+    }
+}
+
+/// A built network: hardware-realised nodes and a link-populated medium.
+#[derive(Debug)]
+pub struct Network {
+    /// The numerology all radios run.
+    pub params: Params,
+    /// Per-node hardware.
+    pub nodes: Vec<RadioNode>,
+    /// The shared medium.
+    pub medium: WaveformMedium,
+}
+
+impl Network {
+    /// Draws a network over the given positions.
+    ///
+    /// Channels are *reciprocal*: each unordered pair shares one path-loss
+    /// shadowing draw, one multipath realisation, and the geometric delay;
+    /// only the CFO differs by direction (antisymmetric, from the two
+    /// oscillators). Reciprocity is what lets SourceSync estimate one-way
+    /// delays from round-trip probes (paper §4.2(c)).
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        params: &Params,
+        positions: &[Position],
+        models: &ChannelModels,
+    ) -> Network {
+        let period = params.sample_period_fs();
+        let nodes: Vec<RadioNode> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| RadioNode::draw(rng, NodeId(i), p, period))
+            .collect();
+        let mut medium = WaveformMedium::new(period);
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                let d = nodes[i].position.distance_m(&nodes[j].position);
+                let loss_db = models.pathloss.sample_loss_db(rng, d);
+                let gain = models.budget.amplitude_gain(loss_db);
+                let mp = models.multipath.draw(rng);
+                let delay = nodes[i].position.propagation_delay_fs(&nodes[j].position);
+                let fwd = Link {
+                    amplitude_gain: gain,
+                    multipath: mp.clone(),
+                    delay_fs: delay,
+                    cfo_hz: nodes[i].oscillator.cfo_to_hz(&nodes[j].oscillator),
+                };
+                let rev = Link {
+                    amplitude_gain: gain,
+                    multipath: mp,
+                    delay_fs: delay,
+                    cfo_hz: nodes[j].oscillator.cfo_to_hz(&nodes[i].oscillator),
+                };
+                medium.set_link(nodes[i].id, nodes[j].id, fwd);
+                medium.set_link(nodes[j].id, nodes[i].id, rev);
+            }
+        }
+        Network { params: params.clone(), nodes, medium }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &RadioNode {
+        &self.nodes[id.0]
+    }
+
+    /// Mean link SNR `tx → rx` in dB, or `-inf` if no link exists.
+    pub fn snr_db(&self, tx: NodeId, rx: NodeId) -> f64 {
+        self.medium
+            .link(tx, rx)
+            .map(|l| l.mean_snr_db())
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// The true one-way propagation delay `a → b` in seconds (ground truth
+    /// for evaluating the probe protocol's estimates).
+    pub fn true_delay_s(&self, a: NodeId, b: NodeId) -> f64 {
+        self.medium
+            .link(a, b)
+            .map(|l| l.delay_fs as f64 * 1e-15)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssync_phy::OfdmParams;
+
+    fn triangle() -> Vec<Position> {
+        vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0), Position::new(5.0, 8.0)]
+    }
+
+    #[test]
+    fn builds_all_directed_links() {
+        let params = OfdmParams::dot11a();
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Network::build(&mut rng, &params, &triangle(), &ChannelModels::testbed(&params));
+        assert_eq!(net.len(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(net.medium.link(NodeId(i), NodeId(j)).is_some(), "{i}->{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn links_are_reciprocal_except_cfo() {
+        let params = OfdmParams::dot11a();
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Network::build(&mut rng, &params, &triangle(), &ChannelModels::testbed(&params));
+        let fwd = net.medium.link(NodeId(0), NodeId(1)).unwrap();
+        let rev = net.medium.link(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(fwd.delay_fs, rev.delay_fs);
+        assert_eq!(fwd.amplitude_gain, rev.amplitude_gain);
+        assert_eq!(fwd.multipath, rev.multipath);
+        assert!((fwd.cfo_hz + rev.cfo_hz).abs() < 1e-9, "CFO not antisymmetric");
+    }
+
+    #[test]
+    fn delay_matches_geometry() {
+        let params = OfdmParams::dot11a();
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::build(&mut rng, &params, &triangle(), &ChannelModels::clean(&params));
+        // 10 m at c: 33.36 ns.
+        let d = net.true_delay_s(NodeId(0), NodeId(1));
+        assert!((d - 10.0 / 299_792_458.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_pair_has_higher_snr() {
+        let params = OfdmParams::dot11a();
+        let mut rng = StdRng::seed_from_u64(4);
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(3.0, 0.0),
+            Position::new(28.0, 0.0),
+        ];
+        let net = Network::build(&mut rng, &params, &positions, &ChannelModels::clean(&params));
+        assert!(net.snr_db(NodeId(0), NodeId(1)) > net.snr_db(NodeId(0), NodeId(2)) + 10.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let params = OfdmParams::wiglan();
+        let models = ChannelModels::testbed(&params);
+        let a = Network::build(&mut StdRng::seed_from_u64(7), &params, &triangle(), &models);
+        let b = Network::build(&mut StdRng::seed_from_u64(7), &params, &triangle(), &models);
+        assert_eq!(
+            a.snr_db(NodeId(0), NodeId(2)).to_bits(),
+            b.snr_db(NodeId(0), NodeId(2)).to_bits()
+        );
+        assert_eq!(a.node(NodeId(1)).turnaround, b.node(NodeId(1)).turnaround);
+    }
+
+    #[test]
+    fn missing_link_is_neg_infinity() {
+        let params = OfdmParams::dot11a();
+        let net = Network {
+            params: params.clone(),
+            nodes: vec![],
+            medium: WaveformMedium::new(params.sample_period_fs()),
+        };
+        assert_eq!(net.snr_db(NodeId(0), NodeId(1)), f64::NEG_INFINITY);
+        assert!(net.is_empty());
+    }
+}

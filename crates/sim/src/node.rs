@@ -1,0 +1,97 @@
+//! Node identities and radio hardware properties.
+
+use crate::time::Duration;
+use rand::Rng;
+use ssync_channel::{Oscillator, Position};
+
+/// A node identifier, dense from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node's physical radio properties.
+///
+/// The hardware turnaround delay is the time to switch the radio from
+/// reception to transmission (baseband pipeline + RF front end). 802.11
+/// only bounds it loosely (≤ 10 µs — paper §4.1 points out this is far
+/// longer than a symbol), it varies across vendors, but it is *constant per
+/// node* and measurable by counting local clock ticks (paper §4.2(b)).
+#[derive(Debug, Clone, Copy)]
+pub struct RadioNode {
+    /// Identity.
+    pub id: NodeId,
+    /// Placement on the floor plan.
+    pub position: Position,
+    /// Oscillator error (sets pairwise CFO).
+    pub oscillator: Oscillator,
+    /// RX→TX hardware turnaround.
+    pub turnaround: Duration,
+}
+
+/// The range hardware turnarounds are drawn from (2–8 µs, inside the
+/// 802.11 10 µs bound and much longer than a symbol, as the paper notes).
+pub const TURNAROUND_RANGE_S: (f64, f64) = (2e-6, 8e-6);
+
+impl RadioNode {
+    /// Draws a node's hardware at a position: random oscillator, random
+    /// per-node turnaround quantised to the sample grid.
+    pub fn draw<R: Rng + ?Sized>(
+        rng: &mut R,
+        id: NodeId,
+        position: Position,
+        sample_period_fs: u64,
+    ) -> Self {
+        let (lo, hi) = TURNAROUND_RANGE_S;
+        let t = rng.gen_range(lo..hi);
+        let ticks = (t * 1e15 / sample_period_fs as f64).round() as u64;
+        RadioNode {
+            id,
+            position,
+            oscillator: Oscillator::random(rng),
+            turnaround: Duration(ticks * sample_period_fs),
+        }
+    }
+
+    /// An idealised node (no oscillator error, zero turnaround) for unit
+    /// tests.
+    pub fn ideal(id: NodeId, position: Position) -> Self {
+        RadioNode { id, position, oscillator: Oscillator::ideal(), turnaround: Duration::ZERO }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn turnarounds_in_spec_and_on_grid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let period = 7_812_500u64;
+        for i in 0..50 {
+            let n = RadioNode::draw(&mut rng, NodeId(i), Position::new(0.0, 0.0), period);
+            let s = n.turnaround.as_secs_f64();
+            assert!((2e-6..8.1e-6).contains(&s), "turnaround {s}");
+            assert_eq!(n.turnaround.0 % period, 0, "not on the sample grid");
+        }
+    }
+
+    #[test]
+    fn turnarounds_differ_across_nodes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = RadioNode::draw(&mut rng, NodeId(0), Position::new(0.0, 0.0), 50_000_000);
+        let b = RadioNode::draw(&mut rng, NodeId(1), Position::new(0.0, 0.0), 50_000_000);
+        assert_ne!(a.turnaround, b.turnaround);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+    }
+}

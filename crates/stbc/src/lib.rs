@@ -1,0 +1,18 @@
+//! Space-time block codes for SourceSync's Smart Combiner (paper §6).
+//!
+//! * [`alamouti`] — the two-sender Alamouti code applied per subcarrier
+//!   across pairs of OFDM symbols, plus receiver-side maximal-ratio
+//!   combining,
+//! * [`codebook`] — the replicated-Alamouti codebook for >2 senders with
+//!   codeword assignment by forwarder ordering and decoding from **any
+//!   subset** of the intended senders.
+//!
+//! Unlike a MIMO transmitter, SourceSync runs these codes *across
+//! physically separate nodes*; the synchronization and per-sender channel
+//! tracking that make that possible live in `ssync-core`.
+
+pub mod alamouti;
+pub mod codebook;
+
+pub use alamouti::{decode_pair, decode_stream, encode_pair, encode_stream, mrc, Codeword, DecodedPair};
+pub use codebook::{codeword_for, decode_pair_multi, effective_channels};

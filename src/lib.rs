@@ -1,0 +1,35 @@
+//! # sourcesync
+//!
+//! A full reproduction of *SourceSync: A Distributed Wireless Architecture
+//! for Exploiting Sender Diversity* (Rahul, Hassanieh, Katabi — SIGCOMM
+//! 2010) as a Rust workspace, running over a sample-level software-defined
+//! radio simulator instead of the paper's WiGLAN FPGA testbed.
+//!
+//! This facade crate re-exports every workspace crate under a stable prefix
+//! so examples and downstream users need a single dependency:
+//!
+//! * [`dsp`] — complex numbers, FFT, correlation, fractional delay, stats
+//! * [`phy`] — the 802.11-style OFDM modem
+//! * [`channel`] — multipath fading, path loss, AWGN, CFO, propagation delay
+//! * [`stbc`] — Alamouti and quasi-orthogonal space-time block codes
+//! * [`linprog`] — simplex solver for the multi-receiver wait-time LP
+//! * [`sim`] — the femtosecond-resolution discrete-event simulator
+//! * [`mac`] — CSMA/CA and the joint-frame MAC extension
+//! * [`core`] — SourceSync itself: Symbol-Level Synchronizer, Joint Channel
+//!   Estimator, Smart Combiner, joint frame protocol
+//! * [`routing`] — ETX, single-path routing, ExOR, ExOR+SourceSync
+//! * [`lasthop`] — multi-AP last-hop diversity with SampleRate
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results for every evaluation figure.
+
+pub use ssync_channel as channel;
+pub use ssync_core as core;
+pub use ssync_dsp as dsp;
+pub use ssync_lasthop as lasthop;
+pub use ssync_linprog as linprog;
+pub use ssync_mac as mac;
+pub use ssync_phy as phy;
+pub use ssync_routing as routing;
+pub use ssync_sim as sim;
+pub use ssync_stbc as stbc;

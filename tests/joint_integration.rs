@@ -1,0 +1,229 @@
+//! Cross-crate integration tests: the full SourceSync pipeline through the
+//! facade crate, exactly as a downstream user would drive it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sourcesync::channel::Position;
+use sourcesync::core::{
+    run_joint_transmission, tracking_update, CosenderPlan, DelayDatabase, JointConfig,
+};
+use sourcesync::phy::{OfdmParams, RateId};
+use sourcesync::sim::{ChannelModels, Network, NodeId};
+
+fn three_node_net(seed: u64, multipath: bool) -> Network {
+    let params = OfdmParams::dot11a();
+    let models = if multipath {
+        ChannelModels::testbed(&params)
+    } else {
+        ChannelModels::clean(&params)
+    };
+    let positions = vec![
+        Position::new(1.0, 1.0),
+        Position::new(14.0, 2.0),
+        Position::new(8.0, 11.0),
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::build(&mut rng, &params, &positions, &models)
+}
+
+#[test]
+fn joint_frame_through_multipath_fading() {
+    // The full stack over frequency-selective fading channels, not just
+    // the clean channels of the unit tests.
+    let mut delivered = 0;
+    for seed in 0..5u64 {
+        let mut net = three_node_net(seed, true);
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let mut db = DelayDatabase::new();
+        if !db.measure_all(&mut net, &mut rng, &[NodeId(0), NodeId(1), NodeId(2)], 3) {
+            continue;
+        }
+        let Some(sol) = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]) else {
+            continue;
+        };
+        let payload = vec![0xAB; 300];
+        let cfg = JointConfig { cp_extension: 16, ..Default::default() };
+        let out = run_joint_transmission(
+            &mut net,
+            &mut rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[NodeId(2)],
+            &payload,
+            &db,
+            &cfg,
+        );
+        if out.reports[0].payload.as_deref() == Some(&payload[..]) {
+            delivered += 1;
+        }
+    }
+    assert!(delivered >= 4, "only {delivered}/5 joint frames decoded over fading");
+}
+
+#[test]
+fn tracking_loop_converges() {
+    // §4.5: repeated ACK feedback should shrink the measured misalignment.
+    let mut net = three_node_net(42, false);
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut db = DelayDatabase::new();
+    assert!(db.measure_all(&mut net, &mut rng, &[NodeId(0), NodeId(1), NodeId(2)], 2));
+    // Start from a deliberately wrong wait (+3 samples at 20 Msps).
+    let mut wait = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap().waits[0]
+        + 150e-9;
+    let payload = vec![1u8; 60];
+    let cfg = JointConfig::default();
+    let mut history = Vec::new();
+    for _ in 0..6 {
+        let out = run_joint_transmission(
+            &mut net,
+            &mut rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: wait }],
+            &[NodeId(2)],
+            &payload,
+            &db,
+            &cfg,
+        );
+        let Some(m) = out.reports[0].measured_misalign_s[0] else {
+            panic!("no misalignment measurement");
+        };
+        history.push(m.abs());
+        wait = tracking_update(wait, m);
+    }
+    let first = history[0];
+    let last = *history.last().unwrap();
+    assert!(
+        last < first / 2.0 || last < 20e-9,
+        "tracking did not converge: {history:?}"
+    );
+}
+
+#[test]
+fn three_cosenders_replicated_alamouti() {
+    // Five nodes: lead, three co-senders, receiver — exercises the >2
+    // sender codebook path end to end.
+    let params = OfdmParams::dot11a();
+    let positions = vec![
+        Position::new(0.0, 0.0),
+        Position::new(6.0, 0.0),
+        Position::new(0.0, 6.0),
+        Position::new(6.0, 6.0),
+        Position::new(3.0, 12.0),
+    ];
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = Network::build(
+        &mut rng,
+        &params,
+        &positions,
+        &ChannelModels::clean(&params),
+    );
+    let all: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let mut db = DelayDatabase::new();
+    assert!(db.measure_all(&mut net, &mut rng, &all, 2));
+    let cos = [NodeId(1), NodeId(2), NodeId(3)];
+    let sol = db.wait_solution(NodeId(0), &cos, &[NodeId(4)]).unwrap();
+    let plans: Vec<CosenderPlan> = cos
+        .iter()
+        .zip(&sol.waits)
+        .map(|(&node, &wait_s)| CosenderPlan { node, wait_s })
+        .collect();
+    let payload = vec![0x5C; 200];
+    let out = run_joint_transmission(
+        &mut net,
+        &mut rng,
+        NodeId(0),
+        &plans,
+        &[NodeId(4)],
+        &payload,
+        &db,
+        &JointConfig::default(),
+    );
+    let report = &out.reports[0];
+    assert!(report.header_ok);
+    let joined = report.co_channels.iter().filter(|c| c.is_some()).count();
+    assert!(joined >= 2, "only {joined}/3 co-senders joined");
+    assert_eq!(report.payload.as_deref(), Some(&payload[..]));
+}
+
+#[test]
+fn multi_receiver_lp_reduces_worst_misalignment() {
+    // §4.6: two receivers; LP waits should beat single-receiver waits on
+    // the worst-case true misalignment.
+    let params = OfdmParams::dot11a();
+    let positions = vec![
+        Position::new(0.0, 0.0),   // lead
+        Position::new(20.0, 0.0),  // co-sender
+        Position::new(2.0, 9.0),   // rx A (near lead)
+        Position::new(18.0, 9.0),  // rx B (near co)
+    ];
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = Network::build(
+        &mut rng,
+        &params,
+        &positions,
+        &ChannelModels::clean(&params),
+    );
+    let all: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let mut db = DelayDatabase::new();
+    assert!(db.measure_all(&mut net, &mut rng, &all, 3));
+    let receivers = [NodeId(2), NodeId(3)];
+    let lp = db.wait_solution(NodeId(0), &[NodeId(1)], &receivers).unwrap();
+    let single_rx = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+
+    let worst = |wait: f64, rng: &mut StdRng, net: &mut Network| -> f64 {
+        let cfg = JointConfig { cp_extension: 12, ..Default::default() };
+        let out = run_joint_transmission(
+            net,
+            rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: wait }],
+            &receivers,
+            &[9u8; 80],
+            &db,
+            &cfg,
+        );
+        out.true_misalign_s
+            .iter()
+            .flatten()
+            .filter(|m| m.is_finite())
+            .fold(0.0f64, |a, m| a.max(m.abs()))
+    };
+    let w_lp = worst(lp.waits[0], &mut rng, &mut net);
+    let w_single = worst(single_rx.waits[0], &mut rng, &mut net);
+    // LP optimises the max across receivers; single-rx waits sacrifice the
+    // other receiver. Allow jitter slack: LP must not be meaningfully worse.
+    assert!(
+        w_lp <= w_single + 30e-9,
+        "LP worst {w_lp} vs single-rx worst {w_single}"
+    );
+}
+
+#[test]
+fn rates_sweep_through_joint_path() {
+    // Joint frames decode at several data rates (exercises interleaver /
+    // puncturing combinations through the combiner).
+    let mut net = three_node_net(55, false);
+    let mut rng = StdRng::seed_from_u64(56);
+    let mut db = DelayDatabase::new();
+    assert!(db.measure_all(&mut net, &mut rng, &[NodeId(0), NodeId(1), NodeId(2)], 2));
+    let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+    for rate in [RateId::R6, RateId::R12, RateId::R24, RateId::R36] {
+        let payload = vec![rate.to_index(); 150];
+        let cfg = JointConfig { rate, ..Default::default() };
+        let out = run_joint_transmission(
+            &mut net,
+            &mut rng,
+            NodeId(0),
+            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[NodeId(2)],
+            &payload,
+            &db,
+            &cfg,
+        );
+        assert_eq!(
+            out.reports[0].payload.as_deref(),
+            Some(&payload[..]),
+            "rate {rate:?} failed"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+use sourcesync::dsp::{Complex64, Fft};
+use sourcesync::linprog::MisalignmentProblem;
+use sourcesync::phy::{frame, interleave::Interleaver, Modulation, OfdmParams, RateId};
+use sourcesync::sim::{Duration, Time};
+use sourcesync::stbc::{decode_pair, encode_pair, Codeword};
+
+fn arb_complex() -> impl Strategy<Value = Complex64> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrip_any_signal(values in proptest::collection::vec(arb_complex(), 64)) {
+        let fft = Fft::new(64);
+        let back = fft.inverse_to_vec(&fft.forward_to_vec(&values));
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert!(a.dist(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_linearity(a in proptest::collection::vec(arb_complex(), 64),
+                     b in proptest::collection::vec(arb_complex(), 64)) {
+        let fft = Fft::new(64);
+        let fa = fft.forward_to_vec(&a);
+        let fb = fft.forward_to_vec(&b);
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fsum = fft.forward_to_vec(&sum);
+        for i in 0..64 {
+            prop_assert!(fsum[i].dist(fa[i] + fb[i]) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn crc_rejects_any_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        byte_idx in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let framed = sourcesync::phy::crc::append_crc(&payload);
+        let mut bad = framed.clone();
+        let idx = byte_idx % bad.len();
+        bad[idx] ^= 1 << bit;
+        prop_assert_eq!(sourcesync::phy::crc::check_crc(&bad), None);
+        prop_assert_eq!(sourcesync::phy::crc::check_crc(&framed), Some(&payload[..]));
+    }
+
+    #[test]
+    fn interleaver_bijective_roundtrip(
+        modulation in prop::sample::select(vec![
+            Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64
+        ]),
+        wiglan in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let params = if wiglan { OfdmParams::wiglan() } else { OfdmParams::dot11a() };
+        let il = Interleaver::new(&params, modulation);
+        let bits: Vec<u8> = (0..il.block_len())
+            .map(|i| ((seed >> (i % 64)) & 1) as u8)
+            .collect();
+        prop_assert_eq!(il.deinterleave_bits(&il.interleave(&bits)), bits);
+    }
+
+    #[test]
+    fn alamouti_decodes_any_channel(
+        x0 in arb_complex(), x1 in arb_complex(),
+        h_a in arb_complex(), h_b in arb_complex(),
+    ) {
+        prop_assume!(h_a.norm_sqr() + h_b.norm_sqr() > 1e-6);
+        let (a0, a1) = encode_pair(Codeword::A, x0, x1);
+        let (b0, b1) = encode_pair(Codeword::B, x0, x1);
+        let y0 = h_a * a0 + h_b * b0;
+        let y1 = h_a * a1 + h_b * b1;
+        let d = decode_pair(y0, y1, h_a, h_b);
+        prop_assert!(d.x0.dist(x0) < 1e-6, "{:?} vs {:?}", d.x0, x0);
+        prop_assert!(d.x1.dist(x1) < 1e-6);
+    }
+
+    #[test]
+    fn signal_field_roundtrip(
+        rate_idx in 0u8..8,
+        length in any::<u16>(),
+        flags in 0u8..8,
+    ) {
+        let sig = frame::SignalField {
+            rate: RateId::from_index(rate_idx).unwrap(),
+            length,
+            flags,
+        };
+        prop_assert_eq!(frame::SignalField::from_bits(&sig.to_bits()), Some(sig));
+    }
+
+    #[test]
+    fn data_pipeline_roundtrip_clean(
+        payload in proptest::collection::vec(any::<u8>(), 0..120),
+        rate_idx in 0u8..8,
+    ) {
+        let params = OfdmParams::dot11a();
+        let rate = RateId::from_index(rate_idx).unwrap();
+        let m = rate.modulation();
+        let syms = frame::encode_data(&params, &payload, rate);
+        let llrs: Vec<Vec<f64>> = syms
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .flat_map(|p| {
+                        sourcesync::phy::modulation::demap_llrs(
+                            m,
+                            *p,
+                            Complex64::ONE,
+                            1e-3,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let decoded = frame::decode_data(&params, &llrs, rate, payload.len());
+        prop_assert_eq!(decoded.as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn minimax_lp_never_beaten_by_naive(
+        lead in proptest::collection::vec(1e-9f64..400e-9, 1..4),
+        co_flat in proptest::collection::vec(1e-9f64..400e-9, 1..10),
+    ) {
+        let n_rx = lead.len();
+        let n_co = (co_flat.len() / n_rx).max(1);
+        let co: Vec<Vec<f64>> = (0..n_co)
+            .map(|i| (0..n_rx).map(|j| co_flat[(i * n_rx + j) % co_flat.len()]).collect())
+            .collect();
+        let p = MisalignmentProblem { lead_delays: lead.clone(), cosender_delays: co.clone() };
+        let sol = p.solve();
+        // Naive: align at receiver 0 only.
+        let naive: Vec<f64> = (0..n_co).map(|i| lead[0] - co[i][0]).collect();
+        prop_assert!(sol.max_misalignment <= p.misalignment_of(&naive) + 1e-9);
+        // Zero waits are also never better.
+        let zeros = vec![0.0; n_co];
+        prop_assert!(sol.max_misalignment <= p.misalignment_of(&zeros) + 1e-9);
+    }
+
+    #[test]
+    fn time_arithmetic_consistent(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let t = Time(a) + Duration(b);
+        prop_assert_eq!(t - Time(a), Duration(b));
+        prop_assert_eq!(t.saturating_since(Time(a)), Duration(b));
+        prop_assert_eq!(Time(a).saturating_since(t), Duration::ZERO);
+    }
+
+    #[test]
+    fn sample_grid_rounding(t in 0u64..u64::MAX / 2, period in prop::sample::select(vec![7_812_500u64, 50_000_000])) {
+        let time = Time(t);
+        let up = time.ceil_to_sample(period);
+        let near = time.round_to_sample(period);
+        prop_assert_eq!(up.0 % period, 0);
+        prop_assert_eq!(near.0 % period, 0);
+        prop_assert!(up.0 >= time.0 && up.0 - time.0 < period);
+        let err = near.0.abs_diff(time.0);
+        prop_assert!(err * 2 <= period);
+    }
+}
