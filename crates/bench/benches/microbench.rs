@@ -86,7 +86,11 @@ fn bench_alamouti(c: &mut Criterion) {
     let h_b = gauss.sample(&mut rng);
     let sa = ssync_stbc::encode_stream(ssync_stbc::Codeword::A, &xs);
     let sb = ssync_stbc::encode_stream(ssync_stbc::Codeword::B, &xs);
-    let ys: Vec<Complex64> = sa.iter().zip(&sb).map(|(a, b)| h_a * *a + h_b * *b).collect();
+    let ys: Vec<Complex64> = sa
+        .iter()
+        .zip(&sb)
+        .map(|(a, b)| h_a * *a + h_b * *b)
+        .collect();
     c.bench_function("alamouti_decode_96syms", |b| {
         b.iter(|| ssync_stbc::decode_stream(&ys, h_a, h_b))
     });

@@ -39,8 +39,7 @@ fn main() {
             let seed = 400_000 + t as u64;
             let mut rng = StdRng::seed_from_u64(seed);
             let plan = FloorPlan::testbed();
-            let positions: Vec<Position> =
-                (0..3).map(|_| plan.random_position(&mut rng)).collect();
+            let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
             let mut net = Network::build(&mut rng, &params, &positions, &models);
             pin_all_snrs(&mut net, snr_db);
             let payload = random_payload(&mut rng, 700);
@@ -48,7 +47,9 @@ fn main() {
             if !db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 2) {
                 continue;
             }
-            let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else { continue };
+            let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else {
+                continue;
+            };
             let cfg = JointConfig {
                 rate: RateId::R12,
                 cp_extension: 12,

@@ -31,19 +31,25 @@ fn main() {
     let params = OfdmParams::wiglan();
     let models = ChannelModels::testbed(&params);
     let n_frames = 12usize;
-    let cfg = JointConfig { rate: RateId::R6, cp_extension: 16, ..Default::default() };
+    let cfg = JointConfig {
+        rate: RateId::R6,
+        cp_extension: 16,
+        ..Default::default()
+    };
 
     let run = |track: bool| -> Vec<f64> {
         let seed = 777u64;
         let mut rng = StdRng::seed_from_u64(seed);
         let plan = FloorPlan::testbed();
-        let positions: Vec<Position> =
-            (0..3).map(|_| plan.random_position(&mut rng)).collect();
+        let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
         let mut net = Network::build(&mut rng, &params, &positions, &models);
         pin_all_snrs(&mut net, 18.0);
         let mut db = DelayDatabase::new();
         assert!(db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 3));
-        let mut wait = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]).unwrap().waits[0];
+        let mut wait = db
+            .wait_solution(LEAD, &[COSENDER], &[RECEIVER])
+            .unwrap()
+            .waits[0];
         let mut series = Vec::new();
         for _ in 0..n_frames {
             let payload = random_payload(&mut rng, 60);
@@ -65,7 +71,10 @@ fn main() {
     let tracked = run(true);
     let static_wait = run(false);
     println!("# Ablation: §4.5 delay tracking under mobility");
-    println!("# receiver drifts {:.0} ns of path per frame", DRIFT_FS_PER_FRAME as f64 * 1e-6);
+    println!(
+        "# receiver drifts {:.0} ns of path per frame",
+        DRIFT_FS_PER_FRAME as f64 * 1e-6
+    );
     println!("# frame\ttracked_ns\tstatic_ns");
     for (i, (t, s)) in tracked.iter().zip(&static_wait).enumerate() {
         println!("{i}\t{t:.1}\t{s:.1}");

@@ -42,7 +42,10 @@ fn main() {
 
     println!("# Figure 5: unwrapped channel phase vs subcarrier (flat channel)");
     println!("# induced detection offset delta = {delta} samples");
-    println!("# expected extra slope = 2*pi*delta/N = {:.5} rad/subcarrier", 2.0 * std::f64::consts::PI * delta / params.fft_size as f64);
+    println!(
+        "# expected extra slope = 2*pi*delta/N = {:.5} rad/subcarrier",
+        2.0 * std::f64::consts::PI * delta / params.fft_size as f64
+    );
     println!("# subcarrier\tphase_initial\tphase_initial_plus_delta");
     for (i, k) in est0.carriers.iter().enumerate() {
         println!("{k}\t{:.5}\t{:.5}", u0[i], ud[i]);

@@ -25,7 +25,11 @@ const REPS: usize = 5;
 fn main() {
     let params = OfdmParams::wiglan();
     let models = ChannelModels::testbed(&params);
-    let cfg = JointConfig { rate: RateId::R6, cp_extension: 16, ..Default::default() };
+    let cfg = JointConfig {
+        rate: RateId::R6,
+        cp_extension: 16,
+        ..Default::default()
+    };
     let placements = 12 * trials_scale();
 
     println!("# Figure 12: 95th percentile synchronization error vs SNR");
@@ -41,14 +45,19 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
             let payload = random_payload(&mut rng, 60);
             // Converge (probes + tracking warmup), then measure.
-            let Some((_, wait)) = converged_joint(&mut net, &mut rng, &payload, &cfg, 3, 3)
-            else {
+            let Some((_, wait)) = converged_joint(&mut net, &mut rng, &payload, &cfg, 3, 3) else {
                 continue;
             };
             let mut db = DelayDatabase::new();
             // The measurement frames reuse the converged wait; the delay
             // database is only needed by the co-sender for d(lead, co).
-            if !db.measure(&mut net, &mut rng, ssync_bench::LEAD, ssync_bench::COSENDER, 2) {
+            if !db.measure(
+                &mut net,
+                &mut rng,
+                ssync_bench::LEAD,
+                ssync_bench::COSENDER,
+                2,
+            ) {
                 continue;
             }
             let mut meas = Vec::new();

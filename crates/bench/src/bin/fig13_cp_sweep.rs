@@ -35,18 +35,12 @@ fn main() {
             let seed = (cp_samples * 100 + t) as u64;
             let mut rng = StdRng::seed_from_u64(seed);
             let plan = FloorPlan::testbed();
-            let positions: Vec<Position> =
-                (0..3).map(|_| plan.random_position(&mut rng)).collect();
+            let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
             let mut net = Network::build(&mut rng, &params, &positions, &models);
             pin_all_snrs(&mut net, snr_db);
             let payload = random_payload(&mut rng, 120);
             let mut db = DelayDatabase::new();
-            if !db.measure_all(
-                &mut net,
-                &mut rng,
-                &[LEAD, COSENDER, RECEIVER],
-                2,
-            ) {
+            if !db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 2) {
                 continue;
             }
             let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else {
@@ -58,9 +52,19 @@ fn main() {
             let swept = params.with_cp(1.max(cp_samples));
             let mut swept_net = net;
             swept_net.params = swept.clone();
-            let cfg_ss = JointConfig { rate: RateId::R12, cp_extension: 0, ..Default::default() };
-            let out =
-                run_once(&mut swept_net, &mut rng, &payload, &cfg_ss, &db, sol.waits[0]);
+            let cfg_ss = JointConfig {
+                rate: RateId::R12,
+                cp_extension: 0,
+                ..Default::default()
+            };
+            let out = run_once(
+                &mut swept_net,
+                &mut rng,
+                &payload,
+                &cfg_ss,
+                &db,
+                sol.waits[0],
+            );
             if out.reports[0].header_ok {
                 ss_vals.push(out.reports[0].stats.evm_snr_db);
             }
@@ -70,8 +74,7 @@ fn main() {
                 delay_compensation: false,
                 ..Default::default()
             };
-            let out =
-                run_once(&mut swept_net, &mut rng, &payload, &cfg_base, &db, 0.0);
+            let out = run_once(&mut swept_net, &mut rng, &payload, &cfg_base, &db, 0.0);
             if out.reports[0].header_ok {
                 base_vals.push(out.reports[0].stats.evm_snr_db);
             }

@@ -29,9 +29,13 @@ fn main() {
 
     // Significant-tap statistics across draws.
     let n = 200 * trials_scale();
-    let counts: Vec<f64> =
-        (0..n).map(|_| profile.draw(&mut rng).significant_taps(0.95) as f64).collect();
-    println!("# mean significant taps (95% energy) over {n} draws: {:.1}", ssync_dsp::stats::mean(&counts));
+    let counts: Vec<f64> = (0..n)
+        .map(|_| profile.draw(&mut rng).significant_taps(0.95) as f64)
+        .collect();
+    println!(
+        "# mean significant taps (95% energy) over {n} draws: {:.1}",
+        ssync_dsp::stats::mean(&counts)
+    );
     println!(
         "# = {:.0} ns at 128 Msps (paper: ~15 taps = 117 ns)",
         ssync_dsp::stats::mean(&counts) * params.sample_period_fs() as f64 * 1e-6

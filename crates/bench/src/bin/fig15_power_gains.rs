@@ -21,7 +21,11 @@ use ssync_sim::{ChannelModels, Network};
 fn main() {
     let params = OfdmParams::dot11a();
     let models = ChannelModels::testbed(&params);
-    let cfg = JointConfig { rate: RateId::R6, cp_extension: 8, ..Default::default() };
+    let cfg = JointConfig {
+        rate: RateId::R6,
+        cp_extension: 8,
+        ..Default::default()
+    };
     let placements = 60 * trials_scale();
 
     // (single-sender mean SNR, joint mean SNR) pairs per placement.
@@ -58,7 +62,9 @@ fn main() {
         ssync_bench::pin_link(&mut net, RECEIVER, COSENDER, snr2);
         ssync_bench::pin_link(&mut net, LEAD, COSENDER, 25.0);
         ssync_bench::pin_link(&mut net, COSENDER, LEAD, 25.0);
-        let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else { continue };
+        let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else {
+            continue;
+        };
         let out = ssync_bench::run_once(&mut net, &mut rng, &payload, &cfg, &db, sol.waits[0]);
         let report = &out.reports[0];
         if !report.header_ok || report.co_channels[0].is_none() {
@@ -87,11 +93,15 @@ fn main() {
 
     println!("# Figure 15: power gains — single sender vs SourceSync, by SNR regime");
     println!("# regime\tsingle_db\tjoint_db\tgain_db\tn");
-    for (name, lo, hi) in
-        [("low(<6dB)", f64::NEG_INFINITY, 6.0), ("medium(6-12dB)", 6.0, 12.0), ("high(>12dB)", 12.0, f64::INFINITY)]
-    {
-        let bin: Vec<&(f64, f64)> =
-            samples.iter().filter(|(s, _)| *s >= lo && *s < hi).collect();
+    for (name, lo, hi) in [
+        ("low(<6dB)", f64::NEG_INFINITY, 6.0),
+        ("medium(6-12dB)", 6.0, 12.0),
+        ("high(>12dB)", 12.0, f64::INFINITY),
+    ] {
+        let bin: Vec<&(f64, f64)> = samples
+            .iter()
+            .filter(|(s, _)| *s >= lo && *s < hi)
+            .collect();
         if bin.is_empty() {
             println!("{name}\tNA\tNA\tNA\t0");
             continue;

@@ -21,15 +21,18 @@ use ssync_sim::{ChannelModels, Network};
 fn main() {
     let params = OfdmParams::dot11a();
     let models = ChannelModels::testbed(&params);
-    let cfg = JointConfig { rate: RateId::R6, cp_extension: 8, ..Default::default() };
+    let cfg = JointConfig {
+        rate: RateId::R6,
+        cp_extension: 8,
+        ..Default::default()
+    };
 
     println!("# Figure 16: per-subcarrier SNR — each sender alone vs SourceSync");
     for (regime, snr_db, seed) in [("high", 16.0, 11u64), ("medium", 9.0, 23), ("low", 4.0, 37)] {
         // Controlled per-sender mean SNR, random multipath (the fades).
         let mut rng = StdRng::seed_from_u64(seed);
         let plan = FloorPlan::testbed();
-        let positions: Vec<Position> =
-            (0..3).map(|_| plan.random_position(&mut rng)).collect();
+        let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
         let mut net = Network::build(&mut rng, &params, &positions, &models);
         // Probe delays at a comfortable SNR (geometry-only measurement),
         // then pin the regime under test.
@@ -41,7 +44,9 @@ fn main() {
             continue;
         }
         pin_all_snrs(&mut net, snr_db);
-        let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else { continue };
+        let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else {
+            continue;
+        };
         let out = ssync_bench::run_once(&mut net, &mut rng, &payload, &cfg, &db, sol.waits[0]);
         let report = &out.reports[0];
         let (Some(lead_est), Some(co_est)) =

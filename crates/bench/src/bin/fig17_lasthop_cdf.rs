@@ -42,11 +42,25 @@ fn main() {
         };
         let mut rng_run = StdRng::seed_from_u64(seed ^ 0xF00D);
         let o_single = run_session(
-            &mut rng_run, &params, &per, &scenario, Mode::BestSingleAp, payload, n_packets, 7,
+            &mut rng_run,
+            &params,
+            &per,
+            &scenario,
+            Mode::BestSingleAp,
+            payload,
+            n_packets,
+            7,
         );
         let mut rng_run = StdRng::seed_from_u64(seed ^ 0xF00D);
         let o_joint = run_session(
-            &mut rng_run, &params, &per, &scenario, Mode::SourceSync, payload, n_packets, 7,
+            &mut rng_run,
+            &params,
+            &per,
+            &scenario,
+            Mode::SourceSync,
+            payload,
+            n_packets,
+            7,
         );
         single.push(o_single.throughput_bps / 1e6);
         joint.push(o_joint.throughput_bps / 1e6);
@@ -59,5 +73,8 @@ fn main() {
     let med_s = median(&single);
     let med_j = median(&joint);
     println!("# median single = {med_s:.2} Mbps, median SourceSync = {med_j:.2} Mbps");
-    println!("# median gain = {:.2}x (paper: 1.57x)", med_j / med_s.max(1e-9));
+    println!(
+        "# median gain = {:.2}x (paper: 1.57x)",
+        med_j / med_s.max(1e-9)
+    );
 }

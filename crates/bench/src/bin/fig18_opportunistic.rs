@@ -40,6 +40,7 @@ fn draw_topology(rng: &mut StdRng, rate: RateId) -> MeshTopology {
         RateId::R6 => ((1.0, 6.0), (0.0, 3.0)),
         _ => ((1.5, 6.0), (-1.5, 2.5)),
     };
+    #[allow(clippy::needless_range_loop)] // symmetric matrix entries assigned by index
     for r in 1..=3usize {
         let a = mid + rng.gen_range(src_band.0..src_band.1);
         snr[0][r] = a;
@@ -49,6 +50,7 @@ fn draw_topology(rng: &mut StdRng, rate: RateId) -> MeshTopology {
         snr[4][r] = b;
     }
     // Relays hear each other well (they are clustered mid-path).
+    #[allow(clippy::needless_range_loop)] // symmetric matrix entries assigned by index
     for i in 1..=3usize {
         for j in 1..=3usize {
             if i != j {
@@ -86,7 +88,16 @@ fn main() {
             let mut rng_s = StdRng::seed_from_u64(seed ^ 1);
             tp_single.push(
                 run_transfer(
-                    &mut rng_s, &params, &topo, &per, rate, 0, 4, cfg.payload_len, n_pkts, 7,
+                    &mut rng_s,
+                    &params,
+                    &topo,
+                    &per,
+                    rate,
+                    0,
+                    4,
+                    cfg.payload_len,
+                    n_pkts,
+                    7,
                 )
                 .map(|o| o.throughput_bps / 1e6)
                 .unwrap_or(0.0),
@@ -94,8 +105,7 @@ fn main() {
             let mut acc = (0.0, 0.0);
             for b in 0..batches {
                 let mut rng_e = StdRng::seed_from_u64(seed ^ (2 + b as u64));
-                if let Some(o) =
-                    run_batch(&mut rng_e, &params, &topo, &per, 0, 4, &[1, 2, 3], &cfg)
+                if let Some(o) = run_batch(&mut rng_e, &params, &topo, &per, 0, 4, &[1, 2, 3], &cfg)
                 {
                     acc.0 += o.throughput_bps / 1e6 / batches as f64;
                 }

@@ -17,7 +17,11 @@ fn main() {
     for params in [OfdmParams::dot11a(), OfdmParams::wiglan()] {
         for n_senders in 2..=5usize {
             let t = JointTimeline::new(&params, 1464, RateId::R12, 0, n_senders - 1);
-            println!("{}\t{n_senders}\t{:.2}", params.name, t.sync_overhead() * 100.0);
+            println!(
+                "{}\t{n_senders}\t{:.2}",
+                params.name,
+                t.sync_overhead() * 100.0
+            );
         }
     }
 }

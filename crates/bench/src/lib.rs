@@ -42,8 +42,7 @@ pub fn pinned_snr_network(
 ) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
     let plan = FloorPlan::testbed();
-    let positions: Vec<Position> =
-        (0..3).map(|_| plan.random_position(&mut rng)).collect();
+    let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
     let mut net = Network::build(&mut rng, params, &positions, models);
     pin_all_snrs(&mut net, snr_db);
     net
@@ -118,7 +117,10 @@ pub fn run_once(
         net,
         rng,
         LEAD,
-        &[CosenderPlan { node: COSENDER, wait_s }],
+        &[CosenderPlan {
+            node: COSENDER,
+            wait_s,
+        }],
         &[RECEIVER],
         payload,
         db,

@@ -47,12 +47,18 @@ pub struct FloorPlan {
 impl FloorPlan {
     /// The testbed-like default: a 30 m × 20 m office floor.
     pub fn testbed() -> Self {
-        FloorPlan { width_m: 30.0, depth_m: 20.0 }
+        FloorPlan {
+            width_m: 30.0,
+            depth_m: 20.0,
+        }
     }
 
     /// Draws a uniformly random position on the floor.
     pub fn random_position<R: Rng + ?Sized>(&self, rng: &mut R) -> Position {
-        Position::new(rng.gen_range(0.0..self.width_m), rng.gen_range(0.0..self.depth_m))
+        Position::new(
+            rng.gen_range(0.0..self.width_m),
+            rng.gen_range(0.0..self.depth_m),
+        )
     }
 
     /// Draws a position at least `min_m` and at most `max_m` away from
@@ -118,14 +124,17 @@ mod tests {
         for _ in 0..50 {
             let p = plan.random_position_near(&mut rng, anchor, 5.0, 10.0);
             let d = p.distance_m(&anchor);
-            assert!(d >= 4.9 && d <= 10.1, "distance {d}");
+            assert!((4.9..=10.1).contains(&d), "distance {d}");
         }
     }
 
     #[test]
     fn near_placement_fallback_terminates() {
         // Impossible ring (outside the floor) must still return something.
-        let plan = FloorPlan { width_m: 1.0, depth_m: 1.0 };
+        let plan = FloorPlan {
+            width_m: 1.0,
+            depth_m: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let p = plan.random_position_near(&mut rng, Position::new(0.5, 0.5), 10.0, 20.0);
         assert!(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0);

@@ -89,8 +89,7 @@ impl Link {
     ) -> (Vec<Complex64>, u64) {
         let arrival_fs = tx_start_fs + self.delay_fs;
         let base_sample = arrival_fs / sample_period_fs;
-        let frac =
-            (arrival_fs % sample_period_fs) as f64 / sample_period_fs as f64;
+        let frac = (arrival_fs % sample_period_fs) as f64 / sample_period_fs as f64;
         // Multipath convolution at unit gain, then amplitude gain.
         let mut out = self.multipath.apply(waveform);
         if (self.amplitude_gain - 1.0).abs() > 1e-15 {
@@ -105,7 +104,11 @@ impl Link {
             apply_cfo_from(&mut out, self.cfo_hz, sample_rate_hz, origin);
         }
         // Sub-sample arrival.
-        let out = if frac > 0.0 { fractional_delay(&out, frac) } else { out };
+        let out = if frac > 0.0 {
+            fractional_delay(&out, frac)
+        } else {
+            out
+        };
         (out, base_sample)
     }
 }

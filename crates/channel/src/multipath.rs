@@ -31,7 +31,11 @@ pub struct MultipathProfile {
 impl MultipathProfile {
     /// An indoor profile with the given RMS delay spread.
     pub fn indoor(rms_delay_spread_s: f64, sample_rate_hz: f64) -> Self {
-        MultipathProfile { rms_delay_spread_s, sample_rate_hz, cutoff: 1e-2 }
+        MultipathProfile {
+            rms_delay_spread_s,
+            sample_rate_hz,
+            cutoff: 1e-2,
+        }
     }
 
     /// The paper-matched profile: ~40 ns RMS spread, which at 128 Msps puts
@@ -42,7 +46,11 @@ impl MultipathProfile {
 
     /// A single-tap (flat, frequency-nonselective) profile.
     pub fn flat(sample_rate_hz: f64) -> Self {
-        MultipathProfile { rms_delay_spread_s: 0.0, sample_rate_hz, cutoff: 1e-2 }
+        MultipathProfile {
+            rms_delay_spread_s: 0.0,
+            sample_rate_hz,
+            cutoff: 1e-2,
+        }
     }
 
     /// Number of taps this profile generates.
@@ -92,7 +100,9 @@ pub struct Multipath {
 impl Multipath {
     /// An ideal (identity) channel.
     pub fn identity() -> Self {
-        Multipath { taps: vec![Complex64::ONE] }
+        Multipath {
+            taps: vec![Complex64::ONE],
+        }
     }
 
     /// A channel with explicit taps (not normalised).

@@ -35,7 +35,9 @@ impl Oscillator {
 
     /// Draws a uniformly random oscillator within ±[`MAX_PPM`].
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Oscillator { ppm: rng.gen_range(-MAX_PPM..MAX_PPM) }
+        Oscillator {
+            ppm: rng.gen_range(-MAX_PPM..MAX_PPM),
+        }
     }
 
     /// This oscillator's absolute frequency error at the carrier, Hz.

@@ -1,7 +1,7 @@
 //! Large-scale path loss: log-distance model with log-normal shadowing.
 //!
 //! `PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀) + X_σ`, the standard indoor model
-//! (Goldsmith, *Wireless Communications* — the paper's reference [12]).
+//! (Goldsmith, *Wireless Communications* — the paper's reference \[12\]).
 //! With a 20 dBm transmitter and a −90 dBm noise floor this yields
 //! operational SNRs of roughly 0–30 dB across a 30 m office floor, matching
 //! the SNR range of the paper's Fig. 12.
@@ -22,14 +22,22 @@ pub struct PathLossModel {
 
 impl Default for PathLossModel {
     fn default() -> Self {
-        PathLossModel { ref_loss_db: 46.0, exponent: 3.0, shadowing_sigma_db: 4.0 }
+        PathLossModel {
+            ref_loss_db: 46.0,
+            exponent: 3.0,
+            shadowing_sigma_db: 4.0,
+        }
     }
 }
 
 impl PathLossModel {
     /// Free-space-like model without shadowing (deterministic links).
     pub fn deterministic(exponent: f64) -> Self {
-        PathLossModel { ref_loss_db: 46.0, exponent, shadowing_sigma_db: 0.0 }
+        PathLossModel {
+            ref_loss_db: 46.0,
+            exponent,
+            shadowing_sigma_db: 0.0,
+        }
     }
 
     /// Median path loss at distance `d_m` metres, dB. Distances below 1 m
@@ -61,7 +69,10 @@ pub struct PowerBudget {
 
 impl Default for PowerBudget {
     fn default() -> Self {
-        PowerBudget { tx_power_dbm: 20.0, noise_floor_dbm: -90.0 }
+        PowerBudget {
+            tx_power_dbm: 20.0,
+            noise_floor_dbm: -90.0,
+        }
     }
 }
 

@@ -10,8 +10,8 @@
 //! independently.
 
 use crate::jce::{role_pilot_phase, RoleChannels};
-use ssync_phy::{frame, modulation, ofdm, Params, RateId};
 use ssync_dsp::{Complex64, Fft};
+use ssync_phy::{frame, modulation, ofdm, Params, RateId};
 use ssync_stbc::{encode_pair, Codeword};
 
 /// Builds the joint data waveform one sender transmits for `psdu` at
@@ -20,6 +20,7 @@ use ssync_stbc::{encode_pair, Codeword};
 /// With `smart_combiner = false` the space-time code is bypassed and every
 /// sender transmits identical symbols — the naive strategy the paper's §6
 /// shows suffers destructive combining (kept for the ablation bench).
+#[allow(clippy::too_many_arguments)]
 pub fn joint_data_waveform(
     params: &Params,
     fft: &Fft,
@@ -57,7 +58,12 @@ pub fn joint_data_waveform(
             (true, true)
         };
         wave.extend(ofdm::modulate_symbol_with_pilots(
-            params, fft, &s0, even_idx, cp_len, pilots_even,
+            params,
+            fft,
+            &s0,
+            even_idx,
+            cp_len,
+            pilots_even,
         ));
         wave.extend(ofdm::modulate_symbol_with_pilots(
             params, fft, &s1, odd_idx, cp_len, pilots_odd,
@@ -168,7 +174,11 @@ pub fn decode_joint_data(
     }
     let psdu = frame::decode_data(params, &llrs_per_symbol[..n_syms], rate, psdu_len);
     let stats = CombinerStats {
-        mean_effective_gain: if gain_count > 0 { gain_acc / gain_count as f64 } else { 0.0 },
+        mean_effective_gain: if gain_count > 0 {
+            gain_acc / gain_count as f64
+        } else {
+            0.0
+        },
         evm_snr_db: ssync_dsp::stats::snr_db_from_evm(evm_sig, evm_err),
     };
     Some((psdu, stats))
@@ -180,12 +190,17 @@ mod tests {
     use crate::jce::RoleChannels;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use ssync_dsp::rng::ComplexGaussian;
     use ssync_phy::chanest::ChannelEstimate;
     use ssync_phy::OfdmParams;
-    use ssync_dsp::rng::ComplexGaussian;
 
     /// Builds role channels with constant per-sender gains.
-    fn const_roles(params: &ssync_phy::Params, h_a: Complex64, h_b: Complex64, n0: f64) -> RoleChannels {
+    fn const_roles(
+        params: &ssync_phy::Params,
+        h_a: Complex64,
+        h_b: Complex64,
+        n0: f64,
+    ) -> RoleChannels {
         let occupied = params.occupied_carriers();
         let mk = |v: Complex64| ChannelEstimate {
             carriers: occupied.clone(),
@@ -198,6 +213,7 @@ mod tests {
     }
 
     /// Transmits both roles over flat channels and sums at the receiver.
+    #[allow(clippy::too_many_arguments)]
     fn joint_on_air(
         params: &ssync_phy::Params,
         fft: &Fft,
@@ -230,11 +246,33 @@ mod tests {
         let cp = params.cp_len;
         let h_a = Complex64::from_polar(1.0, 0.7);
         let h_b = Complex64::from_polar(0.8, -2.1);
-        let buf = joint_on_air(&params, &fft, &psdu, RateId::R12, cp, h_a, h_b, 1e-4, 2, true, true);
+        let buf = joint_on_air(
+            &params,
+            &fft,
+            &psdu,
+            RateId::R12,
+            cp,
+            h_a,
+            h_b,
+            1e-4,
+            2,
+            true,
+            true,
+        );
         let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
         let roles = const_roles(&params, h_a, h_b, 1e-4);
         let (decoded, stats) = decode_joint_data(
-            &params, &fft, &buf, 0, n_syms, psdu.len(), RateId::R12, cp, 0, &roles, true,
+            &params,
+            &fft,
+            &buf,
+            0,
+            n_syms,
+            psdu.len(),
+            RateId::R12,
+            cp,
+            0,
+            &roles,
+            true,
         )
         .expect("buffer length");
         assert_eq!(decoded.as_deref(), Some(&psdu[..]));
@@ -256,18 +294,60 @@ mod tests {
         let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
         let roles = const_roles(&params, h_a, h_b, 1e-3);
 
-        let smart_buf =
-            joint_on_air(&params, &fft, &psdu, RateId::R12, cp, h_a, h_b, 1e-3, 4, true, true);
+        let smart_buf = joint_on_air(
+            &params,
+            &fft,
+            &psdu,
+            RateId::R12,
+            cp,
+            h_a,
+            h_b,
+            1e-3,
+            4,
+            true,
+            true,
+        );
         let (smart, _) = decode_joint_data(
-            &params, &fft, &smart_buf, 0, n_syms, psdu.len(), RateId::R12, cp, 0, &roles, true,
+            &params,
+            &fft,
+            &smart_buf,
+            0,
+            n_syms,
+            psdu.len(),
+            RateId::R12,
+            cp,
+            0,
+            &roles,
+            true,
         )
         .unwrap();
         assert_eq!(smart.as_deref(), Some(&psdu[..]), "smart combiner failed");
 
-        let naive_buf =
-            joint_on_air(&params, &fft, &psdu, RateId::R12, cp, h_a, h_b, 1e-3, 5, false, true);
+        let naive_buf = joint_on_air(
+            &params,
+            &fft,
+            &psdu,
+            RateId::R12,
+            cp,
+            h_a,
+            h_b,
+            1e-3,
+            5,
+            false,
+            true,
+        );
         let (naive, _) = decode_joint_data(
-            &params, &fft, &naive_buf, 0, n_syms, psdu.len(), RateId::R12, cp, 0, &roles, true,
+            &params,
+            &fft,
+            &naive_buf,
+            0,
+            n_syms,
+            psdu.len(),
+            RateId::R12,
+            cp,
+            0,
+            &roles,
+            true,
         )
         .unwrap();
         assert_ne!(naive.as_deref(), Some(&psdu[..]), "naive should null out");
@@ -282,11 +362,21 @@ mod tests {
         let psdu: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
         let cp = params.cp_len;
         let h_a = Complex64::from_polar(0.9, 0.3);
-        let wa =
-            joint_data_waveform(&params, &fft, &psdu, RateId::R6, cp, Codeword::A, true, true);
+        let wa = joint_data_waveform(
+            &params,
+            &fft,
+            &psdu,
+            RateId::R6,
+            cp,
+            Codeword::A,
+            true,
+            true,
+        );
         let noise = ComplexGaussian::with_power(1e-4);
-        let buf: Vec<Complex64> =
-            wa.iter().map(|a| h_a * *a + noise.sample(&mut rng)).collect();
+        let buf: Vec<Complex64> = wa
+            .iter()
+            .map(|a| h_a * *a + noise.sample(&mut rng))
+            .collect();
         let occupied = params.occupied_carriers();
         let lead_est = ChannelEstimate {
             carriers: occupied.clone(),
@@ -296,7 +386,17 @@ mod tests {
         let roles = RoleChannels::from_estimates(&params, &[Some(&lead_est), None]);
         let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R6);
         let (decoded, _) = decode_joint_data(
-            &params, &fft, &buf, 0, n_syms, psdu.len(), RateId::R6, cp, 0, &roles, true,
+            &params,
+            &fft,
+            &buf,
+            0,
+            n_syms,
+            psdu.len(),
+            RateId::R6,
+            cp,
+            0,
+            &roles,
+            true,
         )
         .unwrap();
         assert_eq!(decoded.as_deref(), Some(&psdu[..]));
@@ -313,8 +413,26 @@ mod tests {
         let cp = params.cp_len;
         let h_a = Complex64::from_polar(1.0, 0.2);
         let h_b = Complex64::from_polar(1.0, -0.9);
-        let wa = joint_data_waveform(&params, &fft, &psdu, RateId::R12, cp, Codeword::A, true, true);
-        let wb = joint_data_waveform(&params, &fft, &psdu, RateId::R12, cp, Codeword::B, true, true);
+        let wa = joint_data_waveform(
+            &params,
+            &fft,
+            &psdu,
+            RateId::R12,
+            cp,
+            Codeword::A,
+            true,
+            true,
+        );
+        let wb = joint_data_waveform(
+            &params,
+            &fft,
+            &psdu,
+            RateId::R12,
+            cp,
+            Codeword::B,
+            true,
+            true,
+        );
         // 300 Hz residual on role B at 20 Msps.
         let noise = ComplexGaussian::with_power(1e-4);
         let step = 2.0 * std::f64::consts::PI * 300.0 / params.sample_rate_hz;
@@ -329,7 +447,17 @@ mod tests {
         let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
         let roles = const_roles(&params, h_a, h_b, 1e-4);
         let (decoded, _) = decode_joint_data(
-            &params, &fft, &buf, 0, n_syms, psdu.len(), RateId::R12, cp, 0, &roles, true,
+            &params,
+            &fft,
+            &buf,
+            0,
+            n_syms,
+            psdu.len(),
+            RateId::R12,
+            cp,
+            0,
+            &roles,
+            true,
         )
         .unwrap();
         assert_eq!(decoded.as_deref(), Some(&psdu[..]), "pilot tracking failed");
@@ -342,7 +470,17 @@ mod tests {
         let roles = const_roles(&params, Complex64::ONE, Complex64::ONE, 1e-3);
         let buf = vec![Complex64::ZERO; 10];
         assert!(decode_joint_data(
-            &params, &fft, &buf, 0, 4, 10, RateId::R6, params.cp_len, 0, &roles, true
+            &params,
+            &fft,
+            &buf,
+            0,
+            4,
+            10,
+            RateId::R6,
+            params.cp_len,
+            0,
+            &roles,
+            true
         )
         .is_none());
     }

@@ -8,11 +8,11 @@
 //! space-time code *role* channels, and tracks each role's residual
 //! frequency offset through the packet via the shared pilots.
 
+use ssync_dsp::{Complex64, Fft};
 use ssync_phy::chanest::ChannelEstimate;
 use ssync_phy::preamble::lts_values;
 use ssync_phy::scramble::pilot_polarity;
 use ssync_phy::{ofdm, Params};
-use ssync_dsp::{Complex64, Fft};
 use ssync_stbc::codebook::codeword_for;
 use ssync_stbc::Codeword;
 
@@ -53,7 +53,11 @@ pub fn estimate_from_training_slot(
         acc += (grids[0][bin] - grids[1][bin]).norm_sqr();
     }
     let noise_power = acc / (2.0 * refs.len() as f64);
-    ChannelEstimate { carriers, values, noise_power }
+    ChannelEstimate {
+        carriers,
+        values,
+        noise_power,
+    }
 }
 
 /// Missing-sender detection (paper §6): a co-sender participated if its
@@ -127,7 +131,13 @@ impl RoleChannels {
         };
         let (h_a, h_b) = gather(&params.data_carriers);
         let (h_a_pilot, h_b_pilot) = gather(&params.pilot_carriers);
-        RoleChannels { h_a, h_b, h_a_pilot, h_b_pilot, noise_power }
+        RoleChannels {
+            h_a,
+            h_b,
+            h_a_pilot,
+            h_b_pilot,
+            noise_power,
+        }
     }
 
     /// Per-data-carrier effective power gain `|H_A|² + |H_B|²` — the
@@ -171,11 +181,11 @@ pub fn role_pilot_phase(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssync_phy::preamble::cosender_training;
-    use ssync_phy::OfdmParams;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use ssync_dsp::rng::ComplexGaussian;
+    use ssync_phy::preamble::cosender_training;
+    use ssync_phy::OfdmParams;
 
     #[test]
     fn training_slot_estimate_recovers_unit_channel() {
@@ -243,10 +253,7 @@ mod tests {
         let lead = mk(Complex64::new(1.0, 0.0));
         let co1 = mk(Complex64::new(0.0, 1.0));
         let co2 = mk(Complex64::new(0.5, 0.0));
-        let roles = RoleChannels::from_estimates(
-            &params,
-            &[Some(&lead), Some(&co1), Some(&co2)],
-        );
+        let roles = RoleChannels::from_estimates(&params, &[Some(&lead), Some(&co1), Some(&co2)]);
         // Role A = lead + co2 (indices 0 and 2); role B = co1.
         for a in &roles.h_a {
             assert!(a.dist(Complex64::new(1.5, 0.0)) < 1e-12);

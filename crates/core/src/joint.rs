@@ -121,6 +121,7 @@ const CAPTURE_MARGIN: usize = 400;
 /// Runs one complete joint transmission. See the module docs for the
 /// protocol walkthrough. Co-senders that fail to decode the header simply
 /// do not join (the subset-decodability path of §6 then applies).
+#[allow(clippy::too_many_arguments)]
 pub fn run_joint_transmission<R: Rng + ?Sized>(
     net: &mut Network,
     rng: &mut R,
@@ -147,8 +148,7 @@ pub fn run_joint_transmission<R: Rng + ?Sized>(
         cp_extension: cfg.cp_extension as u8,
         n_cosenders: plans.len() as u8,
     };
-    let timeline =
-        JointTimeline::new(&params, psdu.len(), cfg.rate, cfg.cp_extension, plans.len());
+    let timeline = JointTimeline::new(&params, psdu.len(), cfg.rate, cfg.cp_extension, plans.len());
     let data_cp = timeline.data_cp;
 
     net.medium.clear_transmissions();
@@ -182,14 +182,15 @@ pub fn run_joint_transmission<R: Rng + ?Sized>(
         if res.signal.flags & frame::FLAG_JOINT == 0 {
             continue;
         }
-        let Some(decoded_header) = SyncHeader::from_bytes(&res.payload) else { continue };
+        let Some(decoded_header) = SyncHeader::from_bytes(&res.payload) else {
+            continue;
+        };
         if decoded_header.packet_id != header.packet_id {
             continue; // co-sender does not hold this packet
         }
 
         // Estimated ether time of the header's first sample at the lead.
-        let slot_offset_s =
-            (timeline.training_slot(i) as u64 * period) as f64 * 1e-15;
+        let slot_offset_s = (timeline.training_slot(i) as u64 * period) as f64 * 1e-15;
         let target_s = if cfg.delay_compensation {
             let arrival_s = arrival_estimate_s(&params, &res.diag, Time::ZERO);
             let d_lead_co = db.delay_s(lead, co).unwrap_or(0.0);
@@ -228,8 +229,7 @@ pub fn run_joint_transmission<R: Rng + ?Sized>(
             cfg.smart_combiner,
             cfg.pilot_sharing,
         );
-        let data_gap_samples =
-            (timeline.data_start() - timeline.training_slot(i)) as u64;
+        let data_gap_samples = (timeline.data_start() - timeline.training_slot(i)) as u64;
         let data_time = Time(tx_time.0 + data_gap_samples * period);
         let (mut training, mut data) = (training, data);
         if cfg.cfo_precorrection {
@@ -239,7 +239,12 @@ pub fn run_joint_transmission<R: Rng + ?Sized>(
             // both. The NCO runs continuously across training and data.
             let cfo = res.diag.detection.cfo_hz;
             apply_cfo_from(&mut training, cfo, params.sample_rate_hz, 0.0);
-            apply_cfo_from(&mut data, cfo, params.sample_rate_hz, data_gap_samples as f64);
+            apply_cfo_from(
+                &mut data,
+                cfo,
+                params.sample_rate_hz,
+                data_gap_samples as f64,
+            );
         }
         net.medium.transmit(co, tx_time, training);
         net.medium.transmit(co, data_time, data);
@@ -261,8 +266,7 @@ pub fn run_joint_transmission<R: Rng + ?Sized>(
         for (i, plan) in plans.iter().enumerate() {
             match co_data_times[i] {
                 Some(cdt) => {
-                    let lead_arrival =
-                        lead_data_time.as_secs_f64() + net.true_delay_s(lead, rcv);
+                    let lead_arrival = lead_data_time.as_secs_f64() + net.true_delay_s(lead, rcv);
                     let co_arrival = cdt.as_secs_f64() + net.true_delay_s(plan.node, rcv);
                     truth.push(co_arrival - lead_arrival);
                 }
@@ -273,7 +277,11 @@ pub fn run_joint_transmission<R: Rng + ?Sized>(
         reports.push(report);
     }
 
-    JointOutcome { reports, true_misalign_s: true_misalign, co_tx_times }
+    JointOutcome {
+        reports,
+        true_misalign_s: true_misalign,
+        co_tx_times,
+    }
 }
 
 /// Joint-frame reception at one node.
@@ -301,11 +309,15 @@ fn decode_at_receiver(
         effective_snr_db: Vec::new(),
         stats: CombinerStats::default(),
     };
-    let Ok(res) = rx.receive(buf) else { return empty };
+    let Ok(res) = rx.receive(buf) else {
+        return empty;
+    };
     if res.signal.flags & frame::FLAG_JOINT == 0 {
         return empty;
     }
-    let Some(rx_header) = SyncHeader::from_bytes(&res.payload) else { return empty };
+    let Some(rx_header) = SyncHeader::from_bytes(&res.payload) else {
+        return empty;
+    };
     if rx_header.packet_id != header.packet_id {
         return empty;
     }
@@ -318,7 +330,11 @@ fn decode_at_receiver(
     // CFO-correct a copy referenced to sample 0 (same convention as the
     // phy receiver, so the lead channel estimate stays consistent).
     let mut corrected = buf.to_vec();
-    ssync_dsp::mixer::apply_cfo(&mut corrected, -res.diag.detection.cfo_hz, params.sample_rate_hz);
+    ssync_dsp::mixer::apply_cfo(
+        &mut corrected,
+        -res.diag.detection.cfo_hz,
+        params.sample_rate_hz,
+    );
 
     // Noise floor from the SIFS silence (time domain), for presence checks.
     let sifs_lo = base + timeline.header_len + timeline.sifs_len / 4;
@@ -346,17 +362,15 @@ fn decode_at_receiver(
             timeline.training_slot_len - 2 * trim,
             time_noise,
         );
-        if ratio < PRESENCE_THRESHOLD
-            || corrected.len() < slot + timeline.training_slot_len
-        {
+        if ratio < PRESENCE_THRESHOLD || corrected.len() < slot + timeline.training_slot_len {
             co_channels.push(None);
             misalign.push(None);
             continue;
         }
         let est = estimate_from_training_slot(params, fft, &corrected, slot, data_cp, backoff);
         // Misalignment: co-sender's sub-sample offset minus the lead's.
-        let delta_co = delay_from_slope(params, phase_slope(params, &est, 3e6))
-            - backoff.min(data_cp) as f64;
+        let delta_co =
+            delay_from_slope(params, phase_slope(params, &est, 3e6)) - backoff.min(data_cp) as f64;
         let delta_lead = res.diag.timing_offset_samples;
         misalign.push(Some((delta_co - delta_lead) * period as f64 * 1e-15));
         co_channels.push(Some(est));
@@ -418,7 +432,12 @@ mod tests {
             Position::new(6.0, 8.0),
         ];
         let mut rng = StdRng::seed_from_u64(seed);
-        Network::build(&mut rng, &params, &positions, &ChannelModels::clean(&params))
+        Network::build(
+            &mut rng,
+            &params,
+            &positions,
+            &ChannelModels::clean(&params),
+        )
     }
 
     fn measured_db(net: &mut Network, seed: u64) -> DelayDatabase {
@@ -433,14 +452,19 @@ mod tests {
     fn end_to_end_joint_frame_decodes() {
         let mut net = test_network(1);
         let db = measured_db(&mut net, 2);
-        let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+        let sol = db
+            .wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)])
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let payload: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
         let out = run_joint_transmission(
             &mut net,
             &mut rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: sol.waits[0],
+            }],
             &[NodeId(2)],
             &payload,
             &db,
@@ -449,7 +473,11 @@ mod tests {
         let report = &out.reports[0];
         assert!(report.header_ok, "header failed");
         assert!(report.co_channels[0].is_some(), "co-sender not seen");
-        assert_eq!(report.payload.as_deref(), Some(&payload[..]), "joint data failed");
+        assert_eq!(
+            report.payload.as_deref(),
+            Some(&payload[..]),
+            "joint data failed"
+        );
         // Synchronization: the residual misalignment should be within a few
         // sample periods (< 3 samples at 20 Msps = 150 ns for this coarse
         // numerology; the wiglan preset tightens this in the benches).
@@ -468,7 +496,9 @@ mod tests {
     fn uncompensated_baseline_is_worse() {
         let mut net = test_network(4);
         let db = measured_db(&mut net, 5);
-        let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+        let sol = db
+            .wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)])
+            .unwrap();
         let payload = vec![0x42u8; 100];
 
         let mut rng = StdRng::seed_from_u64(6);
@@ -476,19 +506,28 @@ mod tests {
             &mut net,
             &mut rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: sol.waits[0],
+            }],
             &[NodeId(2)],
             &payload,
             &db,
             &JointConfig::default(),
         );
         let mut rng = StdRng::seed_from_u64(6);
-        let base_cfg = JointConfig { delay_compensation: false, ..Default::default() };
+        let base_cfg = JointConfig {
+            delay_compensation: false,
+            ..Default::default()
+        };
         let base_out = run_joint_transmission(
             &mut net,
             &mut rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: 0.0 }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: 0.0,
+            }],
             &[NodeId(2)],
             &payload,
             &db,
@@ -514,15 +553,22 @@ mod tests {
             Position::new(6.0, 8.0),
         ];
         let mut rng = StdRng::seed_from_u64(7);
-        let mut net =
-            Network::build(&mut rng, &params, &positions, &ChannelModels::clean(&params));
+        let mut net = Network::build(
+            &mut rng,
+            &params,
+            &positions,
+            &ChannelModels::clean(&params),
+        );
         let db = DelayDatabase::new(); // empty: co never joins anyway
         let payload = vec![0x77u8; 150];
         let out = run_joint_transmission(
             &mut net,
             &mut rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: 0.0 }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: 0.0,
+            }],
             &[NodeId(2)],
             &payload,
             &db,
@@ -531,7 +577,11 @@ mod tests {
         let report = &out.reports[0];
         assert!(report.header_ok);
         assert!(report.co_channels[0].is_none(), "ghost co-sender");
-        assert_eq!(report.payload.as_deref(), Some(&payload[..]), "lone lead failed");
+        assert_eq!(
+            report.payload.as_deref(),
+            Some(&payload[..]),
+            "lone lead failed"
+        );
         assert!(out.true_misalign_s[0][0].is_nan());
     }
 
@@ -539,13 +589,18 @@ mod tests {
     fn effective_snr_reported_per_carrier() {
         let mut net = test_network(8);
         let db = measured_db(&mut net, 9);
-        let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+        let sol = db
+            .wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)])
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(10);
         let out = run_joint_transmission(
             &mut net,
             &mut rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: sol.waits[0],
+            }],
             &[NodeId(2)],
             &[1, 2, 3, 4],
             &db,

@@ -36,8 +36,7 @@ pub fn arrival_estimate_s(
     capture_start: Time,
 ) -> f64 {
     let layout_lts = PreambleLayout::of(params).lts_start();
-    let samples =
-        diag.detection.lts_start as f64 + diag.timing_offset_samples - layout_lts as f64;
+    let samples = diag.detection.lts_start as f64 + diag.timing_offset_samples - layout_lts as f64;
     capture_start.as_secs_f64() + samples * params.sample_period_fs() as f64 * 1e-15
 }
 
@@ -92,10 +91,8 @@ pub fn probe_pair<R: Rng + ?Sized>(
     // SIFS-like clearance; it reports its receive→transmit interval.
     let turnaround = net.node(b).turnaround;
     let clearance = ssync_sim::Duration::from_secs_f64(SIFS_S);
-    let resp_earliest = Time(
-        (b_arrival_s * 1e15) as u64 + (probe_len as u64) * period,
-    ) + turnaround
-        + clearance;
+    let resp_earliest =
+        Time((b_arrival_s * 1e15) as u64 + (probe_len as u64) * period) + turnaround + clearance;
     let resp_time = resp_earliest
         .max(b_detect + turnaround)
         .ceil_to_sample(period);
@@ -109,9 +106,8 @@ pub fn probe_pair<R: Rng + ?Sized>(
 
     // A captures the response. Scan from after its own transmission ended.
     let a_from = t0 + ssync_sim::Duration((probe_len as u64) * period);
-    let a_window = resp_time.saturating_since(a_from).0 as usize / period as usize
-        + resp_len
-        + CAPTURE_MARGIN;
+    let a_window =
+        resp_time.saturating_since(a_from).0 as usize / period as usize + resp_len + CAPTURE_MARGIN;
     let a_buf = net.medium.capture(rng, a, a_from, a_window);
     let a_res = rx.receive(&a_buf).ok()?;
     let reported_rx_to_tx = f64::from_le_bytes(a_res.payload.get(0..8)?.try_into().ok()?);
@@ -167,8 +163,10 @@ impl DelayDatabase {
             return false;
         }
         self.set_delay(a, b, ssync_dsp::stats::mean(&delays));
-        self.cfo_hz.insert((a.0, b.0), ssync_dsp::stats::mean(&cfos));
-        self.cfo_hz.insert((b.0, a.0), -ssync_dsp::stats::mean(&cfos));
+        self.cfo_hz
+            .insert((a.0, b.0), ssync_dsp::stats::mean(&cfos));
+        self.cfo_hz
+            .insert((b.0, a.0), -ssync_dsp::stats::mean(&cfos));
         true
     }
 
@@ -253,7 +251,12 @@ mod tests {
             Position::new(spacing_m / 2.0, 6.0),
         ];
         let mut rng = StdRng::seed_from_u64(seed);
-        Network::build(&mut rng, &params, &positions, &ChannelModels::clean(&params))
+        Network::build(
+            &mut rng,
+            &params,
+            &positions,
+            &ChannelModels::clean(&params),
+        )
     }
 
     #[test]
@@ -274,11 +277,7 @@ mod tests {
     #[test]
     fn probe_recovers_cfo_sign_and_magnitude() {
         let mut net = line_network(3, 8.0);
-        let true_cfo = net
-            .medium
-            .link(NodeId(0), NodeId(1))
-            .unwrap()
-            .cfo_hz;
+        let true_cfo = net.medium.link(NodeId(0), NodeId(1)).unwrap().cfo_hz;
         let mut rng = StdRng::seed_from_u64(4);
         let p = probe_pair(&mut net, &mut rng, NodeId(0), NodeId(1)).expect("probe failed");
         assert!(
@@ -296,10 +295,12 @@ mod tests {
         let nodes = [NodeId(0), NodeId(1), NodeId(2)];
         assert!(db.measure_all(&mut net, &mut rng, &nodes, 2));
         // Lead 0, co-sender 1, receiver 2: single receiver → perfect waits.
-        let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+        let sol = db
+            .wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)])
+            .unwrap();
         assert!(sol.max_misalignment < 1e-12);
-        let expect = db.delay_s(NodeId(0), NodeId(2)).unwrap()
-            - db.delay_s(NodeId(1), NodeId(2)).unwrap();
+        let expect =
+            db.delay_s(NodeId(0), NodeId(2)).unwrap() - db.delay_s(NodeId(1), NodeId(2)).unwrap();
         assert!((sol.waits[0] - expect).abs() < 1e-12);
         // And the estimated delays are close to geometric truth.
         assert!(
@@ -312,7 +313,9 @@ mod tests {
     #[test]
     fn wait_solution_missing_delay_is_none() {
         let db = DelayDatabase::new();
-        assert!(db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).is_none());
+        assert!(db
+            .wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)])
+            .is_none());
     }
 
     #[test]

@@ -40,7 +40,13 @@ pub struct JointTimeline {
 
 impl JointTimeline {
     /// Computes the timeline for a joint frame.
-    pub fn new(params: &Params, psdu_len: usize, rate: RateId, cp_extension: usize, n_cosenders: usize) -> Self {
+    pub fn new(
+        params: &Params,
+        psdu_len: usize,
+        rate: RateId,
+        cp_extension: usize,
+        n_cosenders: usize,
+    ) -> Self {
         let header_psdu = crate::wire::SYNC_HEADER_LEN + 4; // + CRC32
         let layout = preamble::PreambleLayout::of(params);
         let sym = params.symbol_len();
@@ -75,7 +81,11 @@ impl JointTimeline {
     /// # Panics
     /// Panics if `i >= n_cosenders`.
     pub fn training_slot(&self, i: usize) -> usize {
-        assert!(i < self.n_cosenders, "co-sender {i} of {}", self.n_cosenders);
+        assert!(
+            i < self.n_cosenders,
+            "co-sender {i} of {}",
+            self.n_cosenders
+        );
         self.global_reference() + i * self.training_slot_len
     }
 
@@ -118,7 +128,10 @@ mod tests {
         assert!(t.header_len > 0);
         assert_eq!(t.global_reference(), t.header_len + t.sifs_len);
         assert_eq!(t.training_slot(0), t.global_reference());
-        assert_eq!(t.training_slot(1), t.global_reference() + t.training_slot_len);
+        assert_eq!(
+            t.training_slot(1),
+            t.global_reference() + t.training_slot_len
+        );
         assert_eq!(t.data_start(), t.training_slot(1) + t.training_slot_len);
         assert!(t.total_len() > t.data_start());
     }

@@ -98,7 +98,10 @@ pub fn energy_ratio(signal: &[Complex64], window: usize) -> Vec<f64> {
         return Vec::new();
     }
     let mut lead: f64 = signal[..window].iter().map(|v| v.norm_sqr()).sum();
-    let mut trail: f64 = signal[window..2 * window].iter().map(|v| v.norm_sqr()).sum();
+    let mut trail: f64 = signal[window..2 * window]
+        .iter()
+        .map(|v| v.norm_sqr())
+        .sum();
     let n = signal.len() - 2 * window + 1;
     let mut out = Vec::with_capacity(n);
     for t in 0..n {

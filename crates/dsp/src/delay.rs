@@ -54,7 +54,10 @@ pub fn fractional_kernel(mu: f64) -> Vec<f64> {
     assert!((0.0..1.0).contains(&mu), "mu must be in [0,1), got {mu}");
     let n = 2 * SINC_HALF_WIDTH;
     let mut kernel = Vec::with_capacity(n);
-    for (i, k) in (0..n).map(|i| (i, i as f64 - (SINC_HALF_WIDTH - 1) as f64)).collect::<Vec<_>>() {
+    for (i, k) in (0..n)
+        .map(|i| (i, i as f64 - (SINC_HALF_WIDTH - 1) as f64))
+        .collect::<Vec<_>>()
+    {
         let x = k - mu;
         kernel.push(sinc(x) * blackman(i, n));
     }
@@ -76,7 +79,10 @@ pub fn fractional_kernel(mu: f64) -> Vec<f64> {
 /// sample `i` of the *input* appears (band-limited-interpolated) at output
 /// index `i + delay` exactly, so callers can reason in input coordinates.
 pub fn fractional_delay(signal: &[Complex64], delay: f64) -> Vec<Complex64> {
-    assert!(delay >= 0.0 && delay.is_finite(), "delay must be finite and >= 0, got {delay}");
+    assert!(
+        delay >= 0.0 && delay.is_finite(),
+        "delay must be finite and >= 0, got {delay}"
+    );
     let int_part = delay.floor() as usize;
     let mu = delay - int_part as f64;
     if mu == 0.0 {
@@ -115,7 +121,11 @@ pub fn spectrum_delay(spectrum: &mut [Complex64], delay: f64) {
     let n = spectrum.len();
     for (k, v) in spectrum.iter_mut().enumerate() {
         // Signed bin index: bins above N/2 represent negative frequencies.
-        let k_signed = if k <= n / 2 { k as f64 } else { k as f64 - n as f64 };
+        let k_signed = if k <= n / 2 {
+            k as f64
+        } else {
+            k as f64 - n as f64
+        };
         *v *= Complex64::cis(-2.0 * PI * k_signed * delay / n as f64);
     }
 }
@@ -136,10 +146,14 @@ mod tests {
         let fft = Fft::new(n);
         let mut spec = vec![Complex64::ZERO; n];
         // Occupy bins within ±N/4 of DC.
-        for k in 0..n {
-            let k_signed = if k <= n / 2 { k as isize } else { k as isize - n as isize };
+        for (k, bin) in spec.iter_mut().enumerate() {
+            let k_signed = if k <= n / 2 {
+                k as isize
+            } else {
+                k as isize - n as isize
+            };
             if k_signed.unsigned_abs() < n / 4 {
-                spec[k] = gauss.sample(&mut rng);
+                *bin = gauss.sample(&mut rng);
             }
         }
         fft.inverse_to_vec(&spec)

@@ -36,7 +36,10 @@ impl Fft {
     /// # Panics
     /// Panics if `n` is not a power of two or is smaller than 2.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two >= 2, got {n}");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "FFT size must be a power of two >= 2, got {n}"
+        );
         let log2n = n.trailing_zeros();
         let twiddles = (0..n / 2)
             .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
@@ -44,7 +47,12 @@ impl Fft {
         let bitrev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - log2n))
             .collect();
-        Fft { n, log2n, twiddles, bitrev }
+        Fft {
+            n,
+            log2n,
+            twiddles,
+            bitrev,
+        }
     }
 
     /// The transform size.
@@ -60,7 +68,13 @@ impl Fft {
     }
 
     fn transform(&self, buf: &mut [Complex64], inverse: bool) {
-        assert_eq!(buf.len(), self.n, "buffer length {} != FFT size {}", buf.len(), self.n);
+        assert_eq!(
+            buf.len(),
+            self.n,
+            "buffer length {} != FFT size {}",
+            buf.len(),
+            self.n
+        );
         // Bit-reversal permutation.
         for i in 0..self.n {
             let j = self.bitrev[i] as usize;

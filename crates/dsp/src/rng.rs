@@ -22,13 +22,19 @@ impl Gaussian {
     /// # Panics
     /// Panics if `std` is negative or non-finite.
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(std >= 0.0 && std.is_finite(), "std must be finite and non-negative");
+        assert!(
+            std >= 0.0 && std.is_finite(),
+            "std must be finite and non-negative"
+        );
         Gaussian { mean, std }
     }
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Gaussian { mean: 0.0, std: 1.0 }
+        Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// Draws one sample using the Box-Muller transform.
@@ -59,8 +65,13 @@ impl ComplexGaussian {
     /// # Panics
     /// Panics if `power` is negative or non-finite.
     pub fn with_power(power: f64) -> Self {
-        assert!(power >= 0.0 && power.is_finite(), "power must be finite and non-negative");
-        ComplexGaussian { component_std: (power / 2.0).sqrt() }
+        assert!(
+            power >= 0.0 && power.is_finite(),
+            "power must be finite and non-negative"
+        );
+        ComplexGaussian {
+            component_std: (power / 2.0).sqrt(),
+        }
     }
 
     /// Unit-power complex Gaussian `CN(0, 1)`.

@@ -153,7 +153,10 @@ mod tests {
     fn percentile_ignores_input_order() {
         let a = [5.0, 1.0, 4.0, 2.0, 3.0];
         assert_eq!(median(&a), 3.0);
-        assert_eq!(percentile(&a, 95.0), percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 95.0));
+        assert_eq!(
+            percentile(&a, 95.0),
+            percentile(&[1.0, 2.0, 3.0, 4.0, 5.0], 95.0)
+        );
     }
 
     #[test]

@@ -107,11 +107,17 @@ mod tests {
     #[test]
     fn controller_fanout_and_reregistration() {
         let mut c = Controller::new();
-        c.register(Association { client: NodeId(1), aps: vec![NodeId(10), NodeId(11)] });
+        c.register(Association {
+            client: NodeId(1),
+            aps: vec![NodeId(10), NodeId(11)],
+        });
         assert_eq!(c.fanout(NodeId(1)), Some(&[NodeId(10), NodeId(11)][..]));
         assert_eq!(c.fanout(NodeId(2)), None);
         // Re-registering replaces.
-        c.register(Association { client: NodeId(1), aps: vec![NodeId(12)] });
+        c.register(Association {
+            client: NodeId(1),
+            aps: vec![NodeId(12)],
+        });
         assert_eq!(c.fanout(NodeId(1)), Some(&[NodeId(12)][..]));
     }
 

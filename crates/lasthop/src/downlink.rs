@@ -38,7 +38,10 @@ impl ClientScenario {
 
     /// The best single AP's downlink SNR.
     pub fn best_single_snr_db(&self) -> f64 {
-        self.downlink_snr_db.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.downlink_snr_db
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// ACK delivery probability with uplink receiver diversity: lost only
@@ -99,14 +102,12 @@ pub fn run_session<R: Rng + ?Sized>(
     // the AWGN-calibrated table suggests; the joint composite channel is
     // diversity-flattened and does not (see ssync_phy::ber).
     let snr = match mode {
-        Mode::BestSingleAp => {
-            scenario.best_single_snr_db() - ssync_phy::ber::FADING_PENALTY_DB
-        }
+        Mode::BestSingleAp => scenario.best_single_snr_db() - ssync_phy::ber::FADING_PENALTY_DB,
         Mode::SourceSync => scenario.joint_downlink_snr_db(),
     };
     let joint_overhead_s = if n_co > 0 {
-        SIFS_S + n_co as f64 * 2.0 * (params.fft_size + params.cp_len) as f64
-            / params.sample_rate_hz
+        SIFS_S
+            + n_co as f64 * 2.0 * (params.fft_size + params.cp_len) as f64 / params.sample_rate_hz
     } else {
         0.0
     };
@@ -191,14 +192,19 @@ mod tests {
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
             single_sum += run_session(
-                &mut rng, &params, &per, &s, Mode::BestSingleAp, 1460, 400, 7,
+                &mut rng,
+                &params,
+                &per,
+                &s,
+                Mode::BestSingleAp,
+                1460,
+                400,
+                7,
             )
             .throughput_bps;
             let mut rng = StdRng::seed_from_u64(seed);
-            joint_sum += run_session(
-                &mut rng, &params, &per, &s, Mode::SourceSync, 1460, 400, 7,
-            )
-            .throughput_bps;
+            joint_sum += run_session(&mut rng, &params, &per, &s, Mode::SourceSync, 1460, 400, 7)
+                .throughput_bps;
         }
         assert!(
             joint_sum > 1.15 * single_sum,
@@ -214,8 +220,16 @@ mod tests {
         let per = PerTable::analytic();
         let s = scenario(35.0, 35.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let single =
-            run_session(&mut rng, &params, &per, &s, Mode::BestSingleAp, 1460, 300, 7);
+        let single = run_session(
+            &mut rng,
+            &params,
+            &per,
+            &s,
+            Mode::BestSingleAp,
+            1460,
+            300,
+            7,
+        );
         let mut rng = StdRng::seed_from_u64(1);
         let joint = run_session(&mut rng, &params, &per, &s, Mode::SourceSync, 1460, 300, 7);
         assert!(joint.throughput_bps > 0.90 * single.throughput_bps);

@@ -91,9 +91,7 @@ impl SampleRate {
             let candidates: Vec<RateId> = RateId::ALL
                 .into_iter()
                 .filter(|r| {
-                    *r != self.current
-                        && !self.excluded(*r)
-                        && self.tx_time_s(*r, 1) < current_avg
+                    *r != self.current && !self.excluded(*r) && self.tx_time_s(*r, 1) < current_avg
                 })
                 .collect();
             if !candidates.is_empty() {
@@ -217,7 +215,10 @@ mod tests {
     fn higher_snr_never_settles_slower_much() {
         let low = settle(8.0, 4);
         let high = settle(24.0, 4);
-        assert!(high.nominal_mbps() >= low.nominal_mbps(), "{low:?} vs {high:?}");
+        assert!(
+            high.nominal_mbps() >= low.nominal_mbps(),
+            "{low:?} vs {high:?}"
+        );
     }
 
     #[test]
@@ -247,6 +248,10 @@ mod tests {
         for _ in 0..3 {
             sr.report(RateId::R54, 7, false);
         }
-        assert!(sr.current() < RateId::R54, "did not step down: {:?}", sr.current());
+        assert!(
+            sr.current() < RateId::R54,
+            "did not step down: {:?}",
+            sr.current()
+        );
     }
 }

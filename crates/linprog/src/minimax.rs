@@ -129,9 +129,14 @@ impl MisalignmentProblem {
             LpOutcome::Optimal(x, _) => {
                 let waits: Vec<f64> = (0..c).map(|i| x[i] - x[c + i]).collect();
                 let max_misalignment = self.misalignment_of(&waits);
-                WaitSolution { waits, max_misalignment }
+                WaitSolution {
+                    waits,
+                    max_misalignment,
+                }
             }
-            other => unreachable!("min-max misalignment LP is always feasible and bounded: {other:?}"),
+            other => {
+                unreachable!("min-max misalignment LP is always feasible and bounded: {other:?}")
+            }
         }
     }
 }
@@ -149,7 +154,11 @@ mod tests {
             cosender_delays: vec![vec![40e-9], vec![160e-9]],
         };
         let sol = p.solve();
-        assert!(sol.max_misalignment < 1e-12, "residual {}", sol.max_misalignment);
+        assert!(
+            sol.max_misalignment < 1e-12,
+            "residual {}",
+            sol.max_misalignment
+        );
         assert!((sol.waits[0] - 60e-9).abs() < 1e-12); // w = T0 − t
         assert!((sol.waits[1] + 60e-9).abs() < 1e-12); // negative: send early
     }
@@ -166,8 +175,16 @@ mod tests {
             cosender_delays: vec![vec![150e-9, 100e-9]],
         };
         let sol = p.solve();
-        assert!((sol.max_misalignment - 100e-9).abs() < 1e-12, "{}", sol.max_misalignment);
-        assert!(sol.waits[0].abs() < 1e-12, "optimal wait is 0, got {}", sol.waits[0]);
+        assert!(
+            (sol.max_misalignment - 100e-9).abs() < 1e-12,
+            "{}",
+            sol.max_misalignment
+        );
+        assert!(
+            sol.waits[0].abs() < 1e-12,
+            "optimal wait is 0, got {}",
+            sol.waits[0]
+        );
     }
 
     #[test]
@@ -182,7 +199,10 @@ mod tests {
             let co: Vec<Vec<f64>> = (0..n_co)
                 .map(|_| (0..n_rx).map(|_| rng.gen_range(10e-9..300e-9)).collect())
                 .collect();
-            let p = MisalignmentProblem { lead_delays: lead.clone(), cosender_delays: co.clone() };
+            let p = MisalignmentProblem {
+                lead_delays: lead.clone(),
+                cosender_delays: co.clone(),
+            };
             let sol = p.solve();
             let naive: Vec<f64> = (0..n_co).map(|i| lead[0] - co[i][0]).collect();
             let naive_mis = p.misalignment_of(&naive);

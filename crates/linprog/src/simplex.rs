@@ -55,8 +55,8 @@ impl LinearProgram {
         for i in 0..m {
             let mut row = vec![0.0; n + m];
             let flip = self.b[i] < 0.0;
-            for j in 0..n {
-                row[j] = if flip { -self.a[i][j] } else { self.a[i][j] };
+            for (dst, &src) in row.iter_mut().zip(&self.a[i]) {
+                *dst = if flip { -src } else { src };
             }
             row[n + i] = if flip { -1.0 } else { 1.0 };
             let rhs = if flip { -self.b[i] } else { self.b[i] };
@@ -66,6 +66,7 @@ impl LinearProgram {
         }
         let n_art: usize = needs_artificial.iter().filter(|f| **f).count();
         let total_cols = n + m + n_art; // + rhs handled separately
+
         // Insert artificial columns.
         let mut art_index = 0usize;
         let mut basis: Vec<usize> = Vec::with_capacity(m);
@@ -85,9 +86,7 @@ impl LinearProgram {
         // Phase 1: minimise the sum of artificials.
         if n_art > 0 {
             let mut obj = vec![0.0; total_cols + 1];
-            for j in n + m..total_cols {
-                obj[j] = 1.0;
-            }
+            obj[n + m..total_cols].fill(1.0);
             // Make the objective row consistent with the starting basis.
             for (i, &bv) in basis.iter().enumerate() {
                 if bv >= n + m {
@@ -115,9 +114,7 @@ impl LinearProgram {
 
         // Phase 2: original objective.
         let mut obj = vec![0.0; total_cols + 1];
-        for j in 0..n {
-            obj[j] = self.c[j];
-        }
+        obj[..n].copy_from_slice(&self.c);
         for (i, &bv) in basis.iter().enumerate() {
             if bv < total_cols && obj[bv].abs() > EPS {
                 let coef = obj[bv];
@@ -127,9 +124,7 @@ impl LinearProgram {
             }
         }
         // Forbid re-entering artificial columns.
-        for j in n + m..total_cols {
-            obj[j] = f64::INFINITY;
-        }
+        obj[n + m..total_cols].fill(f64::INFINITY);
         if !Self::iterate(&mut rows, &mut obj, &mut basis, total_cols) {
             return LpOutcome::Unbounded;
         }
@@ -164,8 +159,7 @@ impl LinearProgram {
                     let ratio = row[total_cols] / row[enter];
                     match leave {
                         Some((li, lr))
-                            if ratio > lr + EPS
-                                || (ratio > lr - EPS && basis[i] >= basis[li]) => {}
+                            if ratio > lr + EPS || (ratio > lr - EPS && basis[i] >= basis[li]) => {}
                         _ => leave = Some((i, ratio)),
                     }
                 }
@@ -201,12 +195,16 @@ impl LinearProgram {
         for v in rows[leave_row].iter_mut() {
             *v /= pivot;
         }
-        for i in 0..rows.len() {
-            if i != leave_row && rows[i][enter].abs() > EPS {
-                let k = rows[i][enter];
-                for j in 0..=total_cols {
-                    let delta = k * rows[leave_row][j];
-                    rows[i][j] -= delta;
+        // Split the slice so the pivot row can be read while other rows are
+        // updated in place, without cloning it each pivot.
+        let (before, rest) = rows.split_at_mut(leave_row);
+        let (pivot_rows, after) = rest.split_at_mut(1);
+        let pivot_row: &[f64] = &pivot_rows[0];
+        for row in before.iter_mut().chain(after.iter_mut()) {
+            if row[enter].abs() > EPS {
+                let k = row[enter];
+                for (v, &p) in row.iter_mut().zip(pivot_row) {
+                    *v -= k * p;
                 }
             }
         }
@@ -229,7 +227,10 @@ mod tests {
     fn assert_optimal(outcome: LpOutcome, want_x: &[f64], want_obj: f64) {
         match outcome {
             LpOutcome::Optimal(x, obj) => {
-                assert!((obj - want_obj).abs() < 1e-6, "objective {obj} want {want_obj}");
+                assert!(
+                    (obj - want_obj).abs() < 1e-6,
+                    "objective {obj} want {want_obj}"
+                );
                 for (a, b) in x.iter().zip(want_x) {
                     assert!((a - b).abs() < 1e-6, "x {x:?} want {want_x:?}");
                 }
@@ -252,7 +253,11 @@ mod tests {
     #[test]
     fn negative_rhs_needs_phase_one() {
         // min x s.t. -x ≤ -3 (i.e. x ≥ 3) → x = 3.
-        let lp = LinearProgram { c: vec![1.0], a: vec![vec![-1.0]], b: vec![-3.0] };
+        let lp = LinearProgram {
+            c: vec![1.0],
+            a: vec![vec![-1.0]],
+            b: vec![-3.0],
+        };
         assert_optimal(lp.solve(), &[3.0], 3.0);
     }
 
@@ -270,7 +275,11 @@ mod tests {
     #[test]
     fn unbounded_detected() {
         // min -x s.t. -x ≤ 0 → x can grow without bound.
-        let lp = LinearProgram { c: vec![-1.0], a: vec![vec![-1.0]], b: vec![0.0] };
+        let lp = LinearProgram {
+            c: vec![-1.0],
+            a: vec![vec![-1.0]],
+            b: vec![0.0],
+        };
         assert_eq!(lp.solve(), LpOutcome::Unbounded);
     }
 

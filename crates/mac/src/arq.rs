@@ -45,11 +45,19 @@ pub fn send_packet<R: Rng + ?Sized>(
         let bo = backoff.draw(rng);
         total = total + exchange_duration(params, timing, rate, payload_len, bo);
         if rng.gen::<f64>() < success_prob {
-            return ArqOutcome { delivered: true, attempts: attempt, medium_time: total };
+            return ArqOutcome {
+                delivered: true,
+                attempts: attempt,
+                medium_time: total,
+            };
         }
         backoff.on_failure();
     }
-    ArqOutcome { delivered: false, attempts: retry_limit.max(1), medium_time: total }
+    ArqOutcome {
+        delivered: false,
+        attempts: retry_limit.max(1),
+        medium_time: total,
+    }
 }
 
 /// Expected number of attempts for success probability `p` with unlimited
@@ -78,7 +86,15 @@ pub fn bulk_throughput_bps<R: Rng + ?Sized>(
     let mut delivered_bits = 0u64;
     let mut total = Duration::ZERO;
     for _ in 0..n_packets {
-        let o = send_packet(rng, params, timing, rate, payload_len, success_prob, retry_limit);
+        let o = send_packet(
+            rng,
+            params,
+            timing,
+            rate,
+            payload_len,
+            success_prob,
+            retry_limit,
+        );
         total = total + o.medium_time;
         if o.delivered {
             delivered_bits += (payload_len * 8) as u64;
@@ -102,7 +118,15 @@ mod tests {
     fn lossless_link_single_attempt() {
         let params = OfdmParams::dot11a();
         let mut rng = StdRng::seed_from_u64(1);
-        let o = send_packet(&mut rng, &params, &DcfTiming::default(), RateId::R12, 1000, 1.0, 7);
+        let o = send_packet(
+            &mut rng,
+            &params,
+            &DcfTiming::default(),
+            RateId::R12,
+            1000,
+            1.0,
+            7,
+        );
         assert!(o.delivered);
         assert_eq!(o.attempts, 1);
     }
@@ -111,7 +135,15 @@ mod tests {
     fn dead_link_exhausts_retries() {
         let params = OfdmParams::dot11a();
         let mut rng = StdRng::seed_from_u64(2);
-        let o = send_packet(&mut rng, &params, &DcfTiming::default(), RateId::R12, 1000, 0.0, 7);
+        let o = send_packet(
+            &mut rng,
+            &params,
+            &DcfTiming::default(),
+            RateId::R12,
+            1000,
+            0.0,
+            7,
+        );
         assert!(!o.delivered);
         assert_eq!(o.attempts, 7);
         // Medium time reflects all 7 failed exchanges.
@@ -126,12 +158,23 @@ mod tests {
         let n = 3000;
         let mean_attempts: f64 = (0..n)
             .map(|_| {
-                send_packet(&mut rng, &params, &DcfTiming::default(), RateId::R12, 500, p, 50)
-                    .attempts as f64
+                send_packet(
+                    &mut rng,
+                    &params,
+                    &DcfTiming::default(),
+                    RateId::R12,
+                    500,
+                    p,
+                    50,
+                )
+                .attempts as f64
             })
             .sum::<f64>()
             / n as f64;
-        assert!((mean_attempts - expected_attempts(p)).abs() < 0.1, "{mean_attempts}");
+        assert!(
+            (mean_attempts - expected_attempts(p)).abs() < 0.1,
+            "{mean_attempts}"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub struct Backoff {
 impl Backoff {
     /// Fresh state at CWmin.
     pub fn new(timing: DcfTiming) -> Self {
-        Backoff { cw: timing.cw_min, timing }
+        Backoff {
+            cw: timing.cw_min,
+            timing,
+        }
     }
 
     /// Draws a backoff duration for the next attempt.
@@ -167,6 +170,10 @@ mod tests {
         let t = DcfTiming::default();
         let d = exchange_duration(&params, &t, RateId::R6, 1460, Duration::ZERO);
         // 1464-byte PSDU at 6 Mbps ≈ 1.96 ms of data alone.
-        assert!(d.as_secs_f64() > 1.9e-3 && d.as_secs_f64() < 2.3e-3, "{}", d.as_secs_f64());
+        assert!(
+            d.as_secs_f64() > 1.9e-3 && d.as_secs_f64() < 2.3e-3,
+            "{}",
+            d.as_secs_f64()
+        );
     }
 }

@@ -85,7 +85,13 @@ impl MacFrame {
                 let retry = bytes[7] != 0;
                 let len = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
                 let payload = bytes.get(10..10 + len)?.to_vec();
-                Some(MacFrame::Data(DataFrame { src, dst, seq, retry, payload }))
+                Some(MacFrame::Data(DataFrame {
+                    src,
+                    dst,
+                    seq,
+                    retry,
+                    payload,
+                }))
             }
             TYPE_ACK => {
                 if bytes.len() < 6 {
@@ -99,7 +105,11 @@ impl MacFrame {
                     let chunk = bytes.get(6 + 8 * i..14 + 8 * i)?;
                     feedback.push(f64::from_le_bytes(chunk.try_into().ok()?));
                 }
-                Some(MacFrame::Ack(AckFrame { dst, seq, misalign_feedback_s: feedback }))
+                Some(MacFrame::Ack(AckFrame {
+                    dst,
+                    seq,
+                    misalign_feedback_s: feedback,
+                }))
             }
             _ => None,
         }
@@ -134,7 +144,11 @@ mod tests {
 
     #[test]
     fn ack_roundtrip_empty_feedback() {
-        let f = MacFrame::Ack(AckFrame { dst: 0, seq: 0, misalign_feedback_s: vec![] });
+        let f = MacFrame::Ack(AckFrame {
+            dst: 0,
+            seq: 0,
+            misalign_feedback_s: vec![],
+        });
         assert_eq!(MacFrame::from_bytes(&f.to_bytes()), Some(f));
     }
 
@@ -166,7 +180,11 @@ mod tests {
         let bytes = f.to_bytes();
         assert_eq!(MacFrame::from_bytes(&bytes[..bytes.len() - 1]), None);
         // Truncated feedback.
-        let a = MacFrame::Ack(AckFrame { dst: 1, seq: 2, misalign_feedback_s: vec![1.0] });
+        let a = MacFrame::Ack(AckFrame {
+            dst: 1,
+            seq: 2,
+            misalign_feedback_s: vec![1.0],
+        });
         let bytes = a.to_bytes();
         assert_eq!(MacFrame::from_bytes(&bytes[..bytes.len() - 2]), None);
     }

@@ -73,7 +73,9 @@ impl PerCurve {
                 return Some(w[0].snr_db + f * (w[1].snr_db - w[0].snr_db));
             }
         }
-        self.points.first().and_then(|p| (p.per < target).then_some(p.snr_db))
+        self.points
+            .first()
+            .and_then(|p| (p.per < target).then_some(p.snr_db))
     }
 }
 
@@ -96,8 +98,7 @@ pub fn measure_per_awgn(
         let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
         let wave = tx.frame_waveform(&payload, rate, 0);
         let pad = 120usize;
-        let mut buf: Vec<Complex64> =
-            noise.sample_vec(&mut rng, pad + wave.len() + 200);
+        let mut buf: Vec<Complex64> = noise.sample_vec(&mut rng, pad + wave.len() + 200);
         for (i, s) in wave.iter().enumerate() {
             buf[pad + i] += *s;
         }
@@ -106,7 +107,10 @@ pub fn measure_per_awgn(
             _ => failures += 1,
         }
     }
-    PerPoint { snr_db, per: failures as f64 / trials.max(1) as f64 }
+    PerPoint {
+        snr_db,
+        per: failures as f64 / trials.max(1) as f64,
+    }
 }
 
 /// Measures a full PER curve for one rate across `snrs_db`.
@@ -122,7 +126,14 @@ pub fn calibrate_curve(
         .iter()
         .enumerate()
         .map(|(i, &snr)| {
-            measure_per_awgn(params, rate, snr, payload_len, trials, seed.wrapping_add(i as u64))
+            measure_per_awgn(
+                params,
+                rate,
+                snr,
+                payload_len,
+                trials,
+                seed.wrapping_add(i as u64),
+            )
         })
         .collect();
     points.sort_by(|a, b| a.snr_db.partial_cmp(&b.snr_db).unwrap());
@@ -154,7 +165,14 @@ impl PerTable {
             .iter()
             .enumerate()
             .map(|(i, &r)| {
-                calibrate_curve(params, r, snrs_db, payload_len, trials, seed.wrapping_mul(31).wrapping_add(i as u64))
+                calibrate_curve(
+                    params,
+                    r,
+                    snrs_db,
+                    payload_len,
+                    trials,
+                    seed.wrapping_mul(31).wrapping_add(i as u64),
+                )
             })
             .collect();
         PerTable { curves }
@@ -240,8 +258,14 @@ mod tests {
         let curve = PerCurve {
             rate: RateId::R6,
             points: vec![
-                PerPoint { snr_db: 0.0, per: 1.0 },
-                PerPoint { snr_db: 10.0, per: 0.0 },
+                PerPoint {
+                    snr_db: 0.0,
+                    per: 1.0,
+                },
+                PerPoint {
+                    snr_db: 10.0,
+                    per: 0.0,
+                },
             ],
         };
         assert_eq!(curve.per_at(-5.0), 1.0);
@@ -270,7 +294,10 @@ mod tests {
         let params = OfdmParams::dot11a();
         let low = t.best_rate(&params, 5.0, 1000);
         let high = t.best_rate(&params, 30.0, 1000);
-        assert!(high.nominal_mbps() > low.nominal_mbps(), "{low:?} !< {high:?}");
+        assert!(
+            high.nominal_mbps() > low.nominal_mbps(),
+            "{low:?} !< {high:?}"
+        );
         assert_eq!(high, RateId::R54);
     }
 
@@ -286,7 +313,10 @@ mod tests {
 
     #[test]
     fn empty_curve_fails_closed() {
-        let c = PerCurve { rate: RateId::R6, points: vec![] };
+        let c = PerCurve {
+            rate: RateId::R6,
+            points: vec![],
+        };
         assert_eq!(c.per_at(20.0), 1.0);
         let t = PerTable::new(vec![]);
         assert_eq!(t.per(RateId::R6, 20.0), 1.0);

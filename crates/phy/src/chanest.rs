@@ -24,7 +24,10 @@ pub struct ChannelEstimate {
 impl ChannelEstimate {
     /// Channel gain for a given signed carrier index.
     pub fn gain(&self, carrier: i32) -> Option<Complex64> {
-        self.carriers.iter().position(|&k| k == carrier).map(|i| self.values[i])
+        self.carriers
+            .iter()
+            .position(|&k| k == carrier)
+            .map(|i| self.values[i])
     }
 
     /// Mean channel power across occupied carriers.
@@ -48,7 +51,10 @@ impl ChannelEstimate {
     /// Pointwise sum of two channel estimates (the composite channel of two
     /// synchronized senders, paper §5). Noise adds.
     pub fn composite_with(&self, other: &ChannelEstimate) -> ChannelEstimate {
-        assert_eq!(self.carriers, other.carriers, "estimates cover different carriers");
+        assert_eq!(
+            self.carriers, other.carriers,
+            "estimates cover different carriers"
+        );
         ChannelEstimate {
             carriers: self.carriers.clone(),
             values: self
@@ -85,8 +91,7 @@ pub fn estimate_from_lts(
     let mut values = Vec::with_capacity(refs.len());
     for &(k, x) in &refs {
         let bin = params.bin(k);
-        let avg: Complex64 = grids.iter().map(|g| g[bin]).sum::<Complex64>()
-            / (LTS_REPS as f64);
+        let avg: Complex64 = grids.iter().map(|g| g[bin]).sum::<Complex64>() / (LTS_REPS as f64);
         carriers.push(k);
         values.push(avg / Complex64::real(x));
     }
@@ -101,8 +106,16 @@ pub fn estimate_from_lts(
             count += 1;
         }
     }
-    let noise_power = if count > 0 { acc / (2.0 * count as f64) } else { 0.0 };
-    ChannelEstimate { carriers, values, noise_power }
+    let noise_power = if count > 0 {
+        acc / (2.0 * count as f64)
+    } else {
+        0.0
+    };
+    ChannelEstimate {
+        carriers,
+        values,
+        noise_power,
+    }
 }
 
 /// The phase slope (radians per subcarrier index) of a channel estimate,
@@ -156,11 +169,7 @@ pub fn delay_from_slope(params: &OfdmParams, slope: f64) -> f64 {
 /// Convenience: the detection-delay estimate (in samples, possibly
 /// fractional and negative) of a channel estimate, using `window_hz`
 /// averaging windows.
-pub fn detection_delay_samples(
-    params: &OfdmParams,
-    est: &ChannelEstimate,
-    window_hz: f64,
-) -> f64 {
+pub fn detection_delay_samples(params: &OfdmParams, est: &ChannelEstimate, window_hz: f64) -> f64 {
     delay_from_slope(params, phase_slope(params, est, window_hz))
 }
 
@@ -174,7 +183,12 @@ mod tests {
     use ssync_dsp::delay::fractional_delay;
     use ssync_dsp::rng::ComplexGaussian;
 
-    fn flat_channel_estimate(params: &OfdmParams, delay: f64, noise_p: f64, seed: u64) -> ChannelEstimate {
+    fn flat_channel_estimate(
+        params: &OfdmParams,
+        delay: f64,
+        noise_p: f64,
+        seed: u64,
+    ) -> ChannelEstimate {
         // Build a preamble, delay it, add noise, estimate from the LTS.
         let fft = Fft::new(params.fft_size);
         let pre = preamble_waveform(params, &fft);
@@ -206,8 +220,8 @@ mod tests {
         // Demodulated-grid noise power = time-domain noise / symbol_scale².
         let time_noise = 0.05;
         let est = flat_channel_estimate(&params, 0.0, time_noise, 2);
-        let expected_grid_noise = time_noise / ofdm::symbol_scale(&params).powi(2)
-            * params.fft_size as f64;
+        let expected_grid_noise =
+            time_noise / ofdm::symbol_scale(&params).powi(2) * params.fft_size as f64;
         // Allow a factor-of-2 band: single-packet noise estimates are coarse.
         assert!(
             est.noise_power > expected_grid_noise * 0.5

@@ -108,7 +108,7 @@ mod tests {
     fn encoder_known_impulse_response() {
         // A single 1 followed by zeros reads out the generator taps.
         let mut bits = vec![1u8];
-        bits.extend(std::iter::repeat(0).take(6));
+        bits.extend(std::iter::repeat_n(0, 6));
         let coded = encode_half(&bits);
         // g0 = 133 octal = 1011011 binary; g1 = 171 octal = 1111001.
         // With our register convention (newest bit = MSB), the impulse
@@ -144,7 +144,10 @@ mod tests {
     fn depuncture_restores_positions() {
         let coded: Vec<u8> = (0..24).map(|i| (i % 2) as u8).collect();
         let punct = puncture(&coded, CodeRate::ThreeQuarters);
-        let llrs: Vec<f64> = punct.iter().map(|b| if *b == 1 { -1.0 } else { 1.0 }).collect();
+        let llrs: Vec<f64> = punct
+            .iter()
+            .map(|b| if *b == 1 { -1.0 } else { 1.0 })
+            .collect();
         let restored = depuncture_llr(&llrs, CodeRate::ThreeQuarters, 24);
         assert_eq!(restored.len(), 24);
         let pat = puncture_pattern(CodeRate::ThreeQuarters);

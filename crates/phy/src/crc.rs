@@ -11,7 +11,11 @@ fn table() -> [u32; 256] {
         let mut crc = i as u32;
         let mut b = 0;
         while b < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             b += 1;
         }
         t[i] = crc;

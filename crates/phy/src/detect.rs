@@ -5,12 +5,14 @@
 //! sample at which the double-sliding-window energy ratio crosses its
 //! threshold, which happens later (and with more jitter) at low SNR. This is
 //! exactly the "packet detection delay" variability (hundreds of ns, paper
-//! §1 and [42]) that makes naive sender synchronization inaccurate, and that
+//! §1 and \[42\]) that makes naive sender synchronization inaccurate, and that
 //! SourceSync's phase-slope estimator (paper §4.2) is built to cancel.
 
 use crate::params::OfdmParams;
 use crate::preamble::{lts_symbol, PreambleLayout, STS_REPS};
-use ssync_dsp::correlate::{argmax, autocorrelation_metric, energy_ratio, normalized_cross_correlate};
+use ssync_dsp::correlate::{
+    argmax, autocorrelation_metric, energy_ratio, normalized_cross_correlate,
+};
 use ssync_dsp::{Complex64, Fft};
 use std::f64::consts::PI;
 
@@ -28,7 +30,7 @@ pub struct DetectorConfig {
     /// The energy trigger is evaluated once every `decimation` samples —
     /// hardware detectors run the coarse stage in pipelined blocks, which
     /// is a large part of why raw detection instants vary by hundreds of
-    /// ns (paper §4.2(a), [42]). 16 samples = 125 ns at 128 Msps. Fine
+    /// ns (paper §4.2(a), \[42\]). 16 samples = 125 ns at 128 Msps. Fine
     /// timing and the phase-slope machinery are unaffected; only consumers
     /// of the raw `detect_idx` (e.g. the uncompensated baseline) feel it.
     pub decimation: usize,
@@ -86,7 +88,10 @@ impl Detector {
 
     /// Builds a detector with explicit thresholds.
     pub fn with_config(params: &OfdmParams, fft: &Fft, config: DetectorConfig) -> Self {
-        Detector { config, lts: lts_symbol(params, fft) }
+        Detector {
+            config,
+            lts: lts_symbol(params, fft),
+        }
     }
 
     /// Scans `samples` from `from` for a packet. Returns the first detection,
@@ -154,14 +159,12 @@ impl Detector {
             for m in 0..corr_len {
                 p += samples[vstart + m] * samples[vstart + m + period].conj();
             }
-            let coarse_cfo =
-                -p.arg() / (2.0 * PI * period as f64) * params.sample_rate_hz;
+            let coarse_cfo = -p.arg() / (2.0 * PI * period as f64) * params.sample_rate_hz;
 
             // 4. Fine timing: cross-correlate the known LTS over a window
             // around where the LTS should be, on a CFO-corrected copy.
             let search_lo = detect_idx.saturating_sub(2 * period);
-            let search_hi =
-                (search_lo + layout.total_len() + 2 * n).min(samples.len());
+            let search_hi = (search_lo + layout.total_len() + 2 * n).min(samples.len());
             if search_hi <= search_lo + self.lts.len() {
                 return None;
             }
@@ -178,9 +181,7 @@ impl Detector {
             let mut first_peak = peak;
             if peak >= n {
                 let earlier = peak - n;
-                if xc[earlier] > self.config.xcorr_threshold
-                    && xc[earlier] > 0.8 * xc[peak]
-                {
+                if xc[earlier] > self.config.xcorr_threshold && xc[earlier] > 0.8 * xc[peak] {
                     first_peak = earlier;
                 }
             }
@@ -271,8 +272,7 @@ mod tests {
             if let Some(d) = det.detect(&params, &scene(&params, offset, 25.0, 0.0, seed), 0) {
                 delays_hi.push(d.detect_idx as f64 - offset as f64);
             }
-            if let Some(d) = det.detect(&params, &scene(&params, offset, 6.0, 0.0, 100 + seed), 0)
-            {
+            if let Some(d) = det.detect(&params, &scene(&params, offset, 6.0, 0.0, 100 + seed), 0) {
                 delays_lo.push(d.detect_idx as f64 - offset as f64);
             }
         }
@@ -330,7 +330,10 @@ mod tests {
                 }
             }
         }
-        assert!(hits >= 16, "fine timing within ±1 sample only {hits}/20 at 12 dB");
+        assert!(
+            hits >= 16,
+            "fine timing within ±1 sample only {hits}/20 at 12 dB"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!   always BPSK rate-1/2, zero-padded to fill whole OFDM symbols. This is a
 //!   typed codec, not the IEEE bit layout (documented simplification).
 //! * DATA: 16-bit SERVICE (zeros, for scrambler sync) + PSDU + 6 tail bits
-//!   + pad, scrambled (tail re-zeroed after scrambling, as in 802.11),
+//!   plus pad, scrambled (tail re-zeroed after scrambling, as in 802.11),
 //!   convolutionally encoded, punctured, interleaved per symbol and mapped.
 
 use crate::convcode::{self, TAIL_BITS};
@@ -55,7 +55,11 @@ impl SignalField {
         let rate = RateId::from_index(read_bits(&bits[0..4]) as u8)?;
         let length = read_bits(&bits[4..20]) as u16;
         let flags = read_bits(&bits[20..23]) as u8;
-        Some(SignalField { rate, length, flags })
+        Some(SignalField {
+            rate,
+            length,
+            flags,
+        })
     }
 }
 
@@ -84,7 +88,12 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 /// partial bytes are dropped.
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
     bits.chunks_exact(8)
-        .map(|chunk| chunk.iter().enumerate().fold(0u8, |acc, (i, b)| acc | (b << i)))
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, b)| acc | (b << i))
+        })
         .collect()
 }
 
@@ -101,7 +110,7 @@ pub fn encode_signal(params: &OfdmParams, sig: &SignalField) -> Vec<Vec<Complex6
     let cbps = params.coded_bits_per_symbol(Modulation::Bpsk);
     let n_syms = n_signal_symbols(params);
     let mut info = sig.to_bits();
-    info.extend(std::iter::repeat(0).take(TAIL_BITS));
+    info.extend(std::iter::repeat_n(0, TAIL_BITS));
     // Zero-pad info so coded length fills the symbols exactly.
     let want_info = n_syms * cbps / 2;
     info.resize(want_info, 0);
@@ -235,7 +244,11 @@ mod tests {
         for rate in RateId::ALL {
             for length in [0u16, 1, 100, 1460, u16::MAX] {
                 for flags in 0..8u8 {
-                    let sig = SignalField { rate, length, flags };
+                    let sig = SignalField {
+                        rate,
+                        length,
+                        flags,
+                    };
                     let bits = sig.to_bits();
                     assert_eq!(bits.len(), 24);
                     assert_eq!(SignalField::from_bits(&bits), Some(sig));
@@ -246,7 +259,11 @@ mod tests {
 
     #[test]
     fn signal_parity_detects_single_flip() {
-        let sig = SignalField { rate: RateId::R12, length: 1460, flags: 0 };
+        let sig = SignalField {
+            rate: RateId::R12,
+            length: 1460,
+            flags: 0,
+        };
         let bits = sig.to_bits();
         for i in 0..24 {
             let mut bad = bits.clone();
@@ -267,14 +284,22 @@ mod tests {
     #[test]
     fn signal_encode_decode_through_llrs() {
         for params in [OfdmParams::dot11a(), OfdmParams::wiglan()] {
-            let sig = SignalField { rate: RateId::R36, length: 777, flags: FLAG_JOINT };
+            let sig = SignalField {
+                rate: RateId::R36,
+                length: 777,
+                flags: FLAG_JOINT,
+            };
             let syms = encode_signal(&params, &sig);
             assert_eq!(syms.len(), n_signal_symbols(&params));
             // Perfect channel: BPSK bit 0 maps to −1, so a negative point
             // means "bit 0 likely" → positive LLR.
             let llrs: Vec<Vec<f64>> = syms
                 .iter()
-                .map(|s| s.iter().map(|p| if p.re < 0.0 { 1.0 } else { -1.0 }).collect())
+                .map(|s| {
+                    s.iter()
+                        .map(|p| if p.re < 0.0 { 1.0 } else { -1.0 })
+                        .collect()
+                })
                 .collect();
             assert_eq!(decode_signal(&params, &llrs), Some(sig), "{}", params.name);
         }
@@ -293,9 +318,7 @@ mod tests {
                 .iter()
                 .map(|s| {
                     s.iter()
-                        .flat_map(|p| {
-                            modulation::demap_llrs(m, *p, Complex64::ONE, 0.01)
-                        })
+                        .flat_map(|p| modulation::demap_llrs(m, *p, Complex64::ONE, 0.01))
                         .collect()
                 })
                 .collect();
@@ -334,9 +357,16 @@ mod tests {
         assert!(!syms.is_empty());
         let llrs: Vec<Vec<f64>> = syms
             .iter()
-            .map(|s| s.iter().map(|p| if p.re < 0.0 { 1.0 } else { -1.0 }).collect())
+            .map(|s| {
+                s.iter()
+                    .map(|p| if p.re < 0.0 { 1.0 } else { -1.0 })
+                    .collect()
+            })
             .collect();
-        assert_eq!(decode_data(&params, &llrs, RateId::R6, 0).as_deref(), Some(&[][..]));
+        assert_eq!(
+            decode_data(&params, &llrs, RateId::R6, 0).as_deref(),
+            Some(&[][..])
+        );
     }
 
     #[test]

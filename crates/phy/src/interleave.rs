@@ -36,7 +36,7 @@ impl Interleaver {
         let cols = n_cbps / rows;
         let s = (n_bpsc / 2).max(1);
         let mut perm = vec![0usize; n_cbps];
-        for k in 0..n_cbps {
+        for (k, slot) in perm.iter_mut().enumerate() {
             // First permutation (row-column write/read):
             let i = cols * (k % rows) + k / rows;
             let g = i / s;
@@ -50,7 +50,7 @@ impl Interleaver {
             } else {
                 s * g + (i % s + g) % s
             };
-            perm[k] = j;
+            *slot = j;
         }
         let mut inv = vec![0usize; n_cbps];
         for (k, &j) in perm.iter().enumerate() {
@@ -70,7 +70,11 @@ impl Interleaver {
     /// # Panics
     /// Panics if `bits.len() != block_len()`.
     pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.block_len(), "interleaver block size mismatch");
+        assert_eq!(
+            bits.len(),
+            self.block_len(),
+            "interleaver block size mismatch"
+        );
         let mut out = vec![0u8; bits.len()];
         for (k, &b) in bits.iter().enumerate() {
             out[self.perm[k]] = b;
@@ -83,7 +87,11 @@ impl Interleaver {
     /// # Panics
     /// Panics if `llrs.len() != block_len()`.
     pub fn deinterleave_llrs(&self, llrs: &[f64]) -> Vec<f64> {
-        assert_eq!(llrs.len(), self.block_len(), "deinterleaver block size mismatch");
+        assert_eq!(
+            llrs.len(),
+            self.block_len(),
+            "deinterleaver block size mismatch"
+        );
         let mut out = vec![0.0; llrs.len()];
         for (k, &l) in llrs.iter().enumerate() {
             out[self.inv[k]] = l;
@@ -93,7 +101,11 @@ impl Interleaver {
 
     /// De-interleaves one block of hard bits (used by tests).
     pub fn deinterleave_bits(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.block_len(), "deinterleaver block size mismatch");
+        assert_eq!(
+            bits.len(),
+            self.block_len(),
+            "deinterleaver block size mismatch"
+        );
         let mut out = vec![0u8; bits.len()];
         for (k, &b) in bits.iter().enumerate() {
             out[self.inv[k]] = b;
@@ -110,7 +122,12 @@ mod tests {
     #[test]
     fn permutation_is_bijective() {
         for params in [OfdmParams::dot11a(), OfdmParams::wiglan()] {
-            for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            for m in [
+                Modulation::Bpsk,
+                Modulation::Qpsk,
+                Modulation::Qam16,
+                Modulation::Qam64,
+            ] {
                 let il = Interleaver::new(&params, m);
                 let mut seen = vec![false; il.block_len()];
                 for k in 0..il.block_len() {
@@ -125,7 +142,12 @@ mod tests {
     #[test]
     fn roundtrip_identity() {
         let params = OfdmParams::dot11a();
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let il = Interleaver::new(&params, m);
             let bits: Vec<u8> = (0..il.block_len()).map(|i| (i % 2) as u8).collect();
             let inter = il.interleave(&bits);
@@ -171,7 +193,12 @@ mod tests {
     #[test]
     fn wiglan_all_modulations_construct() {
         let params = OfdmParams::wiglan();
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let il = Interleaver::new(&params, m);
             assert_eq!(il.block_len(), params.coded_bits_per_symbol(m));
         }

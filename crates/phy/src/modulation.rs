@@ -49,15 +49,9 @@ pub fn map_symbol(m: Modulation, bits: &[u8]) -> Complex64 {
     let k = normalization(m);
     match m {
         Modulation::Bpsk => Complex64::new(pam_level(&bits[..1]) * k, 0.0),
-        Modulation::Qpsk => {
-            Complex64::new(pam_level(&bits[..1]) * k, pam_level(&bits[1..2]) * k)
-        }
-        Modulation::Qam16 => {
-            Complex64::new(pam_level(&bits[..2]) * k, pam_level(&bits[2..4]) * k)
-        }
-        Modulation::Qam64 => {
-            Complex64::new(pam_level(&bits[..3]) * k, pam_level(&bits[3..6]) * k)
-        }
+        Modulation::Qpsk => Complex64::new(pam_level(&bits[..1]) * k, pam_level(&bits[1..2]) * k),
+        Modulation::Qam16 => Complex64::new(pam_level(&bits[..2]) * k, pam_level(&bits[2..4]) * k),
+        Modulation::Qam64 => Complex64::new(pam_level(&bits[..3]) * k, pam_level(&bits[3..6]) * k),
     }
 }
 
@@ -65,7 +59,11 @@ pub fn map_symbol(m: Modulation, bits: &[u8]) -> Complex64 {
 /// multiple of `bits_per_symbol`.
 pub fn map_bits(m: Modulation, bits: &[u8]) -> Vec<Complex64> {
     let bps = m.bits_per_symbol();
-    assert_eq!(bits.len() % bps, 0, "bit stream not a multiple of bits/symbol");
+    assert_eq!(
+        bits.len() % bps,
+        0,
+        "bit stream not a multiple of bits/symbol"
+    );
     bits.chunks(bps).map(|g| map_symbol(m, g)).collect()
 }
 
@@ -130,8 +128,12 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use ssync_dsp::rng::ComplexGaussian;
 
-    const ALL: [Modulation; 4] =
-        [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64];
+    const ALL: [Modulation; 4] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
 
     #[test]
     fn unit_average_power() {
@@ -166,8 +168,7 @@ mod tests {
                     let k = normalization(m) * 2.0;
                     // Horizontally adjacent, same row:
                     if dy < 1e-12 && (dx - k).abs() < 1e-9 {
-                        let diff: usize =
-                            bits_a.iter().zip(bits_b).filter(|(x, y)| x != y).count();
+                        let diff: usize = bits_a.iter().zip(bits_b).filter(|(x, y)| x != y).count();
                         assert_eq!(diff, 1, "{m:?}: neighbours differ by {diff} bits");
                     }
                 }
@@ -180,11 +181,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for m in ALL {
             for _ in 0..50 {
-                let bits: Vec<u8> =
-                    (0..m.bits_per_symbol()).map(|_| rng.gen_range(0..2u8)).collect();
+                let bits: Vec<u8> = (0..m.bits_per_symbol())
+                    .map(|_| rng.gen_range(0..2u8))
+                    .collect();
                 let x = map_symbol(m, &bits);
                 // Random complex channel, no noise.
-                let h = Complex64::from_polar(rng.gen_range(0.2..2.0), rng.gen_range(0.0..6.28));
+                let h = Complex64::from_polar(
+                    rng.gen_range(0.2..2.0),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                );
                 assert_eq!(demap_hard(m, h * x, h), bits, "{m:?}");
             }
         }
@@ -195,10 +200,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         for m in ALL {
             for _ in 0..50 {
-                let bits: Vec<u8> =
-                    (0..m.bits_per_symbol()).map(|_| rng.gen_range(0..2u8)).collect();
+                let bits: Vec<u8> = (0..m.bits_per_symbol())
+                    .map(|_| rng.gen_range(0..2u8))
+                    .collect();
                 let x = map_symbol(m, &bits);
-                let h = Complex64::from_polar(1.0, rng.gen_range(0.0..6.28));
+                let h = Complex64::from_polar(1.0, rng.gen_range(0.0..std::f64::consts::TAU));
                 let llrs = demap_llrs(m, h * x, h, 1e-3);
                 for (i, &b) in bits.iter().enumerate() {
                     if b == 0 {

@@ -46,8 +46,15 @@ pub fn modulate_symbol_with_pilots(
     cp_len: usize,
     pilots_enabled: bool,
 ) -> Vec<Complex64> {
-    assert_eq!(data.len(), params.n_data(), "data subcarrier count mismatch");
-    assert!(cp_len < params.fft_size, "cyclic prefix must be shorter than the FFT");
+    assert_eq!(
+        data.len(),
+        params.n_data(),
+        "data subcarrier count mismatch"
+    );
+    assert!(
+        cp_len < params.fft_size,
+        "cyclic prefix must be shorter than the FFT"
+    );
     let n = params.fft_size;
     let mut grid = vec![Complex64::ZERO; n];
     for (i, &k) in params.data_carriers.iter().enumerate() {
@@ -112,12 +119,20 @@ pub fn demodulate_window(
 /// Reads the data subcarriers (in `data_carriers` order) out of a grid
 /// returned by [`demodulate_window`].
 pub fn extract_data(params: &OfdmParams, grid: &[Complex64]) -> Vec<Complex64> {
-    params.data_carriers.iter().map(|&k| grid[params.bin(k)]).collect()
+    params
+        .data_carriers
+        .iter()
+        .map(|&k| grid[params.bin(k)])
+        .collect()
 }
 
 /// Reads the pilot subcarriers (in `pilot_carriers` order) out of a grid.
 pub fn extract_pilots(params: &OfdmParams, grid: &[Complex64]) -> Vec<Complex64> {
-    params.pilot_carriers.iter().map(|&k| grid[params.bin(k)]).collect()
+    params
+        .pilot_carriers
+        .iter()
+        .map(|&k| grid[params.bin(k)])
+        .collect()
 }
 
 #[cfg(test)]
@@ -129,10 +144,15 @@ mod tests {
 
     #[test]
     fn loopback_recovers_constellation_points() {
-        for params in [crate::params::OfdmParams::dot11a(), crate::params::OfdmParams::wiglan()] {
+        for params in [
+            crate::params::OfdmParams::dot11a(),
+            crate::params::OfdmParams::wiglan(),
+        ] {
             let fft = Fft::new(params.fft_size);
             let mut rng = StdRng::seed_from_u64(1);
-            let bits: Vec<u8> = (0..params.n_data() * 2).map(|_| rng.gen_range(0..2u8)).collect();
+            let bits: Vec<u8> = (0..params.n_data() * 2)
+                .map(|_| rng.gen_range(0..2u8))
+                .collect();
             let data = map_bits(Modulation::Qpsk, &bits);
             let sym = modulate_symbol(&params, &fft, &data, 0, params.cp_len);
             assert_eq!(sym.len(), params.symbol_len());
@@ -152,7 +172,9 @@ mod tests {
         let mut total = 0.0;
         let n_sym = 50;
         for s in 0..n_sym {
-            let bits: Vec<u8> = (0..params.n_data() * 2).map(|_| rng.gen_range(0..2u8)).collect();
+            let bits: Vec<u8> = (0..params.n_data() * 2)
+                .map(|_| rng.gen_range(0..2u8))
+                .collect();
             let data = map_bits(Modulation::Qpsk, &bits);
             let sym = modulate_symbol(&params, &fft, &data, s, params.cp_len);
             total += ssync_dsp::complex::mean_power(&sym);
@@ -170,7 +192,9 @@ mod tests {
         let params = crate::params::OfdmParams::dot11a();
         let fft = Fft::new(params.fft_size);
         let mut rng = StdRng::seed_from_u64(3);
-        let bits: Vec<u8> = (0..params.n_data() * 2).map(|_| rng.gen_range(0..2u8)).collect();
+        let bits: Vec<u8> = (0..params.n_data() * 2)
+            .map(|_| rng.gen_range(0..2u8))
+            .collect();
         let data = map_bits(Modulation::Qpsk, &bits);
         let sym = modulate_symbol(&params, &fft, &data, 0, params.cp_len);
         for offset in 0..=params.cp_len {
@@ -190,7 +214,9 @@ mod tests {
         let params = crate::params::OfdmParams::wiglan();
         let fft = Fft::new(params.fft_size);
         let mut rng = StdRng::seed_from_u64(4);
-        let bits: Vec<u8> = (0..params.n_data() * 2).map(|_| rng.gen_range(0..2u8)).collect();
+        let bits: Vec<u8> = (0..params.n_data() * 2)
+            .map(|_| rng.gen_range(0..2u8))
+            .collect();
         let data = map_bits(Modulation::Qpsk, &bits);
         let cp = 20;
         let sym = modulate_symbol(&params, &fft, &data, 0, cp);

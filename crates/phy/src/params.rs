@@ -226,7 +226,12 @@ impl OfdmParams {
     /// Same numerology with a different cyclic-prefix length (used by the
     /// Fig. 13 CP sweep and by SourceSync's per-frame CP extension).
     pub fn with_cp(&self, cp_len: usize) -> Params {
-        Arc::new(OfdmParams { cp_len, data_carriers: self.data_carriers.clone(), pilot_carriers: self.pilot_carriers.clone(), ..*self })
+        Arc::new(OfdmParams {
+            cp_len,
+            data_carriers: self.data_carriers.clone(),
+            pilot_carriers: self.pilot_carriers.clone(),
+            ..*self
+        })
     }
 
     /// All occupied subcarriers (data + pilots), sorted ascending.

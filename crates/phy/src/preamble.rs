@@ -51,7 +51,11 @@ pub fn lts_values(params: &OfdmParams) -> Vec<(i32, f64)> {
         .collect()
 }
 
-fn build_time_symbol(params: &OfdmParams, fft: &Fft, values: &[(i32, Complex64)]) -> Vec<Complex64> {
+fn build_time_symbol(
+    params: &OfdmParams,
+    fft: &Fft,
+    values: &[(i32, Complex64)],
+) -> Vec<Complex64> {
     let mut grid = vec![Complex64::ZERO; params.fft_size];
     for &(k, v) in values {
         grid[params.bin(k)] = v;
@@ -206,8 +210,7 @@ mod tests {
         let lts0 = layout.lts_start();
         for t in 0..layout.lts_guard {
             assert!(
-                pre[guard_start + t]
-                    .dist(pre[lts0 + params.fft_size - layout.lts_guard + t])
+                pre[guard_start + t].dist(pre[lts0 + params.fft_size - layout.lts_guard + t])
                     < 1e-12
             );
         }
@@ -219,7 +222,11 @@ mod tests {
             let fft = Fft::new(params.fft_size);
             let pre = preamble_waveform(&params, &fft);
             let p = ssync_dsp::complex::mean_power(&pre);
-            assert!((p - 1.0).abs() < 0.05, "{}: preamble power {p}", params.name);
+            assert!(
+                (p - 1.0).abs() < 0.05,
+                "{}: preamble power {p}",
+                params.name
+            );
         }
     }
 

@@ -91,7 +91,12 @@ impl Receiver {
         let fft = Fft::new(params.fft_size);
         let detector = Detector::new(&params, &fft);
         let window_backoff = params.cp_len / 4;
-        Receiver { params, fft, detector, window_backoff }
+        Receiver {
+            params,
+            fft,
+            detector,
+            window_backoff,
+        }
     }
 
     /// Overrides detector thresholds.
@@ -131,8 +136,7 @@ impl Receiver {
         // Channel estimate with the common window backoff.
         let b = self.window_backoff.min(det.lts_start);
         let est = chanest::estimate_from_lts(&self.params, &self.fft, &buf, det.lts_start - b);
-        let timing_offset =
-            chanest::detection_delay_samples(&self.params, &est, 3e6) - b as f64;
+        let timing_offset = chanest::detection_delay_samples(&self.params, &est, 3e6) - b as f64;
 
         // SIGNAL field.
         let sig_start = det.lts_start + LTS_REPS * n;
@@ -150,8 +154,8 @@ impl Receiver {
             &est,
             0,
         );
-        let signal = frame::decode_signal(&self.params, &sig_llrs)
-            .ok_or(RxError::BadSignal(det))?;
+        let signal =
+            frame::decode_signal(&self.params, &sig_llrs).ok_or(RxError::BadSignal(det))?;
 
         // DATA field.
         let data_start = sig_start + n_sig * sym_len;
@@ -162,8 +166,12 @@ impl Receiver {
         let m = signal.rate.modulation();
         let data_llrs =
             self.symbol_llrs(&buf, data_start, n_data, self.params.cp_len, m, &est, n_sig);
-        let psdu =
-            frame::decode_data(&self.params, &data_llrs, signal.rate, signal.length as usize);
+        let psdu = frame::decode_data(
+            &self.params,
+            &data_llrs,
+            signal.rate,
+            signal.length as usize,
+        );
 
         // Diagnostics.
         let per_carrier = est.per_carrier_snr_db(est.noise_power);
@@ -179,7 +187,11 @@ impl Receiver {
         };
 
         match psdu.as_deref().and_then(crc::check_crc) {
-            Some(payload) => Ok(RxResult { payload: payload.to_vec(), signal, diag }),
+            Some(payload) => Ok(RxResult {
+                payload: payload.to_vec(),
+                signal,
+                diag,
+            }),
             None => Err(RxError::BadCrc(Box::new(diag))),
         }
     }
@@ -188,6 +200,7 @@ impl Receiver {
     /// LLR vectors. Pilot phase tracking is applied per symbol; pilot symbol
     /// indices begin at `first_symbol_index` (so DATA pilots continue the
     /// SIGNAL-field polarity sequence, as in the transmitter).
+    #[allow(clippy::too_many_arguments)]
     fn symbol_llrs(
         &self,
         buf: &[Complex64],
@@ -279,12 +292,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use ssync_dsp::rng::ComplexGaussian;
 
-    fn on_air(
-        tx_wave: &[Complex64],
-        lead_pad: usize,
-        snr_db: f64,
-        seed: u64,
-    ) -> Vec<Complex64> {
+    fn on_air(tx_wave: &[Complex64], lead_pad: usize, snr_db: f64, seed: u64) -> Vec<Complex64> {
         let noise_p = ssync_dsp::stats::linear_from_db(-snr_db);
         let mut rng = StdRng::seed_from_u64(seed);
         let total = lead_pad + tx_wave.len() + 500;
@@ -346,7 +354,11 @@ mod tests {
         // ~9 dB: R6 should pass, R54 should fail.
         let w6 = tx.frame_waveform(&payload, RateId::R6, 0);
         let got = rx.receive(&on_air(&w6, 200, 9.0, 9));
-        assert!(got.is_ok(), "R6 at 9 dB failed: {:?}", got.err().map(|e| e.to_string()));
+        assert!(
+            got.is_ok(),
+            "R6 at 9 dB failed: {:?}",
+            got.err().map(|e| e.to_string())
+        );
         let w54 = tx.frame_waveform(&payload, RateId::R54, 0);
         let got54 = rx.receive(&on_air(&w54, 200, 9.0, 10));
         assert!(got54.is_err(), "R54 at 9 dB unexpectedly decoded");

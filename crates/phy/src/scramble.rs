@@ -25,7 +25,10 @@ impl Scrambler {
     /// Panics if the seed is zero or wider than 7 bits (an all-zero LFSR
     /// never leaves the zero state).
     pub fn new(seed: u8) -> Self {
-        assert!(seed != 0 && seed < 0x80, "scrambler seed must be a non-zero 7-bit value");
+        assert!(
+            seed != 0 && seed < 0x80,
+            "scrambler seed must be a non-zero 7-bit value"
+        );
         Scrambler { state: seed }
     }
 
@@ -78,7 +81,7 @@ mod tests {
         let second: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
         assert_eq!(first, second);
         // And the sequence is not constant.
-        assert!(first.iter().any(|b| *b == 0) && first.iter().any(|b| *b == 1));
+        assert!(first.contains(&0) && first.contains(&1));
     }
 
     #[test]

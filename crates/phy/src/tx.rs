@@ -35,7 +35,11 @@ impl Transmitter {
     pub fn frame_waveform(&self, payload: &[u8], rate: RateId, flags: u8) -> Vec<Complex64> {
         let psdu = crc::append_crc(payload);
         frame::validate_psdu(&psdu).expect("payload too long");
-        let sig = SignalField { rate, length: psdu.len() as u16, flags };
+        let sig = SignalField {
+            rate,
+            length: psdu.len() as u16,
+            flags,
+        };
         let mut wave = preamble::preamble_waveform(&self.params, &self.fft);
         wave.extend(self.signal_waveform(&sig));
         // Data pilot polarities continue the sequence after the SIGNAL
@@ -75,7 +79,10 @@ impl Transmitter {
         first_symbol_index: usize,
     ) -> Vec<Complex64> {
         let mut wave = Vec::new();
-        for (i, points) in frame::encode_data(&self.params, psdu, rate).iter().enumerate() {
+        for (i, points) in frame::encode_data(&self.params, psdu, rate)
+            .iter()
+            .enumerate()
+        {
             wave.extend(ofdm::modulate_symbol(
                 &self.params,
                 &self.fft,

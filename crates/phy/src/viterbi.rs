@@ -89,7 +89,9 @@ pub fn decode_terminated(llrs: &[f64]) -> Option<Vec<u8>> {
 /// Converts hard bits to strong LLRs (bit 0 → +1.0, bit 1 → −1.0); useful for
 /// tests and hard-decision paths.
 pub fn llrs_from_bits(bits: &[u8]) -> Vec<f64> {
-    bits.iter().map(|b| if *b == 0 { 1.0 } else { -1.0 }).collect()
+    bits.iter()
+        .map(|b| if *b == 0 { 1.0 } else { -1.0 })
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,7 +103,7 @@ mod tests {
 
     fn encode_with_tail(info: &[u8]) -> Vec<u8> {
         let mut bits = info.to_vec();
-        bits.extend(std::iter::repeat(0).take(TAIL_BITS));
+        bits.extend(std::iter::repeat_n(0, TAIL_BITS));
         encode_half(&bits)
     }
 

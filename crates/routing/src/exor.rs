@@ -100,7 +100,10 @@ pub fn run_batch<R: Rng + ?Sized>(
         if node == dst {
             0
         } else {
-            1 + order.iter().position(|&f| f == node).unwrap_or(usize::MAX - 1)
+            1 + order
+                .iter()
+                .position(|&f| f == node)
+                .unwrap_or(usize::MAX - 1)
         }
     };
 
@@ -140,13 +143,13 @@ pub fn run_batch<R: Rng + ?Sized>(
                 let mut cost_s =
                     timing.difs().as_secs_f64() + backoff.draw(rng).as_secs_f64() + frame_s;
                 if senders.len() > 1 {
-                    let training_s = 2.0
-                        * (params.fft_size + params.cp_len) as f64
-                        / params.sample_rate_hz;
+                    let training_s =
+                        2.0 * (params.fft_size + params.cp_len) as f64 / params.sample_rate_hz;
                     cost_s += SIFS_S + (senders.len() - 1) as f64 * training_s;
                 }
                 medium = medium + Duration::from_secs_f64(cost_s);
                 // Deliveries.
+                #[allow(clippy::needless_range_loop)] // `has` is mutated while indexed
                 for n in 0..topo.n {
                     if senders.contains(&n) || has[n][p] {
                         continue;
@@ -181,6 +184,7 @@ pub fn run_batch<R: Rng + ?Sized>(
 
     // Cleanup phase: remaining packets via traditional ARQ from their best
     // current holder (closest to the destination).
+    #[allow(clippy::needless_range_loop)] // `has` is mutated while indexed
     for p in 0..b {
         if has[dst][p] {
             continue;
@@ -214,7 +218,11 @@ pub fn run_batch<R: Rng + ?Sized>(
     } else {
         (delivered * cfg.payload_len * 8) as f64 / medium.as_secs_f64()
     };
-    Some(TransferOutcome { delivered, medium_time: medium, throughput_bps })
+    Some(TransferOutcome {
+        delivered,
+        medium_time: medium,
+        throughput_bps,
+    })
 }
 
 #[cfg(test)]
@@ -250,7 +258,11 @@ mod tests {
     fn batch_completes_on_lossy_diamond() {
         let cfg = ExorConfig::new(RateId::R12);
         let o = run(&cfg, 8.5, 1);
-        assert_eq!(o.delivered, cfg.batch_size, "only {} delivered", o.delivered);
+        assert_eq!(
+            o.delivered, cfg.batch_size,
+            "only {} delivered",
+            o.delivered
+        );
         assert!(o.throughput_bps > 0.0);
     }
 
@@ -305,6 +317,9 @@ mod tests {
             b += run(&base, 30.0, 200 + seed).throughput_bps;
             s += run(&ss, 30.0, 200 + seed).throughput_bps;
         }
-        assert!(s > 0.85 * b, "diversity on clean links lost too much: {s} vs {b}");
+        assert!(
+            s > 0.85 * b,
+            "diversity on clean links lost too much: {s} vs {b}"
+        );
     }
 }

@@ -30,7 +30,11 @@ fn finish(delivered: usize, payload_len: usize, medium_time: Duration) -> Transf
     } else {
         (delivered * payload_len * 8) as f64 / medium_time.as_secs_f64()
     };
-    TransferOutcome { delivered, medium_time, throughput_bps }
+    TransferOutcome {
+        delivered,
+        medium_time,
+        throughput_bps,
+    }
 }
 
 /// Transfers `n_packets` of `payload_len` bytes from `src` to `dst` along
@@ -126,10 +130,32 @@ mod tests {
         let params = OfdmParams::dot11a();
         let per = PerTable::analytic();
         let mut rng = StdRng::seed_from_u64(2);
-        let clean = run_transfer(&mut rng, &params, &relay_topology(30.0), &per, RateId::R12, 0, 2, 1460, 200, 7)
-            .unwrap();
-        let lossy = run_transfer(&mut rng, &params, &relay_topology(7.0), &per, RateId::R12, 0, 2, 1460, 200, 7)
-            .unwrap();
+        let clean = run_transfer(
+            &mut rng,
+            &params,
+            &relay_topology(30.0),
+            &per,
+            RateId::R12,
+            0,
+            2,
+            1460,
+            200,
+            7,
+        )
+        .unwrap();
+        let lossy = run_transfer(
+            &mut rng,
+            &params,
+            &relay_topology(7.0),
+            &per,
+            RateId::R12,
+            0,
+            2,
+            1460,
+            200,
+            7,
+        )
+        .unwrap();
         assert!(
             lossy.throughput_bps < 0.75 * clean.throughput_bps,
             "lossy {} clean {}",
@@ -145,7 +171,8 @@ mod tests {
         let inf = f64::NEG_INFINITY;
         let topo = MeshTopology::from_snrs(vec![vec![inf, inf], vec![inf, inf]]);
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(run_transfer(&mut rng, &params, &topo, &per, RateId::R6, 0, 1, 100, 10, 7)
-            .is_none());
+        assert!(
+            run_transfer(&mut rng, &params, &topo, &per, RateId::R6, 0, 1, 100, 10, 7).is_none()
+        );
     }
 }

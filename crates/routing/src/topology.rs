@@ -65,7 +65,11 @@ impl MeshTopology {
     /// The full delivery matrix at one rate.
     pub fn delivery_matrix(&self, per: &PerTable, rate: RateId) -> Vec<Vec<f64>> {
         (0..self.n)
-            .map(|i| (0..self.n).map(|j| self.delivery(per, rate, i, j)).collect())
+            .map(|i| {
+                (0..self.n)
+                    .map(|j| self.delivery(per, rate, i, j))
+                    .collect()
+            })
             .collect()
     }
 
@@ -90,8 +94,7 @@ impl MeshTopology {
         senders: &[usize],
         dst: usize,
     ) -> f64 {
-        let active: Vec<usize> =
-            senders.iter().copied().filter(|&s| s != dst).collect();
+        let active: Vec<usize> = senders.iter().copied().filter(|&s| s != dst).collect();
         if active.is_empty() {
             return 0.0;
         }

@@ -24,9 +24,18 @@ impl FaultInjector {
     /// # Panics
     /// Panics if a probability lies outside `[0, 1]`.
     pub fn new(drop_chance: f64, corrupt_chance: f64) -> Self {
-        assert!((0.0..=1.0).contains(&drop_chance), "drop chance out of range");
-        assert!((0.0..=1.0).contains(&corrupt_chance), "corrupt chance out of range");
-        FaultInjector { drop_chance, corrupt_chance }
+        assert!(
+            (0.0..=1.0).contains(&drop_chance),
+            "drop chance out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&corrupt_chance),
+            "corrupt chance out of range"
+        );
+        FaultInjector {
+            drop_chance,
+            corrupt_chance,
+        }
     }
 
     /// Applies faults to a packet: `None` if dropped, otherwise the
@@ -36,11 +45,10 @@ impl FaultInjector {
             return None;
         }
         let mut out = packet.to_vec();
-        if self.corrupt_chance > 0.0 && !out.is_empty() && rng.gen::<f64>() < self.corrupt_chance
-        {
+        if self.corrupt_chance > 0.0 && !out.is_empty() && rng.gen::<f64>() < self.corrupt_chance {
             let idx = rng.gen_range(0..out.len());
             let bit = rng.gen_range(0..8);
-            out[idx] ^= 1 << bit;
+            out[idx] ^= 1u8 << bit;
         }
         Some(out)
     }

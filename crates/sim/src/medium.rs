@@ -79,7 +79,11 @@ impl WaveformMedium {
             0,
             "transmission start {start} not on the sample grid"
         );
-        self.transmissions.push(Transmission { tx, start, waveform: Arc::new(waveform) });
+        self.transmissions.push(Transmission {
+            tx,
+            start,
+            waveform: Arc::new(waveform),
+        });
     }
 
     /// Removes all transmissions (reuse the topology for the next trial).
@@ -102,7 +106,11 @@ impl WaveformMedium {
         from: Time,
         n_samples: usize,
     ) -> Vec<Complex64> {
-        assert_eq!(from.0 % self.sample_period_fs, 0, "capture start not on the sample grid");
+        assert_eq!(
+            from.0 % self.sample_period_fs,
+            0,
+            "capture start not on the sample grid"
+        );
         let from_sample = (from.0 / self.sample_period_fs) as i64;
         let mut buf = vec![Complex64::ZERO; n_samples];
         for t in &self.transmissions {
@@ -145,7 +153,11 @@ mod tests {
     fn single_link_delivery() {
         let mut m = quiet_medium();
         m.set_link(NodeId(0), NodeId(1), Link::ideal());
-        m.transmit(NodeId(0), Time(2 * PERIOD), vec![Complex64::ONE, Complex64::J]);
+        m.transmit(
+            NodeId(0),
+            Time(2 * PERIOD),
+            vec![Complex64::ONE, Complex64::J],
+        );
         let buf = m.capture(&mut StdRng::seed_from_u64(1), NodeId(1), Time::ZERO, 6);
         assert!(buf[0].abs() < 1e-12);
         assert!(buf[2].dist(Complex64::ONE) < 1e-12);
@@ -219,7 +231,12 @@ mod tests {
         m.set_link(NodeId(0), NodeId(1), Link::ideal());
         m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE; 10]);
         // Window starts inside the transmission.
-        let buf = m.capture(&mut StdRng::seed_from_u64(7), NodeId(1), Time(5 * PERIOD), 10);
+        let buf = m.capture(
+            &mut StdRng::seed_from_u64(7),
+            NodeId(1),
+            Time(5 * PERIOD),
+            10,
+        );
         for (i, s) in buf.iter().enumerate() {
             if i < 5 {
                 assert!(s.abs() > 0.9, "sample {i}");

@@ -92,7 +92,11 @@ impl Network {
                 medium.set_link(nodes[j].id, nodes[i].id, rev);
             }
         }
-        Network { params: params.clone(), nodes, medium }
+        Network {
+            params: params.clone(),
+            nodes,
+            medium,
+        }
     }
 
     /// Number of nodes.
@@ -136,14 +140,23 @@ mod tests {
     use ssync_phy::OfdmParams;
 
     fn triangle() -> Vec<Position> {
-        vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0), Position::new(5.0, 8.0)]
+        vec![
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 0.0),
+            Position::new(5.0, 8.0),
+        ]
     }
 
     #[test]
     fn builds_all_directed_links() {
         let params = OfdmParams::dot11a();
         let mut rng = StdRng::seed_from_u64(1);
-        let net = Network::build(&mut rng, &params, &triangle(), &ChannelModels::testbed(&params));
+        let net = Network::build(
+            &mut rng,
+            &params,
+            &triangle(),
+            &ChannelModels::testbed(&params),
+        );
         assert_eq!(net.len(), 3);
         for i in 0..3 {
             for j in 0..3 {
@@ -158,20 +171,33 @@ mod tests {
     fn links_are_reciprocal_except_cfo() {
         let params = OfdmParams::dot11a();
         let mut rng = StdRng::seed_from_u64(2);
-        let net = Network::build(&mut rng, &params, &triangle(), &ChannelModels::testbed(&params));
+        let net = Network::build(
+            &mut rng,
+            &params,
+            &triangle(),
+            &ChannelModels::testbed(&params),
+        );
         let fwd = net.medium.link(NodeId(0), NodeId(1)).unwrap();
         let rev = net.medium.link(NodeId(1), NodeId(0)).unwrap();
         assert_eq!(fwd.delay_fs, rev.delay_fs);
         assert_eq!(fwd.amplitude_gain, rev.amplitude_gain);
         assert_eq!(fwd.multipath, rev.multipath);
-        assert!((fwd.cfo_hz + rev.cfo_hz).abs() < 1e-9, "CFO not antisymmetric");
+        assert!(
+            (fwd.cfo_hz + rev.cfo_hz).abs() < 1e-9,
+            "CFO not antisymmetric"
+        );
     }
 
     #[test]
     fn delay_matches_geometry() {
         let params = OfdmParams::dot11a();
         let mut rng = StdRng::seed_from_u64(3);
-        let net = Network::build(&mut rng, &params, &triangle(), &ChannelModels::clean(&params));
+        let net = Network::build(
+            &mut rng,
+            &params,
+            &triangle(),
+            &ChannelModels::clean(&params),
+        );
         // 10 m at c: 33.36 ns.
         let d = net.true_delay_s(NodeId(0), NodeId(1));
         assert!((d - 10.0 / 299_792_458.0).abs() < 1e-12);
@@ -186,7 +212,12 @@ mod tests {
             Position::new(3.0, 0.0),
             Position::new(28.0, 0.0),
         ];
-        let net = Network::build(&mut rng, &params, &positions, &ChannelModels::clean(&params));
+        let net = Network::build(
+            &mut rng,
+            &params,
+            &positions,
+            &ChannelModels::clean(&params),
+        );
         assert!(net.snr_db(NodeId(0), NodeId(1)) > net.snr_db(NodeId(0), NodeId(2)) + 10.0);
     }
 

@@ -60,7 +60,12 @@ impl RadioNode {
     /// An idealised node (no oscillator error, zero turnaround) for unit
     /// tests.
     pub fn ideal(id: NodeId, position: Position) -> Self {
-        RadioNode { id, position, oscillator: Oscillator::ideal(), turnaround: Duration::ZERO }
+        RadioNode {
+            id,
+            position,
+            oscillator: Oscillator::ideal(),
+            turnaround: Duration::ZERO,
+        }
     }
 }
 

@@ -22,7 +22,10 @@ impl Time {
 
     /// Builds from seconds.
     pub fn from_secs_f64(s: f64) -> Time {
-        assert!(s >= 0.0 && s.is_finite(), "time must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "time must be finite and non-negative"
+        );
         Time((s * 1e15).round() as u64)
     }
 
@@ -71,7 +74,10 @@ impl Duration {
 
     /// Builds from seconds.
     pub fn from_secs_f64(s: f64) -> Duration {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         Duration((s * 1e15).round() as u64)
     }
 

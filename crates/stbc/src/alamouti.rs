@@ -61,15 +61,14 @@ pub struct DecodedPair {
 /// the role-A and role-B senders. A missing sender is expressed by a zero
 /// channel — the decoder then degenerates gracefully (subset decodability,
 /// paper §6).
-pub fn decode_pair(
-    y0: Complex64,
-    y1: Complex64,
-    h_a: Complex64,
-    h_b: Complex64,
-) -> DecodedPair {
+pub fn decode_pair(y0: Complex64, y1: Complex64, h_a: Complex64, h_b: Complex64) -> DecodedPair {
     let gain = h_a.norm_sqr() + h_b.norm_sqr();
     if gain < 1e-15 {
-        return DecodedPair { x0: Complex64::ZERO, x1: Complex64::ZERO, gain: 0.0 };
+        return DecodedPair {
+            x0: Complex64::ZERO,
+            x1: Complex64::ZERO,
+            gain: 0.0,
+        };
     }
     let x0 = (h_a.conj() * y0 + h_b * y1.conj()).scale(1.0 / gain);
     let x1 = (h_b.conj() * y0 - h_a * y1.conj()).scale(1.0 / gain);
@@ -79,7 +78,9 @@ pub fn decode_pair(
 /// Decodes a received slot stream; `ys.len()` must be even.
 pub fn decode_stream(ys: &[Complex64], h_a: Complex64, h_b: Complex64) -> Vec<DecodedPair> {
     assert!(ys.len() % 2 == 0, "slot stream must contain whole pairs");
-    ys.chunks_exact(2).map(|p| decode_pair(p[0], p[1], h_a, h_b)).collect()
+    ys.chunks_exact(2)
+        .map(|p| decode_pair(p[0], p[1], h_a, h_b))
+        .collect()
 }
 
 /// Receiver-side maximal-ratio combining of independent observations of the
@@ -180,7 +181,12 @@ mod tests {
 
     #[test]
     fn no_senders_yields_zero_gain() {
-        let d = decode_pair(Complex64::ONE, Complex64::ONE, Complex64::ZERO, Complex64::ZERO);
+        let d = decode_pair(
+            Complex64::ONE,
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+        );
         assert_eq!(d.gain, 0.0);
     }
 
@@ -208,7 +214,10 @@ mod tests {
             }
         }
         assert!((joint_sum / n as f64 - 2.0).abs() < 0.05);
-        assert!(joint_deep * 5 < single_deep, "deep fades: joint {joint_deep} vs single {single_deep}");
+        assert!(
+            joint_deep * 5 < single_deep,
+            "deep fades: joint {joint_deep} vs single {single_deep}"
+        );
     }
 
     #[test]
@@ -220,8 +229,11 @@ mod tests {
         let sa = encode_stream(Codeword::A, &xs);
         let sb = encode_stream(Codeword::B, &xs);
         assert_eq!(sa.len(), 8);
-        let ys: Vec<Complex64> =
-            sa.iter().zip(&sb).map(|(a, b)| h_a * *a + h_b * *b).collect();
+        let ys: Vec<Complex64> = sa
+            .iter()
+            .zip(&sb)
+            .map(|(a, b)| h_a * *a + h_b * *b)
+            .collect();
         let decoded = decode_stream(&ys, h_a, h_b);
         for (i, x) in xs.iter().enumerate() {
             let d = decoded[i / 2];

@@ -1,7 +1,7 @@
 //! The replicated-Alamouti codebook for more than two senders (paper §6).
 //!
 //! The paper assigns codeword 1 of "the replicated Alamouti codebook
-//! specified by [16]" to the lead sender and codeword `i+1` to co-sender
+//! specified by \[16\]" to the lead sender and codeword `i+1` to co-sender
 //! `i`, chosen so that (a) encoding/decoding stay as simple as Alamouti and
 //! (b) the receiver can decode **any subset** of the intended senders.
 //!
@@ -153,10 +153,12 @@ mod tests {
     #[test]
     fn absent_sender_equivalent_to_zero_channel() {
         let channels = rand_channels(3, 4);
-        let per_absent: Vec<Option<Complex64>> =
-            vec![Some(channels[0]), None, Some(channels[2])];
+        let per_absent: Vec<Option<Complex64>> = vec![Some(channels[0]), None, Some(channels[2])];
         let per_zero: Vec<Option<Complex64>> =
             vec![Some(channels[0]), Some(Complex64::ZERO), Some(channels[2])];
-        assert_eq!(effective_channels(&per_absent), effective_channels(&per_zero));
+        assert_eq!(
+            effective_channels(&per_absent),
+            effective_channels(&per_zero)
+        );
     }
 }

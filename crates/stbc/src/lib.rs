@@ -14,5 +14,7 @@
 pub mod alamouti;
 pub mod codebook;
 
-pub use alamouti::{decode_pair, decode_stream, encode_pair, encode_stream, mrc, Codeword, DecodedPair};
+pub use alamouti::{
+    decode_pair, decode_stream, encode_pair, encode_stream, mrc, Codeword, DecodedPair,
+};
 pub use codebook::{codeword_for, decode_pair_multi, effective_channels};

@@ -51,11 +51,25 @@ fn main() {
     let n_packets = 600;
     let mut rng = StdRng::seed_from_u64(5);
     let single = run_session(
-        &mut rng, &params, &per, &scenario, Mode::BestSingleAp, 1460, n_packets, 7,
+        &mut rng,
+        &params,
+        &per,
+        &scenario,
+        Mode::BestSingleAp,
+        1460,
+        n_packets,
+        7,
     );
     let mut rng = StdRng::seed_from_u64(5);
     let joint = run_session(
-        &mut rng, &params, &per, &scenario, Mode::SourceSync, 1460, n_packets, 7,
+        &mut rng,
+        &params,
+        &per,
+        &scenario,
+        Mode::SourceSync,
+        1460,
+        n_packets,
+        7,
     );
 
     println!("\n                 delivered   throughput   settled rate");

@@ -57,7 +57,16 @@ fn main() {
     let n_pkts = cfg.batch_size * 4;
 
     let single = run_transfer(
-        &mut rng, &params, &scaled, &per, rate, 0, 4, cfg.payload_len, n_pkts, 7,
+        &mut rng,
+        &params,
+        &scaled,
+        &per,
+        rate,
+        0,
+        4,
+        cfg.payload_len,
+        n_pkts,
+        7,
     )
     .expect("destination reachable");
     println!(
@@ -76,9 +85,18 @@ fn main() {
             .throughput_bps
             / 4.0;
         let mut rng_s = StdRng::seed_from_u64(200 + b);
-        ss_tp += run_batch(&mut rng_s, &params, &scaled, &per, 0, 4, &[1, 2, 3], &cfg_ss)
-            .unwrap()
-            .throughput_bps
+        ss_tp += run_batch(
+            &mut rng_s,
+            &params,
+            &scaled,
+            &per,
+            0,
+            4,
+            &[1, 2, 3],
+            &cfg_ss,
+        )
+        .unwrap()
+        .throughput_bps
             / 4.0;
     }
     println!("ExOR        : {:5.2} Mbps", exor_tp / 1e6);

@@ -21,9 +21,9 @@ fn main() {
 
     // Lead sender, co-sender, receiver on a 30 m office floor.
     let positions = vec![
-        Position::new(2.0, 3.0),   // lead
-        Position::new(10.0, 2.0),  // co-sender
-        Position::new(7.0, 14.0),  // receiver
+        Position::new(2.0, 3.0),  // lead
+        Position::new(10.0, 2.0), // co-sender
+        Position::new(7.0, 14.0), // receiver
     ];
     let mut net = Network::build(&mut rng, &params, &positions, &models);
     let (lead, cosender, receiver) = (NodeId(0), NodeId(1), NodeId(2));
@@ -58,7 +58,10 @@ fn main() {
         &mut net,
         &mut rng,
         lead,
-        &[CosenderPlan { node: cosender, wait_s: sol.waits[0] }],
+        &[CosenderPlan {
+            node: cosender,
+            wait_s: sol.waits[0],
+        }],
         &[receiver],
         &payload,
         &db,

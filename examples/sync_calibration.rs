@@ -68,11 +68,9 @@ fn main() {
             if let Some(d) = det.detect(&params, &buf, 0) {
                 // Build the arrival estimate the SLS uses.
                 let _ = &rx;
-                let est = sourcesync::phy::chanest::estimate_from_lts(
-                    &params, &fft, &buf, d.lts_start,
-                );
-                let frac =
-                    sourcesync::phy::chanest::detection_delay_samples(&params, &est, 3e6);
+                let est =
+                    sourcesync::phy::chanest::estimate_from_lts(&params, &fft, &buf, d.lts_start);
+                let frac = sourcesync::phy::chanest::detection_delay_samples(&params, &est, 3e6);
                 let arrival = d.lts_start as f64 + frac - layout.lts_start() as f64;
                 errors.push((arrival - offset as f64 - 0.25) * ns_per_sample);
             }
@@ -84,8 +82,11 @@ fn main() {
 
     println!("\n== 3. the probe protocol end-to-end (Eq. 2) ==\n");
     let mut rng = StdRng::seed_from_u64(3);
-    let positions =
-        vec![Position::new(0.0, 0.0), Position::new(18.0, 0.0), Position::new(9.0, 9.0)];
+    let positions = vec![
+        Position::new(0.0, 0.0),
+        Position::new(18.0, 0.0),
+        Position::new(9.0, 9.0),
+    ];
     let mut net = Network::build(
         &mut rng,
         &params,

@@ -1,0 +1,23 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy that picks one element of a fixed list uniformly at random.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}
+
+/// Selects uniformly from the given non-empty list of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select(options)
+}

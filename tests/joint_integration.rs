@@ -42,12 +42,18 @@ fn joint_frame_through_multipath_fading() {
             continue;
         };
         let payload = vec![0xAB; 300];
-        let cfg = JointConfig { cp_extension: 16, ..Default::default() };
+        let cfg = JointConfig {
+            cp_extension: 16,
+            ..Default::default()
+        };
         let out = run_joint_transmission(
             &mut net,
             &mut rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: sol.waits[0],
+            }],
             &[NodeId(2)],
             &payload,
             &db,
@@ -57,7 +63,10 @@ fn joint_frame_through_multipath_fading() {
             delivered += 1;
         }
     }
-    assert!(delivered >= 4, "only {delivered}/5 joint frames decoded over fading");
+    assert!(
+        delivered >= 4,
+        "only {delivered}/5 joint frames decoded over fading"
+    );
 }
 
 #[test]
@@ -68,7 +77,10 @@ fn tracking_loop_converges() {
     let mut db = DelayDatabase::new();
     assert!(db.measure_all(&mut net, &mut rng, &[NodeId(0), NodeId(1), NodeId(2)], 2));
     // Start from a deliberately wrong wait (+3 samples at 20 Msps).
-    let mut wait = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap().waits[0]
+    let mut wait = db
+        .wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)])
+        .unwrap()
+        .waits[0]
         + 150e-9;
     let payload = vec![1u8; 60];
     let cfg = JointConfig::default();
@@ -78,7 +90,10 @@ fn tracking_loop_converges() {
             &mut net,
             &mut rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: wait }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: wait,
+            }],
             &[NodeId(2)],
             &payload,
             &db,
@@ -151,10 +166,10 @@ fn multi_receiver_lp_reduces_worst_misalignment() {
     // the worst-case true misalignment.
     let params = OfdmParams::dot11a();
     let positions = vec![
-        Position::new(0.0, 0.0),   // lead
-        Position::new(20.0, 0.0),  // co-sender
-        Position::new(2.0, 9.0),   // rx A (near lead)
-        Position::new(18.0, 9.0),  // rx B (near co)
+        Position::new(0.0, 0.0),  // lead
+        Position::new(20.0, 0.0), // co-sender
+        Position::new(2.0, 9.0),  // rx A (near lead)
+        Position::new(18.0, 9.0), // rx B (near co)
     ];
     let mut rng = StdRng::seed_from_u64(11);
     let mut net = Network::build(
@@ -167,16 +182,26 @@ fn multi_receiver_lp_reduces_worst_misalignment() {
     let mut db = DelayDatabase::new();
     assert!(db.measure_all(&mut net, &mut rng, &all, 3));
     let receivers = [NodeId(2), NodeId(3)];
-    let lp = db.wait_solution(NodeId(0), &[NodeId(1)], &receivers).unwrap();
-    let single_rx = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+    let lp = db
+        .wait_solution(NodeId(0), &[NodeId(1)], &receivers)
+        .unwrap();
+    let single_rx = db
+        .wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)])
+        .unwrap();
 
     let worst = |wait: f64, rng: &mut StdRng, net: &mut Network| -> f64 {
-        let cfg = JointConfig { cp_extension: 12, ..Default::default() };
+        let cfg = JointConfig {
+            cp_extension: 12,
+            ..Default::default()
+        };
         let out = run_joint_transmission(
             net,
             rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: wait }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: wait,
+            }],
             &receivers,
             &[9u8; 80],
             &db,
@@ -206,15 +231,23 @@ fn rates_sweep_through_joint_path() {
     let mut rng = StdRng::seed_from_u64(56);
     let mut db = DelayDatabase::new();
     assert!(db.measure_all(&mut net, &mut rng, &[NodeId(0), NodeId(1), NodeId(2)], 2));
-    let sol = db.wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)]).unwrap();
+    let sol = db
+        .wait_solution(NodeId(0), &[NodeId(1)], &[NodeId(2)])
+        .unwrap();
     for rate in [RateId::R6, RateId::R12, RateId::R24, RateId::R36] {
         let payload = vec![rate.to_index(); 150];
-        let cfg = JointConfig { rate, ..Default::default() };
+        let cfg = JointConfig {
+            rate,
+            ..Default::default()
+        };
         let out = run_joint_transmission(
             &mut net,
             &mut rng,
             NodeId(0),
-            &[CosenderPlan { node: NodeId(1), wait_s: sol.waits[0] }],
+            &[CosenderPlan {
+                node: NodeId(1),
+                wait_s: sol.waits[0],
+            }],
             &[NodeId(2)],
             &payload,
             &db,

@@ -28,13 +28,16 @@ fn one_packet(
         Multipath::identity()
     };
     let link = Link {
-        amplitude_gain: sourcesync::dsp::stats::linear_from_db(snr_db).sqrt()
-            / mp.power().sqrt(),
+        amplitude_gain: sourcesync::dsp::stats::linear_from_db(snr_db).sqrt() / mp.power().sqrt(),
         multipath: mp,
         delay_fs: (delay_frac * params.sample_period_fs() as f64) as u64,
         cfo_hz,
     };
-    let (mut rxwave, start) = link.propagate(&wave, 300 * params.sample_period_fs(), params.sample_period_fs());
+    let (mut rxwave, start) = link.propagate(
+        &wave,
+        300 * params.sample_period_fs(),
+        params.sample_period_fs(),
+    );
     let mut buf = vec![Complex64::ZERO; start as usize + rxwave.len() + 400];
     buf[start as usize..start as usize + rxwave.len()].copy_from_slice(&rxwave);
     rxwave.clear();
@@ -48,7 +51,10 @@ fn one_packet(
 #[test]
 fn high_snr_survives_everything_at_once() {
     // Multipath + CFO + fractional delay + 30 dB noise, all rates.
-    for (i, rate) in [RateId::R6, RateId::R12, RateId::R24].into_iter().enumerate() {
+    for (i, rate) in [RateId::R6, RateId::R12, RateId::R24]
+        .into_iter()
+        .enumerate()
+    {
         let mut ok = 0;
         for seed in 0..6u64 {
             if one_packet(1000 + seed + i as u64 * 100, rate, 30.0, true, 40e3, 0.37) {
@@ -107,8 +113,11 @@ fn truncation_and_garbage_do_not_panic() {
             .map(|_| Complex64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
             .collect();
         match rx.receive(&buf) {
-            Ok(_) | Err(RxError::NoPacket) | Err(RxError::Truncated(_))
-            | Err(RxError::BadSignal(_)) | Err(RxError::BadCrc(_)) => {}
+            Ok(_)
+            | Err(RxError::NoPacket)
+            | Err(RxError::Truncated(_))
+            | Err(RxError::BadSignal(_))
+            | Err(RxError::BadCrc(_)) => {}
         }
     }
     // A real frame cut at every quarter.
