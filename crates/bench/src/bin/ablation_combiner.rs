@@ -1,79 +1,12 @@
-//! Ablation: the Smart Combiner and pilot sharing (paper §5–6 design
-//! choices), measured on the full sample-level joint chain.
+//! Ablation: the Smart Combiner and pilot sharing on the full joint chain.
 //!
-//! * `smart_combiner = false`: both senders transmit identical symbols —
-//!   the §6 thought experiment; decodes fail whenever the two channels
-//!   land near phase opposition.
-//! * `pilot_sharing = false`: both senders drive every pilot; the receiver
-//!   can only track a single common phase, so the senders' *relative*
-//!   residual rotation goes uncorrected and long frames die.
-//!
-//! Output: TSV `config  decode_rate  mean_evm_db  n`.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ssync_bench::{pin_all_snrs, random_payload, run_once, trials_scale, COSENDER, LEAD, RECEIVER};
-use ssync_channel::{FloorPlan, Position};
-use ssync_core::{DelayDatabase, JointConfig};
-use ssync_phy::{OfdmParams, RateId};
-use ssync_sim::{ChannelModels, Network};
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::AblationCombiner`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::dot11a();
-    let models = ChannelModels::testbed(&params);
-    let trials = 30 * trials_scale();
-    let snr_db = 15.0;
-
-    let configs = [
-        ("full_sourcesync", true, true),
-        ("no_smart_combiner", false, true),
-        ("no_pilot_sharing", true, false),
-    ];
-    println!("# Ablation: Smart Combiner and shared pilots at {snr_db} dB, R12, 700-byte frames");
-    println!("# config\tdecode_rate\tmean_evm_db\tn");
-    for (name, smart, sharing) in configs {
-        let mut decoded = 0usize;
-        let mut evms = Vec::new();
-        let mut n = 0usize;
-        for t in 0..trials {
-            let seed = 400_000 + t as u64;
-            let mut rng = StdRng::seed_from_u64(seed);
-            let plan = FloorPlan::testbed();
-            let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
-            let mut net = Network::build(&mut rng, &params, &positions, &models);
-            pin_all_snrs(&mut net, snr_db);
-            let payload = random_payload(&mut rng, 700);
-            let mut db = DelayDatabase::new();
-            if !db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 2) {
-                continue;
-            }
-            let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else {
-                continue;
-            };
-            let cfg = JointConfig {
-                rate: RateId::R12,
-                cp_extension: 12,
-                smart_combiner: smart,
-                pilot_sharing: sharing,
-                ..Default::default()
-            };
-            let out = run_once(&mut net, &mut rng, &payload, &cfg, &db, sol.waits[0]);
-            let report = &out.reports[0];
-            if !report.header_ok || report.co_channels[0].is_none() {
-                continue;
-            }
-            n += 1;
-            if report.payload.as_deref() == Some(&payload[..]) {
-                decoded += 1;
-            }
-            if report.stats.evm_snr_db.is_finite() {
-                evms.push(report.stats.evm_snr_db);
-            }
-        }
-        println!(
-            "{name}\t{:.2}\t{:.2}\t{n}",
-            decoded as f64 / n.max(1) as f64,
-            ssync_dsp::stats::mean(&evms)
-        );
-    }
+    ssync_exp::bin_main(&ssync_bench::scenarios::AblationCombiner);
 }

@@ -1,87 +1,12 @@
-//! Ablation: §4.5 delay tracking under node mobility.
+//! Ablation: section 4.5 delay tracking under node mobility.
 //!
-//! The co-sender's propagation delay to the receiver drifts over a
-//! session (the receiver walks ~0.5 m between frames). With tracking, the
-//! ACK-fed wait updates follow the drift; without it, the initial
-//! probe-measured wait goes stale and the misalignment grows without
-//! bound — exactly why §4.5 exists.
-//!
-//! Output: TSV `frame  |misalign|_tracked_ns  |misalign|_static_ns`.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use ssync_bench::{pin_all_snrs, random_payload, run_once, COSENDER, LEAD, RECEIVER};
-use ssync_channel::{FloorPlan, Position};
-use ssync_core::{tracking_update, DelayDatabase, JointConfig};
-use ssync_phy::{OfdmParams, RateId};
-use ssync_sim::{ChannelModels, Network, NodeId};
-
-/// Femtoseconds of one-way delay drift per frame (≈0.45 m of motion).
-const DRIFT_FS_PER_FRAME: u64 = 1_500_000;
-
-fn drift(net: &mut Network, a: NodeId, b: NodeId) {
-    for (x, y) in [(a, b), (b, a)] {
-        if let Some(link) = net.medium.link_mut(x, y) {
-            link.delay_fs += DRIFT_FS_PER_FRAME;
-        }
-    }
-}
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::AblationTracking`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::wiglan();
-    let models = ChannelModels::testbed(&params);
-    let n_frames = 12usize;
-    let cfg = JointConfig {
-        rate: RateId::R6,
-        cp_extension: 16,
-        ..Default::default()
-    };
-
-    let run = |track: bool| -> Vec<f64> {
-        let seed = 777u64;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = FloorPlan::testbed();
-        let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
-        let mut net = Network::build(&mut rng, &params, &positions, &models);
-        pin_all_snrs(&mut net, 18.0);
-        let mut db = DelayDatabase::new();
-        assert!(db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 3));
-        let mut wait = db
-            .wait_solution(LEAD, &[COSENDER], &[RECEIVER])
-            .unwrap()
-            .waits[0];
-        let mut series = Vec::new();
-        for _ in 0..n_frames {
-            let payload = random_payload(&mut rng, 60);
-            let out = run_once(&mut net, &mut rng, &payload, &cfg, &db, wait);
-            let m = out.reports[0].measured_misalign_s[0];
-            series.push(out.true_misalign_s[0][0].abs() * 1e9);
-            if track {
-                if let Some(m) = m {
-                    wait = tracking_update(wait, m);
-                }
-            }
-            // The receiver keeps moving away from the co-sender.
-            drift(&mut net, COSENDER, RECEIVER);
-            let _ = rng.gen::<u64>(); // decorrelate noise across frames
-        }
-        series
-    };
-
-    let tracked = run(true);
-    let static_wait = run(false);
-    println!("# Ablation: §4.5 delay tracking under mobility");
-    println!(
-        "# receiver drifts {:.0} ns of path per frame",
-        DRIFT_FS_PER_FRAME as f64 * 1e-6
-    );
-    println!("# frame\ttracked_ns\tstatic_ns");
-    for (i, (t, s)) in tracked.iter().zip(&static_wait).enumerate() {
-        println!("{i}\t{t:.1}\t{s:.1}");
-    }
-    println!(
-        "# final |misalignment|: tracked {:.1} ns vs static {:.1} ns",
-        tracked.last().unwrap(),
-        static_wait.last().unwrap()
-    );
+    ssync_exp::bin_main(&ssync_bench::scenarios::AblationTracking);
 }

@@ -1,61 +1,12 @@
 //! Figure 8: the multi-receiver wait-time conflict and the minimax LP.
 //!
-//! With one receiver a co-sender's wait aligns the joint transmission
-//! perfectly; with several receivers perfect alignment is generally
-//! impossible (paper §4.6, Fig. 8). This binary first reproduces the
-//! paper's concrete two-receiver example, then sweeps the receiver count
-//! over random placements and reports the mean residual misalignment the
-//! LP leaves behind versus the naive align-at-receiver-0 policy.
-//!
-//! Output: TSV `n_receivers  mean_lp_residual_ns  mean_naive_residual_ns`.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use ssync_linprog::MisalignmentProblem;
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::Fig08WaitLp`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    // Paper Fig. 8 worked example: aligning at Rx1 needs the co-sender
-    // 100 ns early, aligning at Rx2 needs it 100 ns late; the optimum
-    // splits the difference with a 100 ns residual.
-    let example = MisalignmentProblem {
-        lead_delays: vec![50e-9, 200e-9],
-        cosender_delays: vec![vec![150e-9, 100e-9]],
-    };
-    let sol = example.solve();
-    println!("# Figure 8: multi-receiver wait-time optimisation (paper section 4.6)");
-    println!(
-        "# worked example: wait = {:.1} ns, residual = {:.1} ns (paper: 0, 100)",
-        sol.waits[0] * 1e9,
-        sol.max_misalignment * 1e9
-    );
-
-    let trials = 200 * ssync_bench::trials_scale();
-    let mut rng = StdRng::seed_from_u64(8);
-    println!("# {trials} random 2-cosender placements per receiver count");
-    println!("# n_receivers\tmean_lp_residual_ns\tmean_naive_residual_ns");
-    for n_rx in 1..=6usize {
-        let mut lp_sum = 0.0;
-        let mut naive_sum = 0.0;
-        for _ in 0..trials {
-            // Propagation delays at indoor testbed scale: 10-300 ns.
-            let p = MisalignmentProblem {
-                lead_delays: (0..n_rx).map(|_| rng.gen_range(10e-9..300e-9)).collect(),
-                cosender_delays: (0..2)
-                    .map(|_| (0..n_rx).map(|_| rng.gen_range(10e-9..300e-9)).collect())
-                    .collect(),
-            };
-            let sol = p.solve();
-            lp_sum += sol.max_misalignment;
-            // Naive policy: pick waits that align perfectly at receiver 0.
-            let naive: Vec<f64> = (0..2)
-                .map(|i| p.lead_delays[0] - p.cosender_delays[i][0])
-                .collect();
-            naive_sum += p.misalignment_of(&naive);
-        }
-        println!(
-            "{n_rx}\t{:.3}\t{:.3}",
-            lp_sum / trials as f64 * 1e9,
-            naive_sum / trials as f64 * 1e9
-        );
-    }
+    ssync_exp::bin_main(&ssync_bench::scenarios::Fig08WaitLp);
 }

@@ -1,93 +1,12 @@
 //! Figure 12: 95th-percentile synchronization error vs SNR.
 //!
-//! For random (lead, co-sender, receiver) placements with all links pinned
-//! to a target SNR, SourceSync runs its full loop: probe-based delay
-//! measurement, LP waits, a few §4.5 tracking frames, then a measurement
-//! phase. The synchronization error of a placement is the
-//! repetition-averaged misalignment measurement (the paper's
-//! high-accuracy estimator, realised as an average over `REPS` frames),
-//! and the simulator's exact ground truth is reported alongside.
-//!
-//! Paper target: ≤ 20 ns at the 95th percentile across operational SNRs.
-//!
-//! Output: TSV `snr_db  p95_measured_ns  p95_true_ns  n_placements`.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ssync_bench::{converged_joint, pinned_snr_network, random_payload, run_once, trials_scale};
-use ssync_core::{DelayDatabase, JointConfig};
-use ssync_dsp::stats::percentile;
-use ssync_phy::{OfdmParams, RateId};
-use ssync_sim::ChannelModels;
-
-const REPS: usize = 5;
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::Fig12SyncError`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::wiglan();
-    let models = ChannelModels::testbed(&params);
-    let cfg = JointConfig {
-        rate: RateId::R6,
-        cp_extension: 16,
-        ..Default::default()
-    };
-    let placements = 12 * trials_scale();
-
-    println!("# Figure 12: 95th percentile synchronization error vs SNR");
-    println!("# numerology: wiglan (128 Msps; 1 sample = 7.8125 ns)");
-    println!("# snr_db\tp95_measured_ns\tp95_true_ns\tn");
-    for snr_step in 0..=8 {
-        let snr_db = 3.0 * snr_step as f64;
-        let mut measured_ns = Vec::new();
-        let mut true_ns = Vec::new();
-        for p in 0..placements {
-            let seed = 1000 * snr_step as u64 + p as u64;
-            let mut net = pinned_snr_network(&params, &models, snr_db, seed);
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
-            let payload = random_payload(&mut rng, 60);
-            // Converge (probes + tracking warmup), then measure.
-            let Some((_, wait)) = converged_joint(&mut net, &mut rng, &payload, &cfg, 3, 3) else {
-                continue;
-            };
-            let mut db = DelayDatabase::new();
-            // The measurement frames reuse the converged wait; the delay
-            // database is only needed by the co-sender for d(lead, co).
-            if !db.measure(
-                &mut net,
-                &mut rng,
-                ssync_bench::LEAD,
-                ssync_bench::COSENDER,
-                2,
-            ) {
-                continue;
-            }
-            let mut meas = Vec::new();
-            let mut truth = Vec::new();
-            for _ in 0..REPS {
-                let out = run_once(&mut net, &mut rng, &payload, &cfg, &db, wait);
-                if let Some(m) = out.reports[0].measured_misalign_s[0] {
-                    meas.push(m);
-                }
-                let t = out.true_misalign_s[0][0];
-                if t.is_finite() {
-                    truth.push(t);
-                }
-            }
-            if meas.is_empty() || truth.is_empty() {
-                continue;
-            }
-            // The repetition estimator: average over frames.
-            measured_ns.push(ssync_dsp::stats::mean(&meas).abs() * 1e9);
-            true_ns.push(ssync_dsp::stats::mean(&truth).abs() * 1e9);
-        }
-        if measured_ns.is_empty() {
-            println!("{snr_db:.0}\tNA\tNA\t0");
-            continue;
-        }
-        println!(
-            "{snr_db:.0}\t{:.2}\t{:.2}\t{}",
-            percentile(&measured_ns, 95.0),
-            percentile(&true_ns, 95.0),
-            measured_ns.len()
-        );
-    }
+    ssync_exp::bin_main(&ssync_bench::scenarios::Fig12SyncError);
 }

@@ -1,92 +1,12 @@
-//! Figure 13: joint-transmission SNR vs cyclic-prefix length, SourceSync
-//! vs an unsynchronized baseline.
+//! Figure 13: joint-transmission SNR vs cyclic-prefix length.
 //!
-//! Two transmitters in a line-of-sight-like configuration (strong direct
-//! path, paper-matched multipath spread) jointly transmit at each CP
-//! length; the receiver's decision-directed EVM SNR of the combined data
-//! is recorded. SourceSync compensates delays; the baseline joins on its
-//! raw detection instant. The paper's result: SourceSync reaches ~95 % of
-//! peak SNR at a CP of ~15 samples (117 ns, set by the multipath spread
-//! alone — Fig. 14), the baseline needs ~60 samples (469 ns).
-//!
-//! Output: TSV `cp_ns  snr_sourcesync_db  snr_baseline_db`.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ssync_bench::{pin_all_snrs, random_payload, run_once, trials_scale, COSENDER, LEAD, RECEIVER};
-use ssync_channel::{FloorPlan, Position};
-use ssync_core::{DelayDatabase, JointConfig};
-use ssync_phy::{OfdmParams, RateId};
-use ssync_sim::{ChannelModels, Network};
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::Fig13CpSweep`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::wiglan();
-    let models = ChannelModels::testbed(&params);
-    let trials = 6 * trials_scale();
-    let snr_db = 25.0;
-
-    println!("# Figure 13: joint SNR vs CP, SourceSync vs unsynchronized baseline");
-    println!("# numerology: wiglan; links pinned to {snr_db} dB; EVM-based SNR");
-    println!("# cp_ns\tsourcesync_db\tbaseline_db");
-    for cp_samples in (0..=80usize).step_by(5) {
-        let mut ss_vals = Vec::new();
-        let mut base_vals = Vec::new();
-        for t in 0..trials {
-            let seed = (cp_samples * 100 + t) as u64;
-            let mut rng = StdRng::seed_from_u64(seed);
-            let plan = FloorPlan::testbed();
-            let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
-            let mut net = Network::build(&mut rng, &params, &positions, &models);
-            pin_all_snrs(&mut net, snr_db);
-            let payload = random_payload(&mut rng, 120);
-            let mut db = DelayDatabase::new();
-            if !db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 2) {
-                continue;
-            }
-            let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else {
-                continue;
-            };
-            // The CP under test replaces the base CP: set extension so that
-            // base + ext = cp_samples (clamp at 0 by shrinking the base
-            // through a re-parameterised numerology).
-            let swept = params.with_cp(1.max(cp_samples));
-            let mut swept_net = net;
-            swept_net.params = swept.clone();
-            let cfg_ss = JointConfig {
-                rate: RateId::R12,
-                cp_extension: 0,
-                ..Default::default()
-            };
-            let out = run_once(
-                &mut swept_net,
-                &mut rng,
-                &payload,
-                &cfg_ss,
-                &db,
-                sol.waits[0],
-            );
-            if out.reports[0].header_ok {
-                ss_vals.push(out.reports[0].stats.evm_snr_db);
-            }
-            let cfg_base = JointConfig {
-                rate: RateId::R12,
-                cp_extension: 0,
-                delay_compensation: false,
-                ..Default::default()
-            };
-            let out = run_once(&mut swept_net, &mut rng, &payload, &cfg_base, &db, 0.0);
-            if out.reports[0].header_ok {
-                base_vals.push(out.reports[0].stats.evm_snr_db);
-            }
-        }
-        let cp_ns = cp_samples as f64 * params.sample_period_fs() as f64 * 1e-6;
-        let med = |v: &Vec<f64>| {
-            if v.is_empty() {
-                f64::NAN
-            } else {
-                ssync_dsp::stats::median(v)
-            }
-        };
-        println!("{cp_ns:.1}\t{:.2}\t{:.2}", med(&ss_vals), med(&base_vals));
-    }
+    ssync_exp::bin_main(&ssync_bench::scenarios::Fig13CpSweep);
 }

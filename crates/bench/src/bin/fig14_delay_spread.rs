@@ -1,43 +1,12 @@
 //! Figure 14: time-domain power-delay profile of a single sender's channel.
 //!
-//! One draw of the paper-matched indoor multipath profile at the WiGLAN
-//! sample rate; the paper observes ~15 significant taps (117 ns), which
-//! sets the CP SourceSync needs after synchronization (Fig. 13's knee).
-//!
-//! Output: TSV `tap_index  |h|^2` plus summary statistics over many draws.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ssync_bench::trials_scale;
-use ssync_channel::MultipathProfile;
-use ssync_phy::OfdmParams;
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::Fig14DelaySpread`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::wiglan();
-    let profile = MultipathProfile::testbed(params.sample_rate_hz);
-    let mut rng = StdRng::seed_from_u64(42);
-
-    // A representative single realisation, scaled like the paper's plot
-    // (which shows |H|² up to ~2.2 with unit-ish mean).
-    let ch = profile.draw(&mut rng);
-    println!("# Figure 14: delay spread of a single sender (wiglan, 128 Msps)");
-    println!("# tap_index\tpower");
-    let scale = ch.taps.len() as f64; // display scale: mean tap power ≈ 1
-    for (i, t) in ch.taps.iter().enumerate() {
-        println!("{i}\t{:.4}", t.norm_sqr() * scale);
-    }
-
-    // Significant-tap statistics across draws.
-    let n = 200 * trials_scale();
-    let counts: Vec<f64> = (0..n)
-        .map(|_| profile.draw(&mut rng).significant_taps(0.95) as f64)
-        .collect();
-    println!(
-        "# mean significant taps (95% energy) over {n} draws: {:.1}",
-        ssync_dsp::stats::mean(&counts)
-    );
-    println!(
-        "# = {:.0} ns at 128 Msps (paper: ~15 taps = 117 ns)",
-        ssync_dsp::stats::mean(&counts) * params.sample_period_fs() as f64 * 1e-6
-    );
+    ssync_exp::bin_main(&ssync_bench::scenarios::Fig14DelaySpread);
 }

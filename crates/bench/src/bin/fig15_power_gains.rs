@@ -1,113 +1,12 @@
-//! Figure 15: average SNR of a single sender vs SourceSync joint
-//! transmission, by SNR regime (low <6 dB, medium 6–12 dB, high >12 dB).
+//! Figure 15: single-sender vs SourceSync joint SNR by regime.
 //!
-//! Random testbed placements of two senders and a receiver; for each
-//! placement the receiver's mean per-subcarrier SNR is measured (a) for
-//! each sender transmitting alone (from its channel estimate) and (b) for
-//! the SourceSync joint transmission (effective role-channel gain).
-//! Paper result: joint transmission gains 2–3 dB in every regime.
-//!
-//! Output: TSV `regime  single_mean_db  joint_mean_db  gain_db  n`.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ssync_bench::{random_payload, trials_scale, COSENDER, LEAD, RECEIVER};
-use ssync_channel::{FloorPlan, Position};
-use ssync_core::{DelayDatabase, JointConfig};
-use ssync_dsp::stats::{db_from_linear, linear_from_db, mean};
-use ssync_phy::{OfdmParams, RateId};
-use ssync_sim::{ChannelModels, Network};
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::Fig15PowerGains`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::dot11a();
-    let models = ChannelModels::testbed(&params);
-    let cfg = JointConfig {
-        rate: RateId::R6,
-        cp_extension: 8,
-        ..Default::default()
-    };
-    let placements = 60 * trials_scale();
-
-    // (single-sender mean SNR, joint mean SNR) pairs per placement.
-    let mut samples: Vec<(f64, f64)> = Vec::new();
-    for p in 0..placements {
-        let seed = 7000 + p as u64;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = FloorPlan::testbed();
-        let rx_pos = plan.random_position(&mut rng);
-        let s1 = plan.random_position_near(&mut rng, rx_pos, 8.0, 28.0);
-        let s2 = plan.random_position_near(&mut rng, s1, 2.0, 10.0);
-        let positions: Vec<Position> = vec![s1, s2, rx_pos];
-        let mut net = Network::build(&mut rng, &params, &positions, &models);
-        // Pin the two sender→receiver links to span the paper's low /
-        // medium / high regimes (the paper groups placements by their
-        // *measured* single-sender SNR; the testbed's walls produced
-        // regimes our open floor plan cannot). Senders hear each other well.
-        use rand::Rng as _;
-        let snr1: f64 = rng.gen_range(0.5..18.0);
-        let snr2 = (snr1 + rng.gen_range(-3.0..3.0)).max(0.5);
-        // Delay probing is a long-running background process (the paper's
-        // periodic measurements) whose estimates depend on geometry, not on
-        // the instantaneous SNR — run it before pinning the links to the
-        // experiment's regime.
-        ssync_bench::pin_all_snrs(&mut net, 25.0);
-        let payload = random_payload(&mut rng, 80);
-        let mut db = DelayDatabase::new();
-        if !db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 3) {
-            continue;
-        }
-        ssync_bench::pin_link(&mut net, LEAD, RECEIVER, snr1);
-        ssync_bench::pin_link(&mut net, RECEIVER, LEAD, snr1);
-        ssync_bench::pin_link(&mut net, COSENDER, RECEIVER, snr2);
-        ssync_bench::pin_link(&mut net, RECEIVER, COSENDER, snr2);
-        ssync_bench::pin_link(&mut net, LEAD, COSENDER, 25.0);
-        ssync_bench::pin_link(&mut net, COSENDER, LEAD, 25.0);
-        let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else {
-            continue;
-        };
-        let out = ssync_bench::run_once(&mut net, &mut rng, &payload, &cfg, &db, sol.waits[0]);
-        let report = &out.reports[0];
-        if !report.header_ok || report.co_channels[0].is_none() {
-            continue;
-        }
-        let lead_est = report.lead_channel.as_ref().unwrap();
-        let co_est = report.co_channels[0].as_ref().unwrap();
-        let n0 = lead_est.noise_power.max(1e-15);
-        // Bias-correct the SNR estimate: a 2-repetition LS channel estimate
-        // carries n0/2 of estimation noise per carrier, which matters in
-        // the low regime.
-        let unbias = |p: f64| db_from_linear((p / n0 - 0.5).max(0.01));
-        let lead_snr = unbias(lead_est.mean_power());
-        let co_snr = unbias(co_est.mean_power());
-        // "Senders transmitting separately": the average of the two.
-        let single = (lead_snr + co_snr) / 2.0;
-        let joint_lin = mean(
-            &report
-                .effective_snr_db
-                .iter()
-                .map(|d| linear_from_db(*d))
-                .collect::<Vec<_>>(),
-        );
-        samples.push((single, db_from_linear(joint_lin)));
-    }
-
-    println!("# Figure 15: power gains — single sender vs SourceSync, by SNR regime");
-    println!("# regime\tsingle_db\tjoint_db\tgain_db\tn");
-    for (name, lo, hi) in [
-        ("low(<6dB)", f64::NEG_INFINITY, 6.0),
-        ("medium(6-12dB)", 6.0, 12.0),
-        ("high(>12dB)", 12.0, f64::INFINITY),
-    ] {
-        let bin: Vec<&(f64, f64)> = samples
-            .iter()
-            .filter(|(s, _)| *s >= lo && *s < hi)
-            .collect();
-        if bin.is_empty() {
-            println!("{name}\tNA\tNA\tNA\t0");
-            continue;
-        }
-        let s = mean(&bin.iter().map(|(a, _)| *a).collect::<Vec<_>>());
-        let j = mean(&bin.iter().map(|(_, b)| *b).collect::<Vec<_>>());
-        println!("{name}\t{s:.2}\t{j:.2}\t{:.2}\t{}", j - s, bin.len());
-    }
+    ssync_exp::bin_main(&ssync_bench::scenarios::Fig15PowerGains);
 }

@@ -1,83 +1,12 @@
-//! Figure 16: per-subcarrier SNR of each sender alone vs SourceSync joint
-//! transmission, in high/medium/low SNR regimes.
+//! Figure 16: per-subcarrier SNR of each sender alone vs the joint profile.
 //!
-//! The paper's point: the joint profile is not only higher on average but
-//! *flatter* — the senders' independent frequency-selective fades fill
-//! each other in, which is what lets convolutionally-coded 802.11 use a
-//! higher bit rate.
-//!
-//! Output: three TSV blocks (`high`, `medium`, `low`), each
-//! `freq_mhz  sender1_db  sender2_db  joint_db`, plus flatness statistics.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ssync_bench::{pin_all_snrs, random_payload, COSENDER, LEAD, RECEIVER};
-use ssync_channel::{FloorPlan, Position};
-use ssync_core::{DelayDatabase, JointConfig};
-use ssync_dsp::stats::{db_from_linear, std_dev};
-use ssync_phy::{OfdmParams, RateId};
-use ssync_sim::{ChannelModels, Network};
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::Fig16SubcarrierSnr`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::dot11a();
-    let models = ChannelModels::testbed(&params);
-    let cfg = JointConfig {
-        rate: RateId::R6,
-        cp_extension: 8,
-        ..Default::default()
-    };
-
-    println!("# Figure 16: per-subcarrier SNR — each sender alone vs SourceSync");
-    for (regime, snr_db, seed) in [("high", 16.0, 11u64), ("medium", 9.0, 23), ("low", 4.0, 37)] {
-        // Controlled per-sender mean SNR, random multipath (the fades).
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = FloorPlan::testbed();
-        let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
-        let mut net = Network::build(&mut rng, &params, &positions, &models);
-        // Probe delays at a comfortable SNR (geometry-only measurement),
-        // then pin the regime under test.
-        pin_all_snrs(&mut net, 25.0);
-        let payload = random_payload(&mut rng, 80);
-        let mut db = DelayDatabase::new();
-        if !db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 3) {
-            println!("# {regime}: probes failed, skipping");
-            continue;
-        }
-        pin_all_snrs(&mut net, snr_db);
-        let Some(sol) = db.wait_solution(LEAD, &[COSENDER], &[RECEIVER]) else {
-            continue;
-        };
-        let out = ssync_bench::run_once(&mut net, &mut rng, &payload, &cfg, &db, sol.waits[0]);
-        let report = &out.reports[0];
-        let (Some(lead_est), Some(co_est)) =
-            (report.lead_channel.as_ref(), report.co_channels[0].as_ref())
-        else {
-            println!("# {regime}: joint frame failed, skipping");
-            continue;
-        };
-        let n0 = lead_est.noise_power.max(1e-15);
-        println!("# regime: {regime} (per-sender mean SNR pinned to {snr_db} dB)");
-        println!("# freq_mhz\tsender1_db\tsender2_db\tjoint_db");
-        let spacing_mhz = params.subcarrier_spacing_hz() / 1e6;
-        let mut s1 = Vec::new();
-        let mut s2 = Vec::new();
-        let mut joint = Vec::new();
-        for (j, &k) in params.data_carriers.iter().enumerate() {
-            let h1 = lead_est.gain(k).unwrap();
-            let h2 = co_est.gain(k).unwrap();
-            let v1 = db_from_linear(h1.norm_sqr() / n0);
-            let v2 = db_from_linear(h2.norm_sqr() / n0);
-            let vj = report.effective_snr_db[j];
-            println!("{:.2}\t{v1:.2}\t{v2:.2}\t{vj:.2}", k as f64 * spacing_mhz);
-            s1.push(v1);
-            s2.push(v2);
-            joint.push(vj);
-        }
-        println!(
-            "# flatness (std dev of per-carrier SNR, dB): sender1 {:.2}, sender2 {:.2}, joint {:.2}",
-            std_dev(&s1),
-            std_dev(&s2),
-            std_dev(&joint)
-        );
-    }
+    ssync_exp::bin_main(&ssync_bench::scenarios::Fig16SubcarrierSnr);
 }

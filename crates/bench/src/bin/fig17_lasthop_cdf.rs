@@ -1,80 +1,12 @@
-//! Figure 17: last-hop throughput CDF — single best AP ("selective
-//! diversity") vs SourceSync joint APs.
+//! Figure 17: last-hop throughput CDF, best single AP vs SourceSync joint APs.
 //!
-//! The paper's clients have *poor connectivity to multiple nearby APs*
-//! (§1.2, §7.1): per-AP SNRs are drawn across the marginal band where rate
-//! adaptation actually has to work (≈3–16 dB — the regime the testbed's
-//! walls produced; our open floor plan cannot, so the SNRs are drawn
-//! directly and documented in DESIGN.md). SampleRate adapts the rate on
-//! the lead AP; the PER model is pinned to the sample-level modem. Paper
-//! result: median gain 1.57×, with gains at all client percentiles.
-//!
-//! Output: two CDF blocks plus the median-gain summary line.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use ssync_bench::{print_cdf, trials_scale};
-use ssync_dsp::stats::median;
-use ssync_lasthop::{run_session, ClientScenario, Mode};
-use ssync_phy::ber::PerTable;
-use ssync_phy::OfdmParams;
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::Fig17LasthopCdf`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::dot11a();
-    let per = PerTable::analytic();
-    let placements = 60 * trials_scale();
-    let n_packets = 400;
-    let payload = 1460;
-
-    let mut single = Vec::new();
-    let mut joint = Vec::new();
-    for p in 0..placements {
-        let seed = 50_000 + p as u64;
-        let mut rng = StdRng::seed_from_u64(seed);
-        // Marginal clients: both APs in the 3–16 dB band, correlated (the
-        // client is simply far from the AP cluster), ±4 dB split.
-        let base: f64 = rng.gen_range(3.0..16.0);
-        let s1 = base + rng.gen_range(-2.0..2.0);
-        let s2 = base + rng.gen_range(-4.0..2.0);
-        let scenario = ClientScenario {
-            downlink_snr_db: vec![s1.max(s2), s1.min(s2)], // lead = best AP
-            uplink_snr_db: vec![s1, s2],
-        };
-        let mut rng_run = StdRng::seed_from_u64(seed ^ 0xF00D);
-        let o_single = run_session(
-            &mut rng_run,
-            &params,
-            &per,
-            &scenario,
-            Mode::BestSingleAp,
-            payload,
-            n_packets,
-            7,
-        );
-        let mut rng_run = StdRng::seed_from_u64(seed ^ 0xF00D);
-        let o_joint = run_session(
-            &mut rng_run,
-            &params,
-            &per,
-            &scenario,
-            Mode::SourceSync,
-            payload,
-            n_packets,
-            7,
-        );
-        single.push(o_single.throughput_bps / 1e6);
-        joint.push(o_joint.throughput_bps / 1e6);
-    }
-
-    println!("# Figure 17: last-hop throughput CDFs (Mbps)");
-    print_cdf("single best AP (selective diversity)", &single);
-    println!();
-    print_cdf("SourceSync (both APs jointly)", &joint);
-    let med_s = median(&single);
-    let med_j = median(&joint);
-    println!("# median single = {med_s:.2} Mbps, median SourceSync = {med_j:.2} Mbps");
-    println!(
-        "# median gain = {:.2}x (paper: 1.57x)",
-        med_j / med_s.max(1e-9)
-    );
+    ssync_exp::bin_main(&ssync_bench::scenarios::Fig17LasthopCdf);
 }

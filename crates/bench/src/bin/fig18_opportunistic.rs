@@ -1,137 +1,12 @@
-//! Figure 18: opportunistic routing throughput CDFs at 6 and 12 Mbps —
-//! single path vs ExOR vs ExOR+SourceSync.
+//! Figure 18: opportunistic routing throughput, single path vs ExOR vs ExOR+SourceSync.
 //!
-//! Twenty random five-node topologies per rate (source, three relays,
-//! destination — the paper's §8.4 method and its Fig. 10 setting: lossy
-//! links of ≈50 % delivery at the fixed network rate, relays that can hear
-//! each other, and no usable direct source→destination link). Because the
-//! paper's loss rates come from a wall-heavy testbed at fixed bit rates,
-//! the per-link SNRs are drawn directly in the band that produces those
-//! loss rates (documented in DESIGN.md). Paper result: ExOR gains
-//! 1.26–1.4× over single path; ExOR+SourceSync adds 1.35–1.45× over ExOR
-//! (1.7–2× over single path).
-//!
-//! Output: per-rate CDF blocks plus median-ratio summary lines.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use ssync_bench::{print_cdf, trials_scale};
-use ssync_dsp::stats::median;
-use ssync_phy::ber::PerTable;
-use ssync_phy::{OfdmParams, RateId};
-use ssync_routing::{run_batch, run_transfer, ExorConfig, MeshTopology};
-
-/// Draws a 5-node topology: 0 = source, 1–3 = relays, 4 = destination.
-fn draw_topology(rng: &mut StdRng, rate: RateId) -> MeshTopology {
-    // The SNR at which this rate delivers ≈50 % of packets (analytic
-    // table midpoints), ±2.5 dB of per-link spread.
-    let mid = match rate {
-        RateId::R6 => 4.0,
-        RateId::R12 => 7.0,
-        _ => 9.0,
-    };
-    let inf = f64::NEG_INFINITY;
-    let mut snr = vec![vec![inf; 5]; 5];
-    // src → relay: moderately lossy (the first-hop receiver diversity
-    // ExOR exploits); relay → dst: the poor final hop where sender
-    // diversity pays (the paper's Fig. 1(b) situation). Band offsets are
-    // per-rate because the coded PER cliffs have different widths.
-    let (src_band, dst_band) = match rate {
-        RateId::R6 => ((1.0, 6.0), (0.0, 3.0)),
-        _ => ((1.5, 6.0), (-1.5, 2.5)),
-    };
-    #[allow(clippy::needless_range_loop)] // symmetric matrix entries assigned by index
-    for r in 1..=3usize {
-        let a = mid + rng.gen_range(src_band.0..src_band.1);
-        snr[0][r] = a;
-        snr[r][0] = a;
-        let b = mid + rng.gen_range(dst_band.0..dst_band.1);
-        snr[r][4] = b;
-        snr[4][r] = b;
-    }
-    // Relays hear each other well (they are clustered mid-path).
-    #[allow(clippy::needless_range_loop)] // symmetric matrix entries assigned by index
-    for i in 1..=3usize {
-        for j in 1..=3usize {
-            if i != j {
-                snr[i][j] = rng.gen_range(12.0..20.0);
-            }
-        }
-    }
-    // Direct src→dst: too weak to use.
-    let direct = rng.gen_range(-8.0..-2.0);
-    snr[0][4] = direct;
-    snr[4][0] = direct;
-    MeshTopology::from_snrs(snr)
-}
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::Fig18Opportunistic`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    let params = OfdmParams::dot11a();
-    let per = PerTable::analytic();
-    let topologies = 20 * trials_scale();
-
-    println!("# Figure 18: opportunistic routing throughput (Mbps)");
-    for rate in [RateId::R6, RateId::R12] {
-        let batches = 4usize;
-        let mut tp_single = Vec::new();
-        let mut tp_exor = Vec::new();
-        let mut tp_ssync = Vec::new();
-        for t in 0..topologies {
-            let seed = 90_000 + 1000 * rate.to_index() as u64 + t as u64;
-            let mut rng = StdRng::seed_from_u64(seed);
-            let topo = draw_topology(&mut rng, rate);
-
-            let cfg = ExorConfig::new(rate);
-            let cfg_ss = ExorConfig::new(rate).with_sender_diversity();
-            let n_pkts = cfg.batch_size * batches;
-
-            let mut rng_s = StdRng::seed_from_u64(seed ^ 1);
-            tp_single.push(
-                run_transfer(
-                    &mut rng_s,
-                    &params,
-                    &topo,
-                    &per,
-                    rate,
-                    0,
-                    4,
-                    cfg.payload_len,
-                    n_pkts,
-                    7,
-                )
-                .map(|o| o.throughput_bps / 1e6)
-                .unwrap_or(0.0),
-            );
-            let mut acc = (0.0, 0.0);
-            for b in 0..batches {
-                let mut rng_e = StdRng::seed_from_u64(seed ^ (2 + b as u64));
-                if let Some(o) = run_batch(&mut rng_e, &params, &topo, &per, 0, 4, &[1, 2, 3], &cfg)
-                {
-                    acc.0 += o.throughput_bps / 1e6 / batches as f64;
-                }
-                let mut rng_j = StdRng::seed_from_u64(seed ^ (100 + b as u64));
-                if let Some(o) =
-                    run_batch(&mut rng_j, &params, &topo, &per, 0, 4, &[1, 2, 3], &cfg_ss)
-                {
-                    acc.1 += o.throughput_bps / 1e6 / batches as f64;
-                }
-            }
-            tp_exor.push(acc.0);
-            tp_ssync.push(acc.1);
-        }
-        println!("\n# ===== bitrate {} Mbps =====", rate.nominal_mbps());
-        print_cdf("single path", &tp_single);
-        println!();
-        print_cdf("ExOR", &tp_exor);
-        println!();
-        print_cdf("ExOR + SourceSync", &tp_ssync);
-        let (ms, me, mj) = (median(&tp_single), median(&tp_exor), median(&tp_ssync));
-        println!("# medians: single {ms:.2}, ExOR {me:.2}, ExOR+SourceSync {mj:.2} Mbps");
-        println!(
-            "# gains: ExOR/single {:.2}x (paper 1.26-1.4x), SourceSync/ExOR {:.2}x (paper 1.35-1.45x), SourceSync/single {:.2}x (paper 1.7-2x)",
-            me / ms.max(1e-9),
-            mj / me.max(1e-9),
-            mj / ms.max(1e-9)
-        );
-    }
+    ssync_exp::bin_main(&ssync_bench::scenarios::Fig18Opportunistic);
 }

@@ -1,0 +1,113 @@
+//! `ssync-lab` — the unified experiment runner.
+//!
+//! Lists and runs any registered evaluation scenario by name:
+//!
+//! ```text
+//! ssync-lab list
+//! ssync-lab run fig12_sync_error --threads 8 --trials 4 --format json
+//! ssync-lab run fig08_wait_lp --check golden/fig08.tsv
+//! ```
+//!
+//! Flags for `run`:
+//!
+//! * `--threads N` — worker count (default: `SSYNC_THREADS` env, else all
+//!   cores). Output is byte-identical for every `N`.
+//! * `--trials K` — trial multiplier (default: `SSYNC_TRIALS` env, else 1).
+//! * `--format tsv|json` — serialization (default `tsv`).
+//! * `--out FILE` — write to a file instead of stdout.
+//! * `--check FILE` — golden-regression mode: compare the rendered output
+//!   against `FILE`; exit 1 with a first-divergence diagnostic on mismatch.
+
+use ssync_bench::scenarios;
+use ssync_exp::{golden, run_rendered, Format, RunConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ssync-lab list\n  ssync-lab run <scenario> [--threads N] [--trials K] \
+         [--format tsv|json] [--out FILE] [--check FILE]\n\nrun `ssync-lab list` for scenario names"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ssync-lab: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<22} {:<18} description", "name", "paper");
+            for s in scenarios::all() {
+                println!("{:<22} {:<18} {}", s.name(), s.paper_ref(), s.title());
+            }
+        }
+        Some("run") => run(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run(args: &[String]) {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let Some(scenario) = scenarios::find(name) else {
+        fail(&format!(
+            "unknown scenario {name:?}; run `ssync-lab list` for the registry"
+        ));
+    };
+
+    let mut cfg = RunConfig::from_env();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{what} expects a value")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--threads" => {
+                cfg.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads expects an integer"));
+            }
+            "--trials" => {
+                let k: usize = value("--trials")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--trials expects a positive integer"));
+                if k == 0 {
+                    fail("--trials expects a positive integer");
+                }
+                cfg.trials_scale = k;
+            }
+            "--format" => {
+                cfg.format = Format::parse(&value("--format"))
+                    .unwrap_or_else(|| fail("--format expects `tsv` or `json`"));
+            }
+            "--out" => out_path = Some(value("--out")),
+            "--check" => check_path = Some(value("--check")),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let rendered = run_rendered(scenario, &cfg);
+
+    if let Some(path) = &check_path {
+        let expected = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read golden file {path:?}: {e}")));
+        if let Err(diff) = golden::compare(&expected, &rendered) {
+            eprintln!("ssync-lab: golden mismatch for {name} vs {path}: {diff}");
+            std::process::exit(1);
+        }
+        eprintln!("ssync-lab: {name} matches golden {path}");
+    }
+
+    match &out_path {
+        Some(path) => std::fs::write(path, &rendered)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path:?}: {e}"))),
+        None => print!("{rendered}"),
+    }
+}

@@ -1,27 +1,12 @@
-//! §4.4 overhead table: synchronization overhead of a joint frame.
+//! Section 4.4 overhead table: synchronization overhead of a joint frame.
 //!
-//! The paper's example: 1460-byte packets at 12 Mbps — 1.7 % overhead for
-//! two concurrent senders, 2.8 % for five. Regenerated closed-form from
-//! the joint-frame timeline (SIFS + 2 training symbols per co-sender over
-//! the whole frame).
-//!
-//! Output: TSV `n_senders  overhead_percent` for both numerologies.
-
-use ssync_core::JointTimeline;
-use ssync_phy::{OfdmParams, RateId};
+//! Thin wrapper: the experiment itself lives in
+//! [`ssync_bench::scenarios::TableOverhead`], runs on the `ssync_exp` harness
+//! (parallel across `SSYNC_THREADS` workers, trial counts scaled by
+//! `SSYNC_TRIALS`), and prints the same TSV this binary always printed.
+//! The `ssync-lab` runner exposes the same scenario with `--threads`,
+//! `--trials`, and `--format` flags.
 
 fn main() {
-    println!("# Sync overhead of a joint frame, 1460-byte payload (+4 CRC) at 12 Mbps");
-    println!("# paper (802.11 numerology): 2 senders 1.7%, 5 senders 2.8%");
-    println!("# numerology\tn_senders\toverhead_percent");
-    for params in [OfdmParams::dot11a(), OfdmParams::wiglan()] {
-        for n_senders in 2..=5usize {
-            let t = JointTimeline::new(&params, 1464, RateId::R12, 0, n_senders - 1);
-            println!(
-                "{}\t{n_senders}\t{:.2}",
-                params.name,
-                t.sync_overhead() * 100.0
-            );
-        }
-    }
+    ssync_exp::bin_main(&ssync_bench::scenarios::TableOverhead);
 }

@@ -1,10 +1,18 @@
-//! Shared experiment plumbing for the figure-regeneration binaries.
+//! Domain-side experiment plumbing for the SourceSync evaluation: network
+//! construction, SNR pinning, converged joint transmissions — plus the
+//! [`scenarios`] module holding every figure reproduction as a declarative
+//! `ssync_exp` scenario.
 //!
-//! Every binary prints TSV to stdout (comment lines start with `#`), takes
-//! its iteration counts from [`trials_scale`] (override with the
-//! `SSYNC_TRIALS` env var, e.g. `SSYNC_TRIALS=4` for 4× the default
-//! sample counts), and derives all randomness from fixed seeds so output
-//! is reproducible byte-for-byte.
+//! Each scenario prints TSV to stdout (comment lines start with `#`),
+//! scales its iteration counts with the `SSYNC_TRIALS` env var (e.g.
+//! `SSYNC_TRIALS=4` for 4× the default sample counts), parallelises
+//! across `SSYNC_THREADS` workers (default: all cores) without changing a
+//! byte of output, and derives all randomness from fixed seeds so output
+//! is reproducible byte-for-byte. The generic machinery (parallel
+//! executor, sweeps, aggregation, sinks) lives in `ssync_exp`; this crate
+//! contributes the physics.
+
+pub mod scenarios;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -12,23 +20,6 @@ use ssync_channel::{FloorPlan, Position};
 use ssync_core::{CosenderPlan, DelayDatabase, JointConfig, JointOutcome};
 use ssync_phy::Params;
 use ssync_sim::{ChannelModels, Network, NodeId};
-
-/// Global trial multiplier from `SSYNC_TRIALS` (default 1).
-pub fn trials_scale() -> usize {
-    std::env::var("SSYNC_TRIALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|v| *v >= 1)
-        .unwrap_or(1)
-}
-
-/// Prints an empirical CDF as TSV rows `value<TAB>fraction`.
-pub fn print_cdf(label: &str, values: &[f64]) {
-    println!("# CDF: {label} ({} samples)", values.len());
-    for (v, f) in ssync_dsp::stats::empirical_cdf(values) {
-        println!("{v:.6}\t{f:.4}");
-    }
-}
 
 /// A two-sender + one-receiver placement with every link pinned to a
 /// target mean SNR (the controlled sweep used by Figs. 12–13): geometry
@@ -147,12 +138,6 @@ mod tests {
             let snr = net.snr_db(a, b);
             assert!((snr - 15.0).abs() < 0.01, "{a}->{b}: {snr}");
         }
-    }
-
-    #[test]
-    fn trials_scale_defaults_to_one() {
-        std::env::remove_var("SSYNC_TRIALS");
-        assert_eq!(trials_scale(), 1);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Ablation: §4.5 delay tracking under node mobility.
+//!
+//! The co-sender's propagation delay to the receiver drifts over a
+//! session (the receiver walks ~0.5 m between frames). With tracking, the
+//! ACK-fed wait updates follow the drift; without it, the initial
+//! probe-measured wait goes stale and the misalignment grows without
+//! bound — exactly why §4.5 exists.
+//!
+//! Output: TSV `frame  |misalign|_tracked_ns  |misalign|_static_ns`.
+
+use crate::{pin_all_snrs, random_payload, run_once, COSENDER, LEAD, RECEIVER};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssync_channel::{FloorPlan, Position};
+use ssync_core::{tracking_update, DelayDatabase, JointConfig};
+use ssync_exp::{Ctx, Output, Scenario, Value};
+use ssync_phy::{OfdmParams, RateId};
+use ssync_sim::{ChannelModels, Network, NodeId};
+
+/// Femtoseconds of one-way delay drift per frame (≈0.45 m of motion).
+const DRIFT_FS_PER_FRAME: u64 = 1_500_000;
+
+fn drift(net: &mut Network, a: NodeId, b: NodeId) {
+    for (x, y) in [(a, b), (b, a)] {
+        if let Some(link) = net.medium.link_mut(x, y) {
+            link.delay_fs += DRIFT_FS_PER_FRAME;
+        }
+    }
+}
+
+/// See the module docs.
+pub struct AblationTracking;
+
+impl Scenario for AblationTracking {
+    fn name(&self) -> &'static str {
+        "ablation_tracking"
+    }
+
+    fn title(&self) -> &'static str {
+        "Delay tracking under mobility: ACK-fed wait updates vs a static wait"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.5 validation"
+    }
+
+    fn run(&self, ctx: &Ctx, out: &mut Output) {
+        let params = OfdmParams::wiglan();
+        let models = ChannelModels::testbed(&params);
+        let n_frames = 12usize;
+        let cfg = JointConfig {
+            rate: RateId::R6,
+            cp_extension: 16,
+            ..Default::default()
+        };
+
+        let run = |track: bool| -> Vec<f64> {
+            let seed = 777u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let plan = FloorPlan::testbed();
+            let positions: Vec<Position> = (0..3).map(|_| plan.random_position(&mut rng)).collect();
+            let mut net = Network::build(&mut rng, &params, &positions, &models);
+            pin_all_snrs(&mut net, 18.0);
+            let mut db = DelayDatabase::new();
+            assert!(db.measure_all(&mut net, &mut rng, &[LEAD, COSENDER, RECEIVER], 3));
+            let mut wait = db
+                .wait_solution(LEAD, &[COSENDER], &[RECEIVER])
+                .unwrap()
+                .waits[0];
+            let mut series = Vec::new();
+            for _ in 0..n_frames {
+                let payload = random_payload(&mut rng, 60);
+                let out = run_once(&mut net, &mut rng, &payload, &cfg, &db, wait);
+                let m = out.reports[0].measured_misalign_s[0];
+                series.push(out.true_misalign_s[0][0].abs() * 1e9);
+                if track {
+                    if let Some(m) = m {
+                        wait = tracking_update(wait, m);
+                    }
+                }
+                // The receiver keeps moving away from the co-sender.
+                drift(&mut net, COSENDER, RECEIVER);
+                let _ = rng.gen::<u64>(); // decorrelate noise across frames
+            }
+            series
+        };
+
+        // The two arms are independent sessions — one worker each.
+        let mut arms = ctx.par_map(2, |i| run(i == 0));
+        let static_wait = arms.pop().unwrap();
+        let tracked = arms.pop().unwrap();
+        out.comment("Ablation: §4.5 delay tracking under mobility");
+        out.comment(format!(
+            "receiver drifts {:.0} ns of path per frame",
+            DRIFT_FS_PER_FRAME as f64 * 1e-6
+        ));
+        out.columns(&["frame", "tracked_ns", "static_ns"]);
+        for (i, (t, s)) in tracked.iter().zip(&static_wait).enumerate() {
+            out.row(vec![Value::Int(i as i64), Value::F(*t, 1), Value::F(*s, 1)]);
+        }
+        out.comment(format!(
+            "final |misalignment|: tracked {:.1} ns vs static {:.1} ns",
+            tracked.last().unwrap(),
+            static_wait.last().unwrap()
+        ));
+    }
+}

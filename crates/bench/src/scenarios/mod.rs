@@ -1,0 +1,84 @@
+//! Every evaluation artefact of the paper as a declarative `ssync_exp`
+//! scenario, plus the registry the `ssync-lab` runner and the thin figure
+//! binaries resolve scenarios from.
+//!
+//! Porting contract: each scenario's TSV rendering is byte-identical to
+//! the stdout of the pre-harness binary of the same name, at every thread
+//! count (enforced by golden and determinism tests). Trials parallelise
+//! across workers; anything that historically consumed one sequential RNG
+//! stream across trials (e.g. [`Fig08WaitLp`]'s placement draws) keeps a
+//! serial generation phase and parallelises only the per-trial compute.
+
+mod ablation_combiner;
+mod ablation_tracking;
+mod fig05_phase_slope;
+mod fig08_wait_lp;
+mod fig12_sync_error;
+mod fig13_cp_sweep;
+mod fig14_delay_spread;
+mod fig15_power_gains;
+mod fig16_subcarrier_snr;
+mod fig17_lasthop_cdf;
+mod fig18_opportunistic;
+mod sweep_wait_residual;
+mod table_overhead;
+
+pub use ablation_combiner::AblationCombiner;
+pub use ablation_tracking::AblationTracking;
+pub use fig05_phase_slope::Fig05PhaseSlope;
+pub use fig08_wait_lp::Fig08WaitLp;
+pub use fig12_sync_error::Fig12SyncError;
+pub use fig13_cp_sweep::Fig13CpSweep;
+pub use fig14_delay_spread::Fig14DelaySpread;
+pub use fig15_power_gains::Fig15PowerGains;
+pub use fig16_subcarrier_snr::Fig16SubcarrierSnr;
+pub use fig17_lasthop_cdf::Fig17LasthopCdf;
+pub use fig18_opportunistic::Fig18Opportunistic;
+pub use sweep_wait_residual::SweepWaitResidual;
+pub use table_overhead::TableOverhead;
+
+use ssync_exp::Scenario;
+
+/// Every registered scenario, in paper order.
+pub fn all() -> &'static [&'static dyn Scenario] {
+    &[
+        &Fig05PhaseSlope,
+        &Fig08WaitLp,
+        &Fig12SyncError,
+        &Fig13CpSweep,
+        &Fig14DelaySpread,
+        &Fig15PowerGains,
+        &Fig16SubcarrierSnr,
+        &Fig17LasthopCdf,
+        &Fig18Opportunistic,
+        &AblationCombiner,
+        &AblationTracking,
+        &TableOverhead,
+        &SweepWaitResidual,
+    ]
+}
+
+/// Looks a scenario up by its stable name.
+pub fn find(name: &str) -> Option<&'static dyn Scenario> {
+    all().iter().copied().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names: Vec<&str> = all().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        assert_eq!(all().len(), 13);
+        for name in names {
+            assert!(find(name).is_some());
+            assert!(!find(name).unwrap().title().is_empty());
+        }
+        assert!(find("no_such_scenario").is_none());
+    }
+}

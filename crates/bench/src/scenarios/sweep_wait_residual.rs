@@ -1,0 +1,78 @@
+//! Declarative-sweep demo: residual misalignment left by the §4.6 minimax
+//! LP as the receiver and co-sender counts grow.
+//!
+//! This is the template for standing up new sweeps (wider sync-error /
+//! topology studies à la AirSync) without writing another binary: declare
+//! a [`Sweep`] grid, write a per-trial metric taking all randomness from
+//! the derived [`Job::seed`](ssync_exp::Job), aggregate. The whole
+//! experiment below is ~30 lines and runs on all cores.
+//!
+//! Output: TSV `n_receivers  n_cosenders  mean_residual_ns  p95_residual_ns
+//! ci95_lo_ns  ci95_hi_ns`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssync_exp::agg::{mean_ci_normal, percentile, Summary};
+use ssync_exp::{Ctx, Output, Scenario, Sweep, Value};
+use ssync_linprog::MisalignmentProblem;
+
+/// See the module docs.
+pub struct SweepWaitResidual;
+
+impl Scenario for SweepWaitResidual {
+    fn name(&self) -> &'static str {
+        "sweep_wait_residual"
+    }
+
+    fn title(&self) -> &'static str {
+        "Declarative sweep demo: LP residual misalignment over receivers x co-senders"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.6 (extended)"
+    }
+
+    fn run(&self, ctx: &Ctx, out: &mut Output) {
+        let sweep = Sweep::new(0x0A15_C0DE)
+            .axis_ints("n_receivers", 1..=6)
+            .axis_ints("n_cosenders", [1, 2, 3])
+            .trials(ctx.trials(100));
+        out.comment("Sweep: residual misalignment of the minimax wait-time LP");
+        out.comment(format!(
+            "grid: n_receivers x n_cosenders, {} trials/point, indoor delays 10-300 ns",
+            ctx.trials(100)
+        ));
+        out.columns(&[
+            "n_receivers",
+            "n_cosenders",
+            "mean_residual_ns",
+            "p95_residual_ns",
+            "ci95_lo_ns",
+            "ci95_hi_ns",
+        ]);
+        for (point, residuals) in sweep.run(ctx, |job| {
+            let mut rng = StdRng::seed_from_u64(job.seed);
+            let n_rx = job.point.get_usize("n_receivers");
+            let n_co = job.point.get_usize("n_cosenders");
+            let draw = |rng: &mut StdRng| rng.gen_range(10e-9..300e-9);
+            let p = MisalignmentProblem {
+                lead_delays: (0..n_rx).map(|_| draw(&mut rng)).collect(),
+                cosender_delays: (0..n_co)
+                    .map(|_| (0..n_rx).map(|_| draw(&mut rng)).collect())
+                    .collect(),
+            };
+            p.solve().max_misalignment * 1e9
+        }) {
+            let s = Summary::of(&residuals);
+            let ci = mean_ci_normal(&residuals, 0.95);
+            out.row(vec![
+                Value::Int(point.get_usize("n_receivers") as i64),
+                Value::Int(point.get_usize("n_cosenders") as i64),
+                Value::F(s.mean, 3),
+                Value::F(percentile(&residuals, 95.0), 3),
+                Value::F(ci.lo, 3),
+                Value::F(ci.hi, 3),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Golden-output regression tests: ported scenarios must reproduce the
+//! pre-harness figure binaries' stdout byte-for-byte.
+//!
+//! The files under `tests/golden/` are verbatim captures of the original
+//! (pre-`ssync_exp`) binaries at default settings (`SSYNC_TRIALS=1`).
+//! Each scenario is rendered at one and at several worker threads — the
+//! harness promises both match the serial legacy bytes exactly.
+
+use ssync_bench::scenarios;
+use ssync_exp::{golden, run_rendered, RunConfig};
+
+fn check(name: &str, expected: &str) {
+    let scenario = scenarios::find(name).expect("scenario registered");
+    for threads in [1, 4] {
+        let cfg = RunConfig {
+            threads,
+            ..Default::default()
+        };
+        golden::assert_matches(
+            &format!("{name} (threads={threads})"),
+            expected,
+            &run_rendered(scenario, &cfg),
+        );
+    }
+}
+
+#[test]
+fn fig05_phase_slope_matches_prerefactor_output() {
+    check(
+        "fig05_phase_slope",
+        include_str!("golden/fig05_phase_slope.tsv"),
+    );
+}
+
+#[test]
+fn fig08_wait_lp_matches_prerefactor_output() {
+    check("fig08_wait_lp", include_str!("golden/fig08_wait_lp.tsv"));
+}
+
+#[test]
+fn fig14_delay_spread_matches_prerefactor_output() {
+    check(
+        "fig14_delay_spread",
+        include_str!("golden/fig14_delay_spread.tsv"),
+    );
+}
+
+#[test]
+fn table_overhead_matches_prerefactor_output() {
+    check("table_overhead", include_str!("golden/table_overhead.tsv"));
+}

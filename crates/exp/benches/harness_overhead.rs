@@ -1,0 +1,29 @@
+//! Microbenchmark of the harness's own overhead: an empty-metric sweep
+//! (the per-job work is a single SplitMix64 mix) run serially and on 4
+//! workers, so scheduler/collection regressions show up in the bench
+//! trajectory independently of any physics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssync_exp::{exec, trial_seed};
+
+/// Jobs per harness invocation — figure-binary scale (fig12 runs 108).
+const JOBS: usize = 128;
+
+fn empty_metric(i: usize) -> u64 {
+    trial_seed(0xBEEF, (i / 8) as u64, (i % 8) as u64)
+}
+
+fn bench_serial(c: &mut Criterion) {
+    c.bench_function("harness/empty_sweep_serial_128", |b| {
+        b.iter(|| exec::par_map(1, JOBS, empty_metric))
+    });
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    c.bench_function("harness/empty_sweep_4threads_128", |b| {
+        b.iter(|| exec::par_map(4, JOBS, empty_metric))
+    });
+}
+
+criterion_group!(harness, bench_serial, bench_threaded);
+criterion_main!(harness);

@@ -1,0 +1,80 @@
+//! Golden-result regression mode.
+//!
+//! A golden file is a checked-in rendering of a scenario's output. The
+//! comparison here is exact — the harness promises byte-identical output
+//! across thread counts, so any divergence is a real behaviour change —
+//! and the error message pinpoints the first differing line, which is far
+//! more useful than a 150-line `assert_eq!` dump.
+
+/// Compares rendered output against the golden expectation. `Ok(())` on an
+/// exact match; otherwise a diagnostic naming the first diverging line.
+pub fn compare(expected: &str, actual: &str) -> Result<(), String> {
+    if expected == actual {
+        return Ok(());
+    }
+    let mut exp_lines = expected.lines();
+    let mut act_lines = actual.lines();
+    let mut line_no = 1usize;
+    loop {
+        match (exp_lines.next(), act_lines.next()) {
+            (Some(e), Some(a)) if e == a => line_no += 1,
+            (Some(e), Some(a)) => {
+                return Err(format!(
+                    "first divergence at line {line_no}:\n  expected: {e:?}\n  actual:   {a:?}"
+                ));
+            }
+            (Some(e), None) => {
+                return Err(format!(
+                    "actual output ends early: expected line {line_no} {e:?}"
+                ));
+            }
+            (None, Some(a)) => {
+                return Err(format!("actual output has extra line {line_no}: {a:?}"));
+            }
+            (None, None) => {
+                // Same lines but different bytes: trailing-newline or
+                // line-ending mismatch.
+                return Err("outputs agree line-by-line but differ in trailing bytes \
+                     (newline at end of file?)"
+                    .to_string());
+            }
+        }
+    }
+}
+
+/// Panics with a scenario-labelled diagnostic unless `actual` matches the
+/// golden expectation exactly.
+pub fn assert_matches(scenario: &str, expected: &str, actual: &str) {
+    if let Err(msg) = compare(expected, actual) {
+        panic!("golden mismatch for scenario {scenario:?}: {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_passes() {
+        assert!(compare("a\nb\n", "a\nb\n").is_ok());
+    }
+
+    #[test]
+    fn reports_first_diverging_line() {
+        let err = compare("a\nb\nc\n", "a\nX\nc\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("\"b\""), "{err}");
+        assert!(err.contains("\"X\""), "{err}");
+    }
+
+    #[test]
+    fn reports_length_mismatches() {
+        assert!(compare("a\nb\n", "a\n").unwrap_err().contains("ends early"));
+        assert!(compare("a\n", "a\nb\n").unwrap_err().contains("extra line"));
+    }
+
+    #[test]
+    fn reports_trailing_byte_mismatch() {
+        assert!(compare("a\nb\n", "a\nb").unwrap_err().contains("trailing"));
+    }
+}

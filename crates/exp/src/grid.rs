@@ -1,0 +1,235 @@
+//! Declarative parameter grids.
+//!
+//! A [`Sweep`] names its axes (SNR, CP length, sender count, sync error,
+//! topology id, channel model id, …), how many trials to run per grid
+//! point, and a base seed. [`Sweep::run`] expands the cartesian product in
+//! row-major axis order, executes every `(point, trial)` job in parallel
+//! through [`crate::exec::par_map`], and hands back the per-point result
+//! vectors in grid order with trials in trial order — the exact sequence a
+//! nested serial loop would produce.
+//!
+//! Axis values are `f64`; integer-valued axes (sender counts, topology
+//! ids) are stored exactly (every `u32` is representable) and read back
+//! with [`GridPoint::get_usize`].
+
+use crate::scenario::Ctx;
+use crate::seed::trial_seed;
+
+/// One named sweep dimension.
+#[derive(Debug, Clone)]
+pub struct Axis {
+    /// Axis name, used by [`GridPoint::get`] lookups and output columns.
+    pub name: String,
+    /// The values this axis takes, in sweep order.
+    pub values: Vec<f64>,
+}
+
+/// One point of the expanded grid: a value for every axis.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Flat row-major index of this point within the grid.
+    pub index: usize,
+    values: Vec<(String, f64)>,
+}
+
+impl GridPoint {
+    /// The value of axis `name`.
+    ///
+    /// # Panics
+    /// Panics if the sweep has no axis of that name — a scenario-definition
+    /// bug, not a data condition.
+    pub fn get(&self, name: &str) -> f64 {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("sweep has no axis named {name:?}"))
+            .1
+    }
+
+    /// The value of axis `name` as an exact non-negative integer.
+    ///
+    /// # Panics
+    /// Panics if the axis is missing or the value is not a small
+    /// non-negative integer.
+    pub fn get_usize(&self, name: &str) -> usize {
+        let v = self.get(name);
+        let u = v as usize;
+        assert!(
+            v >= 0.0 && u as f64 == v,
+            "axis {name:?} value {v} is not an exact non-negative integer"
+        );
+        u
+    }
+
+    /// Axis `(name, value)` pairs in declaration order.
+    pub fn coordinates(&self) -> &[(String, f64)] {
+        &self.values
+    }
+}
+
+/// One unit of work: a grid point, a trial index, and the derived seed.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The grid point this trial belongs to.
+    pub point: GridPoint,
+    /// Trial index within the point, `0..trials`.
+    pub trial: usize,
+    /// Seed derived via [`trial_seed`]; feed it to `StdRng::seed_from_u64`.
+    pub seed: u64,
+}
+
+/// A declarative parameter sweep: axes × trials, with derived seeds.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    axes: Vec<Axis>,
+    trials: usize,
+    base_seed: u64,
+}
+
+impl Sweep {
+    /// A sweep with no axes yet, one trial per point, and the given base
+    /// seed (the root of every derived trial seed).
+    pub fn new(base_seed: u64) -> Self {
+        Sweep {
+            axes: Vec::new(),
+            trials: 1,
+            base_seed,
+        }
+    }
+
+    /// Adds an axis; later axes vary fastest (row-major expansion).
+    pub fn axis(mut self, name: &str, values: impl Into<Vec<f64>>) -> Self {
+        let values = values.into();
+        assert!(!values.is_empty(), "axis {name:?} has no values");
+        self.axes.push(Axis {
+            name: name.to_string(),
+            values,
+        });
+        self
+    }
+
+    /// Adds an integer-valued axis (stored exactly as `f64`, read back
+    /// with [`GridPoint::get_usize`]).
+    pub fn axis_ints(self, name: &str, values: impl IntoIterator<Item = usize>) -> Self {
+        self.axis(
+            name,
+            values.into_iter().map(|v| v as f64).collect::<Vec<f64>>(),
+        )
+    }
+
+    /// Sets trials per grid point.
+    pub fn trials(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a sweep needs at least one trial per point");
+        self.trials = n;
+        self
+    }
+
+    /// Number of grid points (product of axis lengths; 1 with no axes).
+    pub fn points_len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Expands the grid in row-major order (first axis slowest).
+    pub fn points(&self) -> Vec<GridPoint> {
+        let n = self.points_len();
+        (0..n)
+            .map(|index| {
+                let mut rem = index;
+                // Decode the flat index axis by axis, last axis fastest.
+                let mut values = vec![(String::new(), 0.0); self.axes.len()];
+                for (slot, axis) in self.axes.iter().enumerate().rev() {
+                    let len = axis.values.len();
+                    values[slot] = (axis.name.clone(), axis.values[rem % len]);
+                    rem /= len;
+                }
+                GridPoint { index, values }
+            })
+            .collect()
+    }
+
+    /// Runs `metric` on every `(point, trial)` job in parallel and returns
+    /// `(point, trial results in trial order)` pairs in grid order.
+    ///
+    /// The metric must take all randomness from [`Job::seed`]; under that
+    /// contract the result is independent of `ctx`'s thread count.
+    pub fn run<T, F>(&self, ctx: &Ctx, metric: F) -> Vec<(GridPoint, Vec<T>)>
+    where
+        T: Send,
+        F: Fn(&Job) -> T + Sync,
+    {
+        let points = self.points();
+        let trials = self.trials;
+        let jobs = points.len() * trials;
+        let mut flat = crate::exec::par_map(ctx.threads(), jobs, |i| {
+            let job = Job {
+                point: points[i / trials].clone(),
+                trial: i % trials,
+                seed: trial_seed(self.base_seed, (i / trials) as u64, (i % trials) as u64),
+            };
+            metric(&job)
+        });
+        let mut out = Vec::with_capacity(points.len());
+        for point in points.into_iter().rev() {
+            let rest = flat.split_off(flat.len() - trials);
+            out.push((point, rest));
+        }
+        out.reverse();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunConfig;
+
+    fn sweep() -> Sweep {
+        Sweep::new(99)
+            .axis("snr_db", vec![0.0, 10.0, 20.0])
+            .axis_ints("n_senders", [2, 5])
+            .trials(4)
+    }
+
+    #[test]
+    fn row_major_expansion() {
+        let pts = sweep().points();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0].get("snr_db"), 0.0);
+        assert_eq!(pts[0].get_usize("n_senders"), 2);
+        assert_eq!(pts[1].get("snr_db"), 0.0);
+        assert_eq!(pts[1].get_usize("n_senders"), 5);
+        assert_eq!(pts[2].get("snr_db"), 10.0);
+        assert_eq!(pts[5].get("snr_db"), 20.0);
+        assert_eq!(pts[5].get_usize("n_senders"), 5);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn run_groups_by_point_in_order() {
+        for threads in [1, 2, 8] {
+            let ctx = Ctx::new(RunConfig {
+                threads,
+                ..Default::default()
+            });
+            let results = sweep().run(&ctx, |job| (job.point.index, job.trial, job.seed));
+            assert_eq!(results.len(), 6);
+            for (pi, (point, trials)) in results.iter().enumerate() {
+                assert_eq!(point.index, pi);
+                assert_eq!(trials.len(), 4);
+                for (ti, &(rp, rt, seed)) in trials.iter().enumerate() {
+                    assert_eq!((rp, rt), (pi, ti));
+                    assert_eq!(seed, trial_seed(99, pi as u64, ti as u64));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no axis named")]
+    fn unknown_axis_panics() {
+        let pts = sweep().points();
+        let _ = pts[0].get("cp_len");
+    }
+}

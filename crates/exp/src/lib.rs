@@ -1,0 +1,52 @@
+//! # ssync_exp — declarative, parallel experiment harness
+//!
+//! The SourceSync evaluation (paper §7, Figs. 5–18) is reproduced by
+//! scenario definitions instead of hand-rolled binaries. This crate is the
+//! generic machinery those scenarios run on:
+//!
+//! * [`scenario::Scenario`] — a named, self-describing experiment that
+//!   emits structured [`record::Record`]s into an [`record::Output`];
+//! * [`grid::Sweep`] — a declarative parameter grid (SNR, CP length,
+//!   sender count, sync error, …) with per-trial seed derivation via
+//!   SplitMix64 over `base_seed ⊕ grid_index ⊕ trial` ([`seed`]);
+//! * [`exec`] — a multi-threaded trial executor (scoped workers pulling
+//!   from a shared atomic queue) whose output is **byte-identical
+//!   regardless of thread count**: results are collected by trial index,
+//!   never by completion order;
+//! * [`agg`] — aggregation built on `ssync_dsp::stats`: summaries,
+//!   percentiles, empirical CDFs, normal-approximation and bootstrap
+//!   confidence intervals;
+//! * [`sink`] — pluggable renderers: TSV byte-compatible with the
+//!   original figure binaries, plus a structured JSON format;
+//! * [`golden`] — a golden-result regression mode comparing rendered
+//!   output against checked-in expectations, with first-divergence
+//!   diagnostics.
+//!
+//! Every figure binary in `ssync_bench` is a thin wrapper over
+//! [`scenario::bin_main`], and the `ssync-lab` runner lists and runs any
+//! scenario by name with `--threads`, `--trials`, and `--format` flags.
+//!
+//! ## Determinism contract
+//!
+//! A scenario must derive all randomness from seeds that are a pure
+//! function of the job (grid point, trial index) — never from worker
+//! identity, wall-clock time, or completion order. Under that contract the
+//! harness guarantees the rendered output of a run is a pure function of
+//! `(scenario, RunConfig::trials_scale)`: thread count only changes how
+//! fast the answer arrives.
+
+pub mod agg;
+pub mod config;
+pub mod exec;
+pub mod golden;
+pub mod grid;
+pub mod record;
+pub mod scenario;
+pub mod seed;
+pub mod sink;
+
+pub use config::{parse_threads, parse_trials, Format, RunConfig};
+pub use grid::{Axis, GridPoint, Job, Sweep};
+pub use record::{Output, Record, Value};
+pub use scenario::{bin_main, run_rendered, Ctx, Scenario};
+pub use seed::{splitmix64, trial_seed};

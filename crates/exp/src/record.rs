@@ -1,0 +1,181 @@
+//! The structured intermediate representation scenarios emit.
+//!
+//! Scenarios never print: they append [`Record`]s to an [`Output`], and a
+//! sink ([`crate::sink`]) renders the whole buffer at the end. Keeping an
+//! IR between the experiment and the serialization is what lets one
+//! scenario definition produce both the legacy TSV (byte-identical to the
+//! pre-harness figure binaries) and structured JSON.
+
+/// One cell of a data row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer (counts, indices, subcarrier numbers).
+    Int(i64),
+    /// A float rendered with a fixed number of decimals — the same
+    /// `format!("{:.prec$}")` the legacy binaries used, so TSV bytes and
+    /// JSON number literals agree exactly.
+    F(f64, u8),
+    /// A label (regime names, numerology names, `"NA"` placeholders).
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string cells.
+    pub fn s(text: impl Into<String>) -> Value {
+        Value::Str(text.into())
+    }
+
+    /// Renders the cell the way the legacy binaries printed it.
+    pub fn render_tsv(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::F(v, prec) => format!("{v:.p$}", p = *prec as usize),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Renders the cell as a JSON token (non-finite floats become `null`,
+    /// strings are escaped).
+    pub fn render_json(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::F(v, prec) => {
+                if v.is_finite() {
+                    format!("{v:.p$}", p = *prec as usize)
+                } else {
+                    "null".to_string()
+                }
+            }
+            Value::Str(s) => json_string(s),
+        }
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One emitted line/event of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A `# …` narrative line (captions, summary statistics).
+    Comment(String),
+    /// Column names for the rows that follow. `visible` controls whether
+    /// the TSV renderer prints the legacy `# col1<TAB>col2` header line
+    /// (CDF blocks historically had none; JSON always gets the names).
+    Columns { names: Vec<String>, visible: bool },
+    /// One data row.
+    Row(Vec<Value>),
+    /// A blank separator line.
+    Blank,
+}
+
+/// An ordered buffer of records — what a scenario run produces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Output {
+    records: Vec<Record>,
+}
+
+impl Output {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Output::default()
+    }
+
+    /// Appends a comment line (without the leading `# `).
+    pub fn comment(&mut self, text: impl Into<String>) {
+        self.records.push(Record::Comment(text.into()));
+    }
+
+    /// Declares the columns of the following rows and prints the legacy
+    /// `# a<TAB>b` header line in TSV.
+    pub fn columns(&mut self, names: &[&str]) {
+        self.records.push(Record::Columns {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            visible: true,
+        });
+    }
+
+    /// Declares columns for JSON grouping without emitting a TSV header
+    /// line (legacy CDF blocks print bare rows).
+    pub fn columns_hidden(&mut self, names: &[&str]) {
+        self.records.push(Record::Columns {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            visible: false,
+        });
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<Value>) {
+        self.records.push(Record::Row(cells));
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.records.push(Record::Blank);
+    }
+
+    /// Appends every record of `other`, in order. Used to merge
+    /// per-worker sub-outputs deterministically (workers build fragments,
+    /// the scenario concatenates them in job order).
+    pub fn append(&mut self, other: Output) {
+        self.records.extend(other.records);
+    }
+
+    /// The records in emission order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_cell_rendering_matches_format_macro() {
+        assert_eq!(Value::Int(-3).render_tsv(), "-3");
+        assert_eq!(Value::F(1.5, 3).render_tsv(), "1.500");
+        assert_eq!(
+            Value::F(2.0f64 / 3.0, 2).render_tsv(),
+            format!("{:.2}", 2.0f64 / 3.0)
+        );
+        assert_eq!(Value::F(f64::NAN, 2).render_tsv(), "NaN");
+        assert_eq!(Value::s("NA").render_tsv(), "NA");
+    }
+
+    #[test]
+    fn json_cell_rendering() {
+        assert_eq!(Value::F(1.25, 2).render_json(), "1.25");
+        assert_eq!(Value::F(f64::NAN, 2).render_json(), "null");
+        assert_eq!(Value::F(f64::INFINITY, 1).render_json(), "null");
+        assert_eq!(Value::s("a\"b\\c\nd").render_json(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn append_preserves_order() {
+        let mut a = Output::new();
+        a.comment("first");
+        let mut b = Output::new();
+        b.comment("second");
+        b.row(vec![Value::Int(1)]);
+        a.append(b);
+        assert_eq!(a.records().len(), 3);
+        assert_eq!(a.records()[1], Record::Comment("second".into()));
+    }
+}

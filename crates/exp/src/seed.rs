@@ -1,0 +1,60 @@
+//! Per-trial seed derivation.
+//!
+//! Every trial of a sweep gets a seed that is a pure function of
+//! `(base_seed, grid_index, trial)`, so a trial's random stream is
+//! identical whether it runs first on one thread or last on sixteen, and
+//! two adjacent grid points never share a stream (a classic Monte-Carlo
+//! correlation bug when seeds are formed by addition alone).
+
+/// The SplitMix64 finalizer: a fast, well-mixed bijection on `u64`
+/// (Steele, Lea & Flood 2014) — the same mixer the `rand` shim uses to
+/// expand `StdRng` seeds.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the seed of one trial: SplitMix64 over the XOR of the mixed
+/// coordinates. Mixing each coordinate before combining keeps
+/// `(grid_index, trial)` pairs like `(1, 0)` and `(0, 1)` from colliding.
+#[inline]
+pub fn trial_seed(base_seed: u64, grid_index: u64, trial: u64) -> u64 {
+    splitmix64(base_seed ^ splitmix64(grid_index) ^ splitmix64(trial ^ 0x5EED_5EED_5EED_5EED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Pinned values: changing the mixer silently re-randomises every
+        // sweep in the repository, so lock it down.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn trial_seeds_are_unique_across_small_grids() {
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 42] {
+            for g in 0..64u64 {
+                for t in 0..64u64 {
+                    assert!(
+                        seen.insert(trial_seed(base, g, t)),
+                        "collision at {base}/{g}/{t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coordinate_swap_does_not_collide() {
+        assert_ne!(trial_seed(7, 1, 0), trial_seed(7, 0, 1));
+        assert_ne!(trial_seed(7, 2, 3), trial_seed(7, 3, 2));
+    }
+}

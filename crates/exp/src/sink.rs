@@ -1,0 +1,160 @@
+//! Output renderers: legacy-compatible TSV and structured JSON.
+//!
+//! TSV is the byte-compatibility format: rendering an [`Output`] ported
+//! from a legacy figure binary reproduces that binary's stdout exactly
+//! (comment lines prefixed `# `, cells joined by tabs, trailing newline).
+//! JSON is the structured format for downstream tooling: comments stream
+//! in order, and consecutive rows are grouped into column-labelled tables.
+
+use crate::record::{json_string, Output, Record, Value};
+
+/// Renders the buffer as legacy TSV, ending with a newline (empty buffer
+/// renders as the empty string).
+pub fn render_tsv(out: &Output) -> String {
+    let mut s = String::new();
+    for rec in out.records() {
+        match rec {
+            Record::Comment(text) => {
+                s.push_str("# ");
+                s.push_str(text);
+            }
+            Record::Columns { names, visible } => {
+                if !visible {
+                    continue;
+                }
+                s.push_str("# ");
+                s.push_str(&names.join("\t"));
+            }
+            Record::Row(cells) => {
+                let rendered: Vec<String> = cells.iter().map(Value::render_tsv).collect();
+                s.push_str(&rendered.join("\t"));
+            }
+            Record::Blank => {}
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders the buffer as pretty-printed JSON:
+///
+/// ```json
+/// {
+///   "scenario": "fig08_wait_lp",
+///   "events": [
+///     {"comment": "…"},
+///     {"table": {"columns": ["n_receivers", …], "rows": [[1, 57.1, …]]}}
+///   ]
+/// }
+/// ```
+///
+/// Rows are grouped into one table per preceding `Columns` record; rows
+/// emitted before any column declaration get `"columns": null`. Blank
+/// records are structural in TSV only and are dropped here.
+pub fn render_json(name: &str, out: &Output) -> String {
+    let mut events: Vec<String> = Vec::new();
+    // (columns or None, rows) of the table currently being accumulated.
+    let mut table: Option<(Option<Vec<String>>, Vec<String>)> = None;
+
+    fn flush(table: &mut Option<(Option<Vec<String>>, Vec<String>)>, events: &mut Vec<String>) {
+        if let Some((cols, rows)) = table.take() {
+            if rows.is_empty() {
+                return;
+            }
+            let cols_json = match cols {
+                Some(names) => {
+                    let quoted: Vec<String> = names.iter().map(|n| json_string(n)).collect();
+                    format!("[{}]", quoted.join(", "))
+                }
+                None => "null".to_string(),
+            };
+            events.push(format!(
+                "{{\"table\": {{\"columns\": {cols_json}, \"rows\": [\n        {}\n      ]}}}}",
+                rows.join(",\n        ")
+            ));
+        }
+    }
+
+    for rec in out.records() {
+        match rec {
+            Record::Comment(text) => {
+                flush(&mut table, &mut events);
+                events.push(format!("{{\"comment\": {}}}", json_string(text)));
+            }
+            Record::Columns { names, .. } => {
+                flush(&mut table, &mut events);
+                table = Some((Some(names.clone()), Vec::new()));
+            }
+            Record::Row(cells) => {
+                let row: Vec<String> = cells.iter().map(Value::render_json).collect();
+                let row = format!("[{}]", row.join(", "));
+                match &mut table {
+                    Some((_, rows)) => rows.push(row),
+                    None => table = Some((None, vec![row])),
+                }
+            }
+            Record::Blank => {}
+        }
+    }
+    flush(&mut table, &mut events);
+
+    format!(
+        "{{\n  \"scenario\": {},\n  \"events\": [\n    {}\n  ]\n}}\n",
+        json_string(name),
+        events.join(",\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Output {
+        let mut out = Output::new();
+        out.comment("Figure X: demo");
+        out.columns(&["snr_db", "p95_ns"]);
+        out.row(vec![Value::F(0.0, 0), Value::F(12.345, 2)]);
+        out.row(vec![Value::F(3.0, 0), Value::s("NA")]);
+        out.blank();
+        out.comment("tail note");
+        out
+    }
+
+    #[test]
+    fn tsv_matches_legacy_shape() {
+        assert_eq!(
+            render_tsv(&sample()),
+            "# Figure X: demo\n# snr_db\tp95_ns\n0\t12.35\n3\tNA\n\n# tail note\n"
+        );
+    }
+
+    #[test]
+    fn hidden_columns_emit_no_tsv_line_but_label_json() {
+        let mut out = Output::new();
+        out.columns_hidden(&["value", "fraction"]);
+        out.row(vec![Value::F(1.0, 6), Value::F(0.5, 4)]);
+        assert_eq!(render_tsv(&out), "1.000000\t0.5000\n");
+        let json = render_json("demo", &out);
+        assert!(
+            json.contains("\"columns\": [\"value\", \"fraction\"]"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn json_groups_rows_into_tables() {
+        let json = render_json("demo", &sample());
+        assert!(json.starts_with("{\n  \"scenario\": \"demo\""));
+        assert!(json.contains("{\"comment\": \"Figure X: demo\"}"));
+        assert!(json.contains("\"columns\": [\"snr_db\", \"p95_ns\"]"));
+        assert!(json.contains("[0, 12.35]"));
+        // "NA" stays a string in JSON.
+        assert!(json.contains("[3, \"NA\"]"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_output_renders_empty_tsv() {
+        assert_eq!(render_tsv(&Output::new()), "");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the aggregation layer: the invariants every sweep
+//! summary relies on, checked over generated samples.
+
+use proptest::prelude::*;
+use ssync_exp::agg::{
+    empirical_cdf, mean_ci_bootstrap, mean_ci_normal, percentile, percentiles, Summary,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Percentiles are monotone in `p` and clamped to the sample range.
+    #[test]
+    fn percentile_monotone_in_p(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..40),
+        a in 0.0f64..100.0,
+        b in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (plo, phi) = (percentile(&xs, lo), percentile(&xs, hi));
+        prop_assert!(plo <= phi, "p{lo}={plo} > p{hi}={phi}");
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= plo && phi <= s.max);
+    }
+
+    // The empirical CDF is monotone in both coordinates and ends at 1.
+    #[test]
+    fn cdf_monotone_and_normalised(xs in prop::collection::vec(-1e3f64..1e3, 1..60)) {
+        let cdf = empirical_cdf(&xs);
+        prop_assert_eq!(cdf.len(), xs.len());
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    // The mean lies within [min, max], and the summary agrees with the
+    // 0th/100th percentiles.
+    #[test]
+    fn mean_within_range(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        let ends = percentiles(&xs, &[0.0, 100.0]);
+        prop_assert_eq!(ends, vec![s.min, s.max]);
+    }
+
+    // Both CI constructions bracket the sample mean, and the
+    // normal-approximation width shrinks when the same data is replicated
+    // (same spread, 4× the samples → half the width).
+    #[test]
+    fn ci_brackets_mean_and_shrinks(
+        xs in prop::collection::vec(-100.0f64..100.0, 8..32),
+        spread in 0.1f64..10.0,
+    ) {
+        // Force nonzero spread so the CI is a real interval.
+        let mut xs = xs;
+        xs[0] += spread;
+        let m = Summary::of(&xs).mean;
+
+        let ci = mean_ci_normal(&xs, 0.95);
+        prop_assert!(ci.lo <= m && m <= ci.hi);
+        prop_assert!(ci.width() > 0.0);
+
+        let boot = mean_ci_bootstrap(&xs, 0.95, 200, 42);
+        prop_assert!(boot.lo <= m && m <= boot.hi);
+
+        let rep: Vec<f64> = xs.iter().chain(&xs).chain(&xs).chain(&xs).copied().collect();
+        let ci4 = mean_ci_normal(&rep, 0.95);
+        prop_assert!(
+            ci4.width() < ci.width(),
+            "width did not shrink: {} -> {}", ci.width(), ci4.width()
+        );
+    }
+}

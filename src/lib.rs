@@ -19,6 +19,8 @@
 //!   Estimator, Smart Combiner, joint frame protocol
 //! * [`routing`] — ETX, single-path routing, ExOR, ExOR+SourceSync
 //! * [`lasthop`] — multi-AP last-hop diversity with SampleRate
+//! * [`exp`] — the declarative, parallel experiment harness behind the
+//!   `ssync-lab` runner and every figure binary
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results for every evaluation figure.
@@ -26,6 +28,7 @@
 pub use ssync_channel as channel;
 pub use ssync_core as core;
 pub use ssync_dsp as dsp;
+pub use ssync_exp as exp;
 pub use ssync_lasthop as lasthop;
 pub use ssync_linprog as linprog;
 pub use ssync_mac as mac;
