@@ -17,7 +17,7 @@ pub mod scenarios;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssync_channel::{FloorPlan, Position};
-use ssync_core::{CosenderPlan, DelayDatabase, JointConfig, JointOutcome};
+use ssync_core::{CosenderPlan, DelayDatabase, JointConfig, JointOutcome, JointSession};
 use ssync_phy::Params;
 use ssync_sim::{ChannelModels, Network, NodeId};
 
@@ -52,13 +52,10 @@ pub fn pin_all_snrs(net: &mut Network, snr_db: f64) {
     }
 }
 
-/// Overrides one directed link's gain to a target mean SNR.
+/// Overrides one directed link's gain to a target mean SNR (delegates to
+/// [`Network::pin_snr_db`], the shared pinning primitive).
 pub fn pin_link(net: &mut Network, a: NodeId, b: NodeId, snr_db: f64) {
-    let gain = ssync_dsp::stats::linear_from_db(snr_db).sqrt();
-    if let Some(link) = net.medium.link_mut(a, b) {
-        let mp_power = link.multipath.power().sqrt();
-        link.amplitude_gain = gain / mp_power.max(1e-12);
-    }
+    net.pin_snr_db(a, b, snr_db);
 }
 
 /// The standard three-node cast of the synchronization experiments.
@@ -95,7 +92,9 @@ pub fn converged_joint(
     Some((out, wait))
 }
 
-/// Runs one joint transmission with an explicit wait.
+/// Runs one joint transmission with an explicit wait, through the staged
+/// [`JointSession`] (identical in every byte to the historical
+/// `run_joint_transmission` path — the golden tests pin this).
 pub fn run_once(
     net: &mut Network,
     rng: &mut StdRng,
@@ -104,19 +103,15 @@ pub fn run_once(
     db: &DelayDatabase,
     wait_s: f64,
 ) -> JointOutcome {
-    ssync_core::run_joint_transmission(
-        net,
-        rng,
-        LEAD,
-        &[CosenderPlan {
+    JointSession::new(LEAD)
+        .cosender(CosenderPlan {
             node: COSENDER,
             wait_s,
-        }],
-        &[RECEIVER],
-        payload,
-        db,
-        cfg,
-    )
+        })
+        .receiver(RECEIVER)
+        .payload(payload)
+        .config(*cfg)
+        .run(net, rng, db)
 }
 
 /// A random payload of `len` bytes.

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use ssync_dsp::stats::median;
 use ssync_exp::scenario::emit_cdf;
 use ssync_exp::{Ctx, Output, Scenario};
-use ssync_lasthop::{run_session, ClientScenario, Mode};
+use ssync_lasthop::{run_session, ClientScenario, Mode, SessionSpec};
 use ssync_phy::ber::PerTable;
 use ssync_phy::OfdmParams;
 
@@ -55,16 +55,19 @@ impl Scenario for Fig17LasthopCdf {
                 downlink_snr_db: vec![s1.max(s2), s1.min(s2)], // lead = best AP
                 uplink_snr_db: vec![s1, s2],
             };
+            let spec = |mode| SessionSpec {
+                mode,
+                payload_len: payload,
+                n_packets,
+                retry_limit: 7,
+            };
             let mut rng_run = StdRng::seed_from_u64(seed ^ 0xF00D);
             let o_single = run_session(
                 &mut rng_run,
                 &params,
                 &per,
                 &scenario,
-                Mode::BestSingleAp,
-                payload,
-                n_packets,
-                7,
+                &spec(Mode::BestSingleAp),
             );
             let mut rng_run = StdRng::seed_from_u64(seed ^ 0xF00D);
             let o_joint = run_session(
@@ -72,10 +75,7 @@ impl Scenario for Fig17LasthopCdf {
                 &params,
                 &per,
                 &scenario,
-                Mode::SourceSync,
-                payload,
-                n_packets,
-                7,
+                &spec(Mode::SourceSync),
             );
             (o_single.throughput_bps / 1e6, o_joint.throughput_bps / 1e6)
         });

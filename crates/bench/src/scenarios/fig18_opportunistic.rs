@@ -20,7 +20,7 @@ use ssync_exp::scenario::emit_cdf;
 use ssync_exp::{Ctx, Output, Scenario};
 use ssync_phy::ber::PerTable;
 use ssync_phy::{OfdmParams, RateId};
-use ssync_routing::{run_batch, run_transfer, ExorConfig, MeshTopology};
+use ssync_routing::{run_batch, run_transfer, BatchRoute, ExorConfig, MeshTopology, TransferSpec};
 
 /// Draws a 5-node topology: 0 = source, 1–3 = relays, 4 = destination.
 fn draw_topology(rng: &mut StdRng, rate: RateId) -> MeshTopology {
@@ -100,32 +100,30 @@ impl Scenario for Fig18Opportunistic {
                 let n_pkts = cfg.batch_size * batches;
 
                 let mut rng_s = StdRng::seed_from_u64(seed ^ 1);
-                let single = run_transfer(
-                    &mut rng_s,
-                    &params,
-                    &topo,
-                    &per,
+                let transfer = TransferSpec {
+                    src: 0,
+                    dst: 4,
                     rate,
-                    0,
-                    4,
-                    cfg.payload_len,
-                    n_pkts,
-                    7,
-                )
-                .map(|o| o.throughput_bps / 1e6)
-                .unwrap_or(0.0);
+                    payload_len: cfg.payload_len,
+                    n_packets: n_pkts,
+                    retry_limit: 7,
+                };
+                let single = run_transfer(&mut rng_s, &params, &topo, &per, &transfer)
+                    .map(|o| o.throughput_bps / 1e6)
+                    .unwrap_or(0.0);
+                let route = BatchRoute {
+                    src: 0,
+                    dst: 4,
+                    candidates: &[1, 2, 3],
+                };
                 let mut acc = (0.0, 0.0);
                 for b in 0..batches {
                     let mut rng_e = StdRng::seed_from_u64(seed ^ (2 + b as u64));
-                    if let Some(o) =
-                        run_batch(&mut rng_e, &params, &topo, &per, 0, 4, &[1, 2, 3], &cfg)
-                    {
+                    if let Some(o) = run_batch(&mut rng_e, &params, &topo, &per, &route, &cfg) {
                         acc.0 += o.throughput_bps / 1e6 / batches as f64;
                     }
                     let mut rng_j = StdRng::seed_from_u64(seed ^ (100 + b as u64));
-                    if let Some(o) =
-                        run_batch(&mut rng_j, &params, &topo, &per, 0, 4, &[1, 2, 3], &cfg_ss)
-                    {
+                    if let Some(o) = run_batch(&mut rng_j, &params, &topo, &per, &route, &cfg_ss) {
                         acc.1 += o.throughput_bps / 1e6 / batches as f64;
                     }
                 }

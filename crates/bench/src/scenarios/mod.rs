@@ -20,6 +20,7 @@ mod fig15_power_gains;
 mod fig16_subcarrier_snr;
 mod fig17_lasthop_cdf;
 mod fig18_opportunistic;
+mod session_matrix;
 mod sweep_wait_residual;
 mod table_overhead;
 
@@ -34,6 +35,7 @@ pub use fig15_power_gains::Fig15PowerGains;
 pub use fig16_subcarrier_snr::Fig16SubcarrierSnr;
 pub use fig17_lasthop_cdf::Fig17LasthopCdf;
 pub use fig18_opportunistic::Fig18Opportunistic;
+pub use session_matrix::SessionMatrix;
 pub use sweep_wait_residual::SweepWaitResidual;
 pub use table_overhead::TableOverhead;
 
@@ -55,6 +57,7 @@ pub fn all() -> &'static [&'static dyn Scenario] {
         &AblationTracking,
         &TableOverhead,
         &SweepWaitResidual,
+        &SessionMatrix,
     ]
 }
 
@@ -74,7 +77,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
-        assert_eq!(all().len(), 13);
+        assert_eq!(all().len(), 14);
         for name in names {
             assert!(find(name).is_some());
             assert!(!find(name).unwrap().title().is_empty());

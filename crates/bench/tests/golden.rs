@@ -49,3 +49,37 @@ fn fig14_delay_spread_matches_prerefactor_output() {
 fn table_overhead_matches_prerefactor_output() {
     check("table_overhead", include_str!("golden/table_overhead.tsv"));
 }
+
+/// The two scenarios that drive the most joint transmissions, pinned when
+/// `run_joint_transmission` became a wrapper over the staged
+/// `JointSession`. They are checked at one multi-threaded worker count
+/// here (they are the suite's slowest scenarios in the debug profile;
+/// thread-count determinism is covered by `determinism.rs`), and CI's
+/// `ssync-lab --check` step re-verifies both in release on every push.
+#[test]
+fn fig12_sync_error_matches_presession_output() {
+    let scenario = scenarios::find("fig12_sync_error").expect("scenario registered");
+    let cfg = RunConfig {
+        threads: 4,
+        ..Default::default()
+    };
+    golden::assert_matches(
+        "fig12_sync_error (threads=4)",
+        include_str!("golden/fig12_sync_error.tsv"),
+        &run_rendered(scenario, &cfg),
+    );
+}
+
+#[test]
+fn fig13_cp_sweep_matches_presession_output() {
+    let scenario = scenarios::find("fig13_cp_sweep").expect("scenario registered");
+    let cfg = RunConfig {
+        threads: 4,
+        ..Default::default()
+    };
+    golden::assert_matches(
+        "fig13_cp_sweep (threads=4)",
+        include_str!("golden/fig13_cp_sweep.tsv"),
+        &run_rendered(scenario, &cfg),
+    );
+}

@@ -25,7 +25,7 @@ pub mod oscillator;
 pub mod pathloss;
 
 pub use geometry::{FloorPlan, Position};
-pub use link::{add_awgn, Link};
+pub use link::{add_awgn, Link, LinkEnds};
 pub use multipath::{Multipath, MultipathProfile};
 pub use oscillator::Oscillator;
 pub use pathloss::{PathLossModel, PowerBudget};

@@ -15,6 +15,20 @@ use ssync_dsp::mixer::apply_cfo_from;
 use ssync_dsp::rng::ComplexGaussian;
 use ssync_dsp::Complex64;
 
+/// The two placed endpoints a link is drawn between: transmitter and
+/// receiver positions plus their oscillators (CFO comes from the pair).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkEnds {
+    /// Transmitter position.
+    pub tx_pos: Position,
+    /// Receiver position.
+    pub rx_pos: Position,
+    /// Transmitter oscillator.
+    pub tx_osc: Oscillator,
+    /// Receiver oscillator.
+    pub rx_osc: Oscillator,
+}
+
 /// A realised transmitter→receiver channel.
 #[derive(Debug, Clone)]
 pub struct Link {
@@ -42,24 +56,20 @@ impl Link {
     }
 
     /// Draws a link between two placed nodes under the given models.
-    #[allow(clippy::too_many_arguments)]
     pub fn draw<R: Rng + ?Sized>(
         rng: &mut R,
-        tx_pos: Position,
-        rx_pos: Position,
-        tx_osc: Oscillator,
-        rx_osc: Oscillator,
+        ends: &LinkEnds,
         pathloss: &PathLossModel,
         budget: &PowerBudget,
         profile: &MultipathProfile,
     ) -> Self {
-        let d = tx_pos.distance_m(&rx_pos);
+        let d = ends.tx_pos.distance_m(&ends.rx_pos);
         let loss_db = pathloss.sample_loss_db(rng, d);
         Link {
             amplitude_gain: budget.amplitude_gain(loss_db),
             multipath: profile.draw(rng),
-            delay_fs: tx_pos.propagation_delay_fs(&rx_pos),
-            cfo_hz: tx_osc.cfo_to_hz(&rx_osc),
+            delay_fs: ends.tx_pos.propagation_delay_fs(&ends.rx_pos),
+            cfo_hz: ends.tx_osc.cfo_to_hz(&ends.rx_osc),
         }
     }
 
@@ -195,26 +205,14 @@ mod tests {
         let profile = MultipathProfile::flat(20e6);
         let pl = PathLossModel::deterministic(3.0);
         let budget = PowerBudget::default();
-        let near = Link::draw(
-            &mut rng,
-            Position::new(0.0, 0.0),
-            Position::new(2.0, 0.0),
-            Oscillator::ideal(),
-            Oscillator::ideal(),
-            &pl,
-            &budget,
-            &profile,
-        );
-        let far = Link::draw(
-            &mut rng,
-            Position::new(0.0, 0.0),
-            Position::new(25.0, 0.0),
-            Oscillator::ideal(),
-            Oscillator::ideal(),
-            &pl,
-            &budget,
-            &profile,
-        );
+        let ends_at = |x: f64| LinkEnds {
+            tx_pos: Position::new(0.0, 0.0),
+            rx_pos: Position::new(x, 0.0),
+            tx_osc: Oscillator::ideal(),
+            rx_osc: Oscillator::ideal(),
+        };
+        let near = Link::draw(&mut rng, &ends_at(2.0), &pl, &budget, &profile);
+        let far = Link::draw(&mut rng, &ends_at(25.0), &pl, &budget, &profile);
         assert!(near.mean_snr_db() > far.mean_snr_db());
         assert!(far.delay_fs > near.delay_fs);
     }

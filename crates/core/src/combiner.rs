@@ -14,23 +14,43 @@ use ssync_dsp::{Complex64, Fft};
 use ssync_phy::{frame, modulation, ofdm, Params, RateId};
 use ssync_stbc::{encode_pair, Codeword};
 
-/// Builds the joint data waveform one sender transmits for `psdu` at
-/// `rate`, with cyclic prefix `cp_len`, under codeword `role`.
+/// How the joint data section is coded on the air — the knobs every
+/// sender of one joint frame shares (derived from
+/// [`JointConfig`](crate::joint::JointConfig) plus the frame's extended
+/// CP by [`JointConfig::data_section`](crate::joint::JointConfig::data_section)).
+#[derive(Debug, Clone, Copy)]
+pub struct DataSectionSpec {
+    /// Data-section rate.
+    pub rate: RateId,
+    /// Data cyclic-prefix length (base + §4.6 extension), samples.
+    pub cp_len: usize,
+    /// Space-time-code the data (§6). `false` = every sender transmits
+    /// identical symbols — the naive ablation baseline.
+    pub smart_combiner: bool,
+    /// Share pilots across roles (§5). `false` = everyone drives pilots.
+    pub pilot_sharing: bool,
+}
+
+/// Builds the joint data waveform one sender transmits for `psdu` under
+/// codeword `role`, coded per `spec`.
 ///
-/// With `smart_combiner = false` the space-time code is bypassed and every
-/// sender transmits identical symbols — the naive strategy the paper's §6
-/// shows suffers destructive combining (kept for the ablation bench).
-#[allow(clippy::too_many_arguments)]
+/// With `spec.smart_combiner = false` the space-time code is bypassed and
+/// every sender transmits identical symbols — the naive strategy the
+/// paper's §6 shows suffers destructive combining (kept for the ablation
+/// bench).
 pub fn joint_data_waveform(
     params: &Params,
     fft: &Fft,
     psdu: &[u8],
-    rate: RateId,
-    cp_len: usize,
     role: Codeword,
-    smart_combiner: bool,
-    pilot_sharing: bool,
+    spec: &DataSectionSpec,
 ) -> Vec<Complex64> {
+    let DataSectionSpec {
+        rate,
+        cp_len,
+        smart_combiner,
+        pilot_sharing,
+    } = *spec;
     let mut symbols = frame::encode_data(params, psdu, rate);
     if symbols.len() % 2 == 1 {
         symbols.push(vec![Complex64::ZERO; params.n_data()]);
@@ -82,30 +102,46 @@ pub struct CombinerStats {
     pub evm_snr_db: f64,
 }
 
-/// Decodes the joint data section from a receiver buffer.
-///
-/// * `data_start` — buffer index of the first data symbol,
-/// * `n_syms` — meaningful symbol count (STBC pad excluded),
-/// * `cp_len` — the (extended) data CP,
-/// * `backoff` — the receiver's common early-window offset,
-/// * `roles` — per-role channels from the JCE.
+/// Where the joint data section sits in one receiver's capture, and how
+/// to window it.
+#[derive(Debug, Clone, Copy)]
+pub struct JointDataWindow {
+    /// Buffer index of the first data symbol.
+    pub data_start: usize,
+    /// Meaningful symbol count (STBC pad excluded).
+    pub n_syms: usize,
+    /// Expected PSDU length, bytes.
+    pub psdu_len: usize,
+    /// The receiver's common early-window offset, samples.
+    pub backoff: usize,
+}
+
+/// Decodes the joint data section from a receiver buffer: `window` says
+/// where the data sits, `spec` how it was coded, `roles` the per-role
+/// channels from the JCE.
 ///
 /// Returns the PSDU candidate (before CRC checking) and combiner stats, or
 /// `None` if the buffer is too short.
-#[allow(clippy::too_many_arguments)]
 pub fn decode_joint_data(
     params: &Params,
     fft: &Fft,
     buf: &[Complex64],
-    data_start: usize,
-    n_syms: usize,
-    psdu_len: usize,
-    rate: RateId,
-    cp_len: usize,
-    backoff: usize,
+    window: &JointDataWindow,
+    spec: &DataSectionSpec,
     roles: &RoleChannels,
-    pilot_sharing: bool,
 ) -> Option<(Option<Vec<u8>>, CombinerStats)> {
+    let JointDataWindow {
+        data_start,
+        n_syms,
+        psdu_len,
+        backoff,
+    } = *window;
+    let DataSectionSpec {
+        rate,
+        cp_len,
+        pilot_sharing,
+        ..
+    } = *spec;
     let n = params.fft_size;
     let sym_len = n + cp_len;
     let n_on_air = n_syms + n_syms % 2;
@@ -212,29 +248,34 @@ mod tests {
         RoleChannels::from_estimates(params, &[Some(&lead), Some(&co)])
     }
 
-    /// Transmits both roles over flat channels and sums at the receiver.
-    #[allow(clippy::too_many_arguments)]
+    /// Transmits both roles over flat channels `(h_a, h_b)` and sums at the
+    /// receiver, adding AWGN of power `awgn.0` drawn from seed `awgn.1`.
     fn joint_on_air(
         params: &ssync_phy::Params,
         fft: &Fft,
         psdu: &[u8],
-        rate: RateId,
-        cp: usize,
-        h_a: Complex64,
-        h_b: Complex64,
-        noise_p: f64,
-        seed: u64,
-        smart: bool,
-        sharing: bool,
+        spec: &DataSectionSpec,
+        (h_a, h_b): (Complex64, Complex64),
+        awgn: (f64, u64),
     ) -> Vec<Complex64> {
-        let wa = joint_data_waveform(params, fft, psdu, rate, cp, Codeword::A, smart, sharing);
-        let wb = joint_data_waveform(params, fft, psdu, rate, cp, Codeword::B, smart, sharing);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let noise = ComplexGaussian::with_power(noise_p);
+        let wa = joint_data_waveform(params, fft, psdu, Codeword::A, spec);
+        let wb = joint_data_waveform(params, fft, psdu, Codeword::B, spec);
+        let mut rng = StdRng::seed_from_u64(awgn.1);
+        let noise = ComplexGaussian::with_power(awgn.0);
         wa.iter()
             .zip(&wb)
             .map(|(a, b)| h_a * *a + h_b * *b + noise.sample(&mut rng))
             .collect()
+    }
+
+    /// The default coding knobs at a given CP and rate.
+    fn spec(rate: RateId, cp_len: usize) -> DataSectionSpec {
+        DataSectionSpec {
+            rate,
+            cp_len,
+            smart_combiner: true,
+            pilot_sharing: true,
+        }
     }
 
     #[test]
@@ -250,31 +291,21 @@ mod tests {
             &params,
             &fft,
             &psdu,
-            RateId::R12,
-            cp,
-            h_a,
-            h_b,
-            1e-4,
-            2,
-            true,
-            true,
+            &spec(RateId::R12, cp),
+            (h_a, h_b),
+            (1e-4, 2),
         );
         let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
         let roles = const_roles(&params, h_a, h_b, 1e-4);
-        let (decoded, stats) = decode_joint_data(
-            &params,
-            &fft,
-            &buf,
-            0,
+        let window = JointDataWindow {
+            data_start: 0,
             n_syms,
-            psdu.len(),
-            RateId::R12,
-            cp,
-            0,
-            &roles,
-            true,
-        )
-        .expect("buffer length");
+            psdu_len: psdu.len(),
+            backoff: 0,
+        };
+        let (decoded, stats) =
+            decode_joint_data(&params, &fft, &buf, &window, &spec(RateId::R12, cp), &roles)
+                .expect("buffer length");
         assert_eq!(decoded.as_deref(), Some(&psdu[..]));
         assert!(stats.evm_snr_db > 20.0, "EVM {}", stats.evm_snr_db);
         assert!((stats.mean_effective_gain - (h_a.norm_sqr() + h_b.norm_sqr())).abs() < 0.05);
@@ -293,63 +324,26 @@ mod tests {
         let h_b = -h_a;
         let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
         let roles = const_roles(&params, h_a, h_b, 1e-3);
-
-        let smart_buf = joint_on_air(
-            &params,
-            &fft,
-            &psdu,
-            RateId::R12,
-            cp,
-            h_a,
-            h_b,
-            1e-3,
-            4,
-            true,
-            true,
-        );
-        let (smart, _) = decode_joint_data(
-            &params,
-            &fft,
-            &smart_buf,
-            0,
+        let window = JointDataWindow {
+            data_start: 0,
             n_syms,
-            psdu.len(),
-            RateId::R12,
-            cp,
-            0,
-            &roles,
-            true,
-        )
-        .unwrap();
+            psdu_len: psdu.len(),
+            backoff: 0,
+        };
+
+        let smart_spec = spec(RateId::R12, cp);
+        let smart_buf = joint_on_air(&params, &fft, &psdu, &smart_spec, (h_a, h_b), (1e-3, 4));
+        let (smart, _) =
+            decode_joint_data(&params, &fft, &smart_buf, &window, &smart_spec, &roles).unwrap();
         assert_eq!(smart.as_deref(), Some(&psdu[..]), "smart combiner failed");
 
-        let naive_buf = joint_on_air(
-            &params,
-            &fft,
-            &psdu,
-            RateId::R12,
-            cp,
-            h_a,
-            h_b,
-            1e-3,
-            5,
-            false,
-            true,
-        );
-        let (naive, _) = decode_joint_data(
-            &params,
-            &fft,
-            &naive_buf,
-            0,
-            n_syms,
-            psdu.len(),
-            RateId::R12,
-            cp,
-            0,
-            &roles,
-            true,
-        )
-        .unwrap();
+        let naive_spec = DataSectionSpec {
+            smart_combiner: false,
+            ..smart_spec
+        };
+        let naive_buf = joint_on_air(&params, &fft, &psdu, &naive_spec, (h_a, h_b), (1e-3, 5));
+        let (naive, _) =
+            decode_joint_data(&params, &fft, &naive_buf, &window, &naive_spec, &roles).unwrap();
         assert_ne!(naive.as_deref(), Some(&psdu[..]), "naive should null out");
     }
 
@@ -362,16 +356,7 @@ mod tests {
         let psdu: Vec<u8> = (0..80).map(|_| rng.gen()).collect();
         let cp = params.cp_len;
         let h_a = Complex64::from_polar(0.9, 0.3);
-        let wa = joint_data_waveform(
-            &params,
-            &fft,
-            &psdu,
-            RateId::R6,
-            cp,
-            Codeword::A,
-            true,
-            true,
-        );
+        let wa = joint_data_waveform(&params, &fft, &psdu, Codeword::A, &spec(RateId::R6, cp));
         let noise = ComplexGaussian::with_power(1e-4);
         let buf: Vec<Complex64> = wa
             .iter()
@@ -385,20 +370,14 @@ mod tests {
         };
         let roles = RoleChannels::from_estimates(&params, &[Some(&lead_est), None]);
         let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R6);
-        let (decoded, _) = decode_joint_data(
-            &params,
-            &fft,
-            &buf,
-            0,
+        let window = JointDataWindow {
+            data_start: 0,
             n_syms,
-            psdu.len(),
-            RateId::R6,
-            cp,
-            0,
-            &roles,
-            true,
-        )
-        .unwrap();
+            psdu_len: psdu.len(),
+            backoff: 0,
+        };
+        let (decoded, _) =
+            decode_joint_data(&params, &fft, &buf, &window, &spec(RateId::R6, cp), &roles).unwrap();
         assert_eq!(decoded.as_deref(), Some(&psdu[..]));
     }
 
@@ -413,26 +392,8 @@ mod tests {
         let cp = params.cp_len;
         let h_a = Complex64::from_polar(1.0, 0.2);
         let h_b = Complex64::from_polar(1.0, -0.9);
-        let wa = joint_data_waveform(
-            &params,
-            &fft,
-            &psdu,
-            RateId::R12,
-            cp,
-            Codeword::A,
-            true,
-            true,
-        );
-        let wb = joint_data_waveform(
-            &params,
-            &fft,
-            &psdu,
-            RateId::R12,
-            cp,
-            Codeword::B,
-            true,
-            true,
-        );
+        let wa = joint_data_waveform(&params, &fft, &psdu, Codeword::A, &spec(RateId::R12, cp));
+        let wb = joint_data_waveform(&params, &fft, &psdu, Codeword::B, &spec(RateId::R12, cp));
         // 300 Hz residual on role B at 20 Msps.
         let noise = ComplexGaussian::with_power(1e-4);
         let step = 2.0 * std::f64::consts::PI * 300.0 / params.sample_rate_hz;
@@ -446,20 +407,15 @@ mod tests {
             .collect();
         let n_syms = frame::n_data_symbols(&params, psdu.len(), RateId::R12);
         let roles = const_roles(&params, h_a, h_b, 1e-4);
-        let (decoded, _) = decode_joint_data(
-            &params,
-            &fft,
-            &buf,
-            0,
+        let window = JointDataWindow {
+            data_start: 0,
             n_syms,
-            psdu.len(),
-            RateId::R12,
-            cp,
-            0,
-            &roles,
-            true,
-        )
-        .unwrap();
+            psdu_len: psdu.len(),
+            backoff: 0,
+        };
+        let (decoded, _) =
+            decode_joint_data(&params, &fft, &buf, &window, &spec(RateId::R12, cp), &roles)
+                .unwrap();
         assert_eq!(decoded.as_deref(), Some(&psdu[..]), "pilot tracking failed");
     }
 
@@ -469,18 +425,19 @@ mod tests {
         let fft = Fft::new(params.fft_size);
         let roles = const_roles(&params, Complex64::ONE, Complex64::ONE, 1e-3);
         let buf = vec![Complex64::ZERO; 10];
+        let window = JointDataWindow {
+            data_start: 0,
+            n_syms: 4,
+            psdu_len: 10,
+            backoff: 0,
+        };
         assert!(decode_joint_data(
             &params,
             &fft,
             &buf,
-            0,
-            4,
-            10,
-            RateId::R6,
-            params.cp_len,
-            0,
-            &roles,
-            true
+            &window,
+            &spec(RateId::R6, params.cp_len),
+            &roles
         )
         .is_none());
     }

@@ -1,5 +1,17 @@
-//! The full joint-transmission protocol (paper §4.4, Figs. 6–7), driven
-//! over the sample-level medium.
+//! The joint-transmission protocol types and the one-call compatibility
+//! driver (paper §4.4, Figs. 6–7).
+//!
+//! The protocol itself lives in [`crate::session`] as the staged
+//! [`JointSession`] API — per-role stages
+//! (`LeadTx`, `CosenderJoin`, `ReceiverDecode`) that can be invoked
+//! separately over the sample-level medium. This module keeps:
+//!
+//! * the shared vocabulary — [`JointConfig`], [`CosenderPlan`],
+//!   [`ReceiverReport`], [`JointOutcome`];
+//! * [`run_joint_transmission`], a thin wrapper that builds a session and
+//!   runs all stages in protocol order. Its outputs are byte-identical to
+//!   the historical monolithic driver, which is what the figure
+//!   reproductions and golden tests pin.
 //!
 //! One call to [`run_joint_transmission`] plays out an entire joint frame:
 //!
@@ -16,25 +28,19 @@
 //!    coded data, and measures the residual lead/co misalignment that an
 //!    ACK would feed back (§4.5).
 //!
-//! The returned [`JointOutcome`] carries both the receivers' *measured*
-//! misalignments and the simulator's exact ground truth, which is what the
-//! Fig. 12 synchronization-error experiment compares.
+//! The returned [`JointOutcome`] carries the receivers' *measured*
+//! misalignments, the simulator's exact ground truth (what the Fig. 12
+//! synchronization-error experiment compares), and — through the session
+//! redesign — a typed per-co-sender join diagnostic
+//! ([`CosenderOutcome`]).
 
-use crate::combiner::{decode_joint_data, joint_data_waveform, CombinerStats};
-use crate::jce::{
-    estimate_from_training_slot, training_slot_energy_ratio, RoleChannels, PRESENCE_THRESHOLD,
-};
-use crate::sls::{arrival_estimate_s, DelayDatabase};
-use crate::timeline::{JointTimeline, HEADER_RATE};
-use crate::wire::{packet_id, SyncHeader};
+use crate::combiner::{CombinerStats, DataSectionSpec};
+use crate::session::{CosenderOutcome, JointSession};
+use crate::sls::DelayDatabase;
 use rand::Rng;
-use ssync_dsp::mixer::apply_cfo_from;
-use ssync_dsp::{Complex64, Fft};
-use ssync_phy::chanest::{delay_from_slope, phase_slope, ChannelEstimate};
-use ssync_phy::preamble::cosender_training;
-use ssync_phy::{crc, frame, Params, RateId, Receiver, Transmitter};
+use ssync_phy::chanest::ChannelEstimate;
+use ssync_phy::RateId;
 use ssync_sim::{Network, NodeId, Time};
-use ssync_stbc::codebook::codeword_for;
 
 /// Knobs of a joint transmission (the `false` settings are the ablation
 /// baselines the paper argues against).
@@ -66,6 +72,20 @@ impl Default for JointConfig {
             pilot_sharing: true,
             cfo_precorrection: true,
             delay_compensation: true,
+        }
+    }
+}
+
+impl JointConfig {
+    /// The data-section coding spec at the frame's extended CP
+    /// (`data_cp` = base CP + `cp_extension`, from the
+    /// [`JointTimeline`](crate::timeline::JointTimeline)).
+    pub fn data_section(&self, data_cp: usize) -> DataSectionSpec {
+        DataSectionSpec {
+            rate: self.rate,
+            cp_len: data_cp,
+            smart_combiner: self.smart_combiner,
+            pilot_sharing: self.pilot_sharing,
         }
     }
 }
@@ -111,17 +131,36 @@ pub struct JointOutcome {
     /// co-sender vs the lead at each receiver, seconds (`[rx][co]`).
     pub true_misalign_s: Vec<Vec<f64>>,
     /// Ether times at which each co-sender began its training transmission
-    /// (diagnostics).
+    /// (diagnostics; `outcome.cosenders` carries the full per-co-sender
+    /// record, including the typed reason when a co-sender stayed silent).
     pub co_tx_times: Vec<Option<Time>>,
+    /// Per-co-sender join diagnostics, in plan order: the transmission
+    /// record of each joined co-sender, or the typed
+    /// [`JoinFailure`](crate::session::JoinFailure) of each that did not.
+    pub cosenders: Vec<CosenderOutcome>,
 }
 
-/// Margin of noise-only samples before the lead's header.
-const CAPTURE_MARGIN: usize = 400;
+impl JointOutcome {
+    /// How many co-senders actually transmitted.
+    pub fn joined_count(&self) -> usize {
+        self.cosenders.iter().filter(|c| c.joined()).count()
+    }
 
-/// Runs one complete joint transmission. See the module docs for the
-/// protocol walkthrough. Co-senders that fail to decode the header simply
-/// do not join (the subset-decodability path of §6 then applies).
-#[allow(clippy::too_many_arguments)]
+    /// The co-senders that stayed silent, with their typed reasons.
+    pub fn join_failures(
+        &self,
+    ) -> impl Iterator<Item = (NodeId, crate::session::JoinFailure)> + '_ {
+        self.cosenders
+            .iter()
+            .filter_map(|c| c.join.as_ref().err().map(|e| (c.node, *e)))
+    }
+}
+
+/// Runs one complete joint transmission — a thin compatibility wrapper
+/// that assembles a [`JointSession`] and drives all of its stages in
+/// protocol order. See the module docs for the walkthrough; see
+/// [`crate::session`] to drive the stages individually.
+#[allow(clippy::too_many_arguments)] // historical signature, kept byte-compatible
 pub fn run_joint_transmission<R: Rng + ?Sized>(
     net: &mut Network,
     rng: &mut R,
@@ -132,286 +171,12 @@ pub fn run_joint_transmission<R: Rng + ?Sized>(
     db: &DelayDatabase,
     cfg: &JointConfig,
 ) -> JointOutcome {
-    let params = net.params.clone();
-    let period = params.sample_period_fs();
-    let fft = Fft::new(params.fft_size);
-    let tx = Transmitter::new(params.clone());
-    let rx = Receiver::new(params.clone());
-    let backoff = params.cp_len / 4;
-
-    let psdu = crc::append_crc(payload);
-    let header = SyncHeader {
-        lead: lead.0 as u16,
-        packet_id: packet_id(payload),
-        rate: cfg.rate,
-        psdu_len: psdu.len() as u16,
-        cp_extension: cfg.cp_extension as u8,
-        n_cosenders: plans.len() as u8,
-    };
-    let timeline = JointTimeline::new(&params, psdu.len(), cfg.rate, cfg.cp_extension, plans.len());
-    let data_cp = timeline.data_cp;
-
-    net.medium.clear_transmissions();
-    let t0 = Time((CAPTURE_MARGIN as u64) * period);
-
-    // 1. Lead sender: header now, data after the SIFS + training slots.
-    let header_wave = tx.frame_waveform(&header.to_bytes(), HEADER_RATE, frame::FLAG_JOINT);
-    debug_assert_eq!(header_wave.len(), timeline.header_len);
-    net.medium.transmit(lead, t0, header_wave);
-    let lead_data = joint_data_waveform(
-        &params,
-        &fft,
-        &psdu,
-        cfg.rate,
-        data_cp,
-        codeword_for(0),
-        cfg.smart_combiner,
-        cfg.pilot_sharing,
-    );
-    let lead_data_time = Time(t0.0 + (timeline.data_start() as u64) * period);
-    net.medium.transmit(lead, lead_data_time, lead_data);
-
-    // 2. Co-senders: detect, compensate, join.
-    let mut co_tx_times: Vec<Option<Time>> = vec![None; plans.len()];
-    let mut co_data_times: Vec<Option<Time>> = vec![None; plans.len()];
-    for (i, plan) in plans.iter().enumerate() {
-        let co = plan.node;
-        let window = CAPTURE_MARGIN * 2 + timeline.header_len + 200;
-        let buf = net.medium.capture(rng, co, Time::ZERO, window);
-        let Ok(res) = rx.receive(&buf) else { continue };
-        if res.signal.flags & frame::FLAG_JOINT == 0 {
-            continue;
-        }
-        let Some(decoded_header) = SyncHeader::from_bytes(&res.payload) else {
-            continue;
-        };
-        if decoded_header.packet_id != header.packet_id {
-            continue; // co-sender does not hold this packet
-        }
-
-        // Estimated ether time of the header's first sample at the lead.
-        let slot_offset_s = (timeline.training_slot(i) as u64 * period) as f64 * 1e-15;
-        let target_s = if cfg.delay_compensation {
-            let arrival_s = arrival_estimate_s(&params, &res.diag, Time::ZERO);
-            let d_lead_co = db.delay_s(lead, co).unwrap_or(0.0);
-            arrival_s - d_lead_co + slot_offset_s + plan.wait_s
-        } else {
-            // Baseline (paper §8.1.2): the co-sender joins "without
-            // compensating for delay differences" — it references its raw
-            // *detection instant* minus a bench-calibrated mean detection
-            // latency (~10 samples for the default detector: ~2 samples of
-            // threshold crossing plus half the 16-sample pipeline
-            // decimation). The residual misalignment is the per-packet
-            // detection variability of [42] (the pipeline phase and the
-            // SNR-dependent crossing jitter) plus the uncompensated
-            // propagation-delay differences.
-            let nominal_detect = 10.0;
-            let arrival_raw_s =
-                (res.diag.detection.detect_idx as f64 - nominal_detect) * period as f64 * 1e-15;
-            arrival_raw_s + slot_offset_s
-        };
-        let detect_time = Time((res.diag.detection.detect_idx as u64) * period);
-        let earliest = detect_time + net.node(co).turnaround;
-        let tx_time = Time((target_s.max(0.0) * 1e15).round() as u64)
-            .round_to_sample(period)
-            .max(earliest.ceil_to_sample(period));
-
-        // Build the co-sender's waveform: training then (after any other
-        // co-senders' slots) data, with a continuous CFO pre-rotation.
-        let training = cosender_training(&params, &fft, data_cp);
-        let data = joint_data_waveform(
-            &params,
-            &fft,
-            &psdu,
-            cfg.rate,
-            data_cp,
-            codeword_for(i + 1),
-            cfg.smart_combiner,
-            cfg.pilot_sharing,
-        );
-        let data_gap_samples = (timeline.data_start() - timeline.training_slot(i)) as u64;
-        let data_time = Time(tx_time.0 + data_gap_samples * period);
-        let (mut training, mut data) = (training, data);
-        if cfg.cfo_precorrection {
-            // The header detection measured f_lead − f_co at this co-sender;
-            // pre-rotating by it moves the co-sender onto the lead's
-            // oscillator so the receiver's single CFO correction serves
-            // both. The NCO runs continuously across training and data.
-            let cfo = res.diag.detection.cfo_hz;
-            apply_cfo_from(&mut training, cfo, params.sample_rate_hz, 0.0);
-            apply_cfo_from(
-                &mut data,
-                cfo,
-                params.sample_rate_hz,
-                data_gap_samples as f64,
-            );
-        }
-        net.medium.transmit(co, tx_time, training);
-        net.medium.transmit(co, data_time, data);
-        co_tx_times[i] = Some(tx_time);
-        co_data_times[i] = Some(data_time);
-    }
-
-    // 3. Receivers.
-    let mut reports = Vec::with_capacity(receivers.len());
-    let mut true_misalign = Vec::with_capacity(receivers.len());
-    for &rcv in receivers {
-        let window = CAPTURE_MARGIN * 2 + timeline.total_len() + 400;
-        let buf = net.medium.capture(rng, rcv, Time::ZERO, window);
-        let report = decode_at_receiver(
-            &params, &fft, &rx, &buf, rcv, &header, &timeline, backoff, cfg, &psdu,
-        );
-        // Ground truth misalignment of data-section arrivals.
-        let mut truth = Vec::with_capacity(plans.len());
-        for (i, plan) in plans.iter().enumerate() {
-            match co_data_times[i] {
-                Some(cdt) => {
-                    let lead_arrival = lead_data_time.as_secs_f64() + net.true_delay_s(lead, rcv);
-                    let co_arrival = cdt.as_secs_f64() + net.true_delay_s(plan.node, rcv);
-                    truth.push(co_arrival - lead_arrival);
-                }
-                None => truth.push(f64::NAN),
-            }
-        }
-        true_misalign.push(truth);
-        reports.push(report);
-    }
-
-    JointOutcome {
-        reports,
-        true_misalign_s: true_misalign,
-        co_tx_times,
-    }
-}
-
-/// Joint-frame reception at one node.
-#[allow(clippy::too_many_arguments)]
-fn decode_at_receiver(
-    params: &Params,
-    fft: &Fft,
-    rx: &Receiver,
-    buf: &[Complex64],
-    node: NodeId,
-    header: &SyncHeader,
-    timeline: &JointTimeline,
-    backoff: usize,
-    cfg: &JointConfig,
-    _psdu_hint: &[u8],
-) -> ReceiverReport {
-    let n_co = header.n_cosenders as usize;
-    let empty = ReceiverReport {
-        node,
-        header_ok: false,
-        payload: None,
-        lead_channel: None,
-        co_channels: vec![None; n_co],
-        measured_misalign_s: vec![None; n_co],
-        effective_snr_db: Vec::new(),
-        stats: CombinerStats::default(),
-    };
-    let Ok(res) = rx.receive(buf) else {
-        return empty;
-    };
-    if res.signal.flags & frame::FLAG_JOINT == 0 {
-        return empty;
-    }
-    let Some(rx_header) = SyncHeader::from_bytes(&res.payload) else {
-        return empty;
-    };
-    if rx_header.packet_id != header.packet_id {
-        return empty;
-    }
-    let layout = ssync_phy::preamble::PreambleLayout::of(params);
-    let Some(base) = res.diag.detection.lts_start.checked_sub(layout.lts_start()) else {
-        return empty;
-    };
-    let period = params.sample_period_fs();
-
-    // CFO-correct a copy referenced to sample 0 (same convention as the
-    // phy receiver, so the lead channel estimate stays consistent).
-    let mut corrected = buf.to_vec();
-    ssync_dsp::mixer::apply_cfo(
-        &mut corrected,
-        -res.diag.detection.cfo_hz,
-        params.sample_rate_hz,
-    );
-
-    // Noise floor from the SIFS silence (time domain), for presence checks.
-    let sifs_lo = base + timeline.header_len + timeline.sifs_len / 4;
-    let sifs_hi = (base + timeline.header_len + 3 * timeline.sifs_len / 4).min(corrected.len());
-    let time_noise = if sifs_hi > sifs_lo {
-        ssync_dsp::complex::mean_power(&corrected[sifs_lo..sifs_hi])
-    } else {
-        1.0
-    };
-
-    // Per-co-sender channel estimates + misalignment measurements.
-    let data_cp = timeline.data_cp;
-    let mut co_channels: Vec<Option<ChannelEstimate>> = Vec::with_capacity(n_co);
-    let mut misalign: Vec<Option<f64>> = Vec::with_capacity(n_co);
-    for i in 0..n_co {
-        let slot = base + timeline.training_slot(i);
-        // Presence is measured on the central 60 % of the slot: adjacent
-        // transmissions (the next slot, or the lead's data section) are
-        // band-limited and pre-/post-ring a few samples into neighbouring
-        // regions, which must not masquerade as a present co-sender.
-        let trim = timeline.training_slot_len / 5;
-        let ratio = training_slot_energy_ratio(
-            &corrected,
-            slot + trim,
-            timeline.training_slot_len - 2 * trim,
-            time_noise,
-        );
-        if ratio < PRESENCE_THRESHOLD || corrected.len() < slot + timeline.training_slot_len {
-            co_channels.push(None);
-            misalign.push(None);
-            continue;
-        }
-        let est = estimate_from_training_slot(params, fft, &corrected, slot, data_cp, backoff);
-        // Misalignment: co-sender's sub-sample offset minus the lead's.
-        let delta_co =
-            delay_from_slope(params, phase_slope(params, &est, 3e6)) - backoff.min(data_cp) as f64;
-        let delta_lead = res.diag.timing_offset_samples;
-        misalign.push(Some((delta_co - delta_lead) * period as f64 * 1e-15));
-        co_channels.push(Some(est));
-    }
-
-    // Fold into role channels and decode the joint data.
-    let mut senders: Vec<Option<&ChannelEstimate>> = vec![Some(&res.diag.channel)];
-    senders.extend(co_channels.iter().map(|c| c.as_ref()));
-    let roles = RoleChannels::from_estimates(params, &senders);
-    let effective_snr_db = roles.effective_snr_db();
-    let decode = decode_joint_data(
-        params,
-        fft,
-        &corrected,
-        base + timeline.data_start(),
-        timeline.n_data_symbols,
-        rx_header.psdu_len as usize,
-        rx_header.rate,
-        data_cp,
-        backoff,
-        &roles,
-        cfg.pilot_sharing,
-    );
-    let (payload, stats) = match decode {
-        Some((psdu, stats)) => {
-            let payload = psdu.as_deref().and_then(crc::check_crc).map(|p| p.to_vec());
-            (payload, stats)
-        }
-        None => (None, CombinerStats::default()),
-    };
-
-    ReceiverReport {
-        node,
-        header_ok: true,
-        payload,
-        lead_channel: Some(res.diag.channel.clone()),
-        co_channels,
-        measured_misalign_s: misalign,
-        effective_snr_db,
-        stats,
-    }
+    JointSession::new(lead)
+        .cosenders(plans.iter().copied())
+        .receivers(receivers.iter().copied())
+        .payload(payload)
+        .config(*cfg)
+        .run(net, rng, db)
 }
 
 #[cfg(test)]
@@ -490,6 +255,9 @@ mod tests {
             (measured - truth).abs() < 60e-9,
             "measured {measured} vs truth {truth}"
         );
+        // The session diagnostics agree with the legacy fields.
+        assert_eq!(out.joined_count(), 1);
+        assert_eq!(out.join_failures().count(), 0);
     }
 
     #[test]
@@ -583,6 +351,13 @@ mod tests {
             "lone lead failed"
         );
         assert!(out.true_misalign_s[0][0].is_nan());
+        // And the failure is typed, not silent.
+        assert_eq!(out.joined_count(), 0);
+        let failures: Vec<_> = out.join_failures().collect();
+        assert_eq!(
+            failures,
+            vec![(NodeId(1), crate::session::JoinFailure::NoDetect)]
+        );
     }
 
     #[test]

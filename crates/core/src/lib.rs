@@ -21,18 +21,29 @@
 //!
 //! * [`wire`] — the synchronization-header format,
 //! * [`timeline`] — the joint-frame layout of Figs. 6–7,
-//! * [`joint`] — the full protocol driver over the sample-level medium.
+//! * [`session`] — the staged, per-role [`JointSession`] protocol driver
+//!   over the sample-level medium (`LeadTx` → `CosenderJoin` →
+//!   `ReceiverDecode`, with typed [`JoinFailure`] join diagnostics),
+//! * [`joint`] — the protocol vocabulary plus the one-call
+//!   [`run_joint_transmission`] compatibility wrapper over the session.
 
 pub mod combiner;
 pub mod jce;
 pub mod joint;
+pub mod session;
 pub mod sls;
 pub mod timeline;
 pub mod wire;
 
-pub use combiner::{decode_joint_data, joint_data_waveform, CombinerStats};
+pub use combiner::{
+    decode_joint_data, joint_data_waveform, CombinerStats, DataSectionSpec, JointDataWindow,
+};
 pub use jce::RoleChannels;
 pub use joint::{run_joint_transmission, CosenderPlan, JointConfig, JointOutcome, ReceiverReport};
+pub use session::{
+    CosenderJoin, CosenderOutcome, CosenderTx, JoinFailure, JointSession, LeadFrame, LeadTx,
+    ReceiverDecode,
+};
 pub use sls::{arrival_estimate_s, probe_pair, tracking_update, DelayDatabase, ProbeOutcome};
 pub use timeline::{JointTimeline, HEADER_RATE, SIFS_S};
 pub use wire::{packet_id, SyncHeader};

@@ -7,13 +7,20 @@
 //! overhead (SIFS + two training symbols per co-sender). The client's ACK
 //! travels the uplink where receiver diversity applies: the ACK is lost
 //! only if *every* associated AP misses it (MRD/SOFT-style, paper §7.1).
+//!
+//! The closed-form model (linear AP powers add at the client) is
+//! cross-validated at the sample level by [`joint_session_downlink`],
+//! which drives one *actual* joint AP transmission through the staged
+//! [`JointSession`] over the waveform medium and compares the client's
+//! measured composite SNR against [`ClientScenario::joint_downlink_snr_db`].
 
 use crate::samplerate::SampleRate;
 use rand::Rng;
-use ssync_core::SIFS_S;
+use ssync_core::{CosenderOutcome, CosenderPlan, DelayDatabase, JointConfig, JointSession, SIFS_S};
 use ssync_mac::DcfTiming;
 use ssync_phy::ber::PerTable;
 use ssync_phy::{Params, RateId, Transmitter};
+use ssync_sim::{ChannelModels, Network, NodeId};
 
 /// One client scenario: downlink/uplink SNRs per AP.
 #[derive(Debug, Clone)]
@@ -79,18 +86,33 @@ pub enum Mode {
     SourceSync,
 }
 
-/// Simulates a downlink session of `n_packets` of `payload_len` bytes.
-#[allow(clippy::too_many_arguments)]
+/// Shape of one downlink session: mode and traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSpec {
+    /// Single best AP, or all APs jointly.
+    pub mode: Mode,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+    /// Packets in the session.
+    pub n_packets: usize,
+    /// Attempts per packet before giving up.
+    pub retry_limit: u32,
+}
+
+/// Simulates one downlink session described by `spec`.
 pub fn run_session<R: Rng + ?Sized>(
     rng: &mut R,
     params: &Params,
     per: &PerTable,
     scenario: &ClientScenario,
-    mode: Mode,
-    payload_len: usize,
-    n_packets: usize,
-    retry_limit: u32,
+    spec: &SessionSpec,
 ) -> SessionOutcome {
+    let SessionSpec {
+        mode,
+        payload_len,
+        n_packets,
+        retry_limit,
+    } = *spec;
     let timing = DcfTiming::default();
     let tx = Transmitter::new(params.clone());
     let ack_s = tx.frame_duration_s(14, RateId::R6);
@@ -151,6 +173,109 @@ pub fn run_session<R: Rng + ?Sized>(
     }
 }
 
+/// One sample-level joint AP transmission, for validating the closed-form
+/// AWGN model against the real protocol.
+#[derive(Debug, Clone)]
+pub struct SampleLevelJoint {
+    /// Whether the client CRC-decoded the joint payload.
+    pub delivered: bool,
+    /// Per-co-AP join diagnostics (typed [`ssync_core::JoinFailure`] for
+    /// any AP that stayed silent).
+    pub cosenders: Vec<CosenderOutcome>,
+    /// Mean per-carrier composite SNR the client's joint channel estimator
+    /// measured, dB (`NaN` if the client never decoded the sync header).
+    pub measured_snr_db: f64,
+    /// The closed-form prediction ([`ClientScenario::joint_downlink_snr_db`]).
+    pub model_snr_db: f64,
+    /// Measured per-co-AP misalignment vs the lead AP, seconds.
+    pub misalign_s: Vec<Option<f64>>,
+}
+
+/// Drives one *actual* joint AP transmission through the staged
+/// [`JointSession`] at the sample level: builds a clean-channel network of
+/// the scenario's APs plus the client, pins each AP→client link to the
+/// scenario's downlink SNR, solves wait times from oracle delays (a real
+/// deployment measures them once with the §4.2 probe protocol; the oracle
+/// keeps this check deterministic), and runs the full §4.4 protocol.
+///
+/// The returned [`SampleLevelJoint`] pairs the client's *measured*
+/// composite SNR with the closed-form `joint_downlink_snr_db` model that
+/// [`run_session`] prices packets with — the cross-validation the AWGN
+/// table alone could never provide.
+pub fn joint_session_downlink<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &Params,
+    scenario: &ClientScenario,
+    payload: &[u8],
+) -> SampleLevelJoint {
+    use ssync_channel::Position;
+
+    let n_aps = scenario.downlink_snr_db.len().max(1);
+    let client = NodeId(n_aps);
+    // APs in a tight ceiling row (they hear each other's sync headers
+    // loudly); the client across the room.
+    let mut positions: Vec<Position> = (0..n_aps)
+        .map(|i| Position::new(4.0 * i as f64, 0.0))
+        .collect();
+    positions.push(Position::new(2.0 * (n_aps as f64 - 1.0), 15.0));
+    let mut net = Network::build(rng, params, &positions, &ChannelModels::clean(params));
+
+    // Pin each AP→client link to the scenario's downlink SNR, and the
+    // inter-AP links to a strong in-room level.
+    for (i, &snr_db) in scenario.downlink_snr_db.iter().enumerate() {
+        net.pin_snr_db(NodeId(i), client, snr_db);
+    }
+    for i in 0..n_aps {
+        for j in 0..n_aps {
+            if i != j {
+                net.pin_snr_db(NodeId(i), NodeId(j), 30.0);
+            }
+        }
+    }
+
+    // Oracle delay database + §4.3 wait times.
+    let mut db = DelayDatabase::new();
+    let nodes: Vec<NodeId> = (0..=n_aps).map(NodeId).collect();
+    for i in 0..nodes.len() {
+        for j in i + 1..nodes.len() {
+            db.set_delay(nodes[i], nodes[j], net.true_delay_s(nodes[i], nodes[j]));
+        }
+    }
+    let lead = NodeId(0);
+    let co_aps: Vec<NodeId> = (1..n_aps).map(NodeId).collect();
+    let waits = db
+        .wait_solution(lead, &co_aps, &[client])
+        .expect("oracle delays cover all pairs");
+
+    let session = JointSession::new(lead)
+        .cosenders(
+            co_aps
+                .iter()
+                .zip(&waits.waits)
+                .map(|(&node, &wait_s)| CosenderPlan { node, wait_s }),
+        )
+        .receiver(client)
+        .payload(payload)
+        .config(JointConfig::default());
+    let out = session.run(&mut net, rng, &db);
+
+    let report = &out.reports[0];
+    // NaN (not a plausible-looking 0 dB) when the client never decoded the
+    // header and therefore measured nothing.
+    let measured_snr_db = if report.effective_snr_db.is_empty() {
+        f64::NAN
+    } else {
+        ssync_dsp::stats::mean(&report.effective_snr_db)
+    };
+    SampleLevelJoint {
+        delivered: report.payload.as_deref() == Some(payload),
+        cosenders: out.cosenders,
+        measured_snr_db,
+        model_snr_db: scenario.joint_downlink_snr_db(),
+        misalign_s: report.measured_misalign_s.clone(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +305,15 @@ mod tests {
         assert!(s.ack_delivery(&per) > 1.0 - single_miss);
     }
 
+    fn spec(mode: Mode, payload_len: usize, n_packets: usize) -> SessionSpec {
+        SessionSpec {
+            mode,
+            payload_len,
+            n_packets,
+            retry_limit: 7,
+        }
+    }
+
     #[test]
     fn sourcesync_beats_best_single_at_marginal_snr() {
         // The Fig. 17 regime: the client is marginal to both APs, so the
@@ -196,15 +330,18 @@ mod tests {
                 &params,
                 &per,
                 &s,
-                Mode::BestSingleAp,
-                1460,
-                400,
-                7,
+                &spec(Mode::BestSingleAp, 1460, 400),
             )
             .throughput_bps;
             let mut rng = StdRng::seed_from_u64(seed);
-            joint_sum += run_session(&mut rng, &params, &per, &s, Mode::SourceSync, 1460, 400, 7)
-                .throughput_bps;
+            joint_sum += run_session(
+                &mut rng,
+                &params,
+                &per,
+                &s,
+                &spec(Mode::SourceSync, 1460, 400),
+            )
+            .throughput_bps;
         }
         assert!(
             joint_sum > 1.15 * single_sum,
@@ -225,13 +362,16 @@ mod tests {
             &params,
             &per,
             &s,
-            Mode::BestSingleAp,
-            1460,
-            300,
-            7,
+            &spec(Mode::BestSingleAp, 1460, 300),
         );
         let mut rng = StdRng::seed_from_u64(1);
-        let joint = run_session(&mut rng, &params, &per, &s, Mode::SourceSync, 1460, 300, 7);
+        let joint = run_session(
+            &mut rng,
+            &params,
+            &per,
+            &s,
+            &spec(Mode::SourceSync, 1460, 300),
+        );
         assert!(joint.throughput_bps > 0.90 * single.throughput_bps);
         assert!(joint.throughput_bps <= single.throughput_bps * 1.02);
     }
@@ -242,7 +382,13 @@ mod tests {
         let per = PerTable::analytic();
         let s = scenario(-10.0, -12.0);
         let mut rng = StdRng::seed_from_u64(2);
-        let o = run_session(&mut rng, &params, &per, &s, Mode::BestSingleAp, 1460, 50, 7);
+        let o = run_session(
+            &mut rng,
+            &params,
+            &per,
+            &s,
+            &spec(Mode::BestSingleAp, 1460, 50),
+        );
         assert_eq!(o.delivered, 0);
         assert!(o.throughput_bps == 0.0);
     }
@@ -253,8 +399,61 @@ mod tests {
         let per = PerTable::analytic();
         let s = scenario(25.0, 20.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let o = run_session(&mut rng, &params, &per, &s, Mode::SourceSync, 1000, 100, 7);
+        let o = run_session(
+            &mut rng,
+            &params,
+            &per,
+            &s,
+            &spec(Mode::SourceSync, 1000, 100),
+        );
         assert!(o.delivered <= 100);
         assert!(o.medium_time_s > 0.0);
+    }
+
+    #[test]
+    fn sample_level_session_validates_closed_form_model() {
+        // The load-bearing assumption of the Fig. 17 pricing — joint
+        // downlink SNR = sum of linear AP powers — reproduced by an actual
+        // joint transmission over the waveform medium.
+        let params = OfdmParams::dot11a();
+        let s = scenario(14.0, 12.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let check = joint_session_downlink(&mut rng, &params, &s, &[0x5Au8; 200]);
+        assert!(check.delivered, "joint AP frame failed to decode");
+        assert_eq!(check.cosenders.len(), 1);
+        assert!(
+            check.cosenders[0].joined(),
+            "co-AP failed: {:?}",
+            check.cosenders[0].join
+        );
+        assert!(
+            (check.measured_snr_db - check.model_snr_db).abs() < 2.0,
+            "measured {:.2} dB vs model {:.2} dB",
+            check.measured_snr_db,
+            check.model_snr_db
+        );
+        // The APs synchronized: sub-sample misalignment at 20 Msps.
+        let m = check.misalign_s[0].expect("no misalignment measurement");
+        assert!(m.abs() < 100e-9, "misalignment {m}");
+    }
+
+    #[test]
+    fn sample_level_session_scales_to_three_aps() {
+        let params = OfdmParams::dot11a();
+        let s = ClientScenario {
+            downlink_snr_db: vec![13.0, 12.0, 11.0],
+            uplink_snr_db: vec![13.0, 12.0, 11.0],
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let check = joint_session_downlink(&mut rng, &params, &s, &[0xC3u8; 150]);
+        assert!(check.delivered, "3-AP joint frame failed");
+        let joined = check.cosenders.iter().filter(|c| c.joined()).count();
+        assert_eq!(joined, 2, "co-AP failures: {:?}", check.cosenders);
+        assert!(
+            (check.measured_snr_db - check.model_snr_db).abs() < 2.5,
+            "measured {:.2} dB vs model {:.2} dB",
+            check.measured_snr_db,
+            check.model_snr_db
+        );
     }
 }

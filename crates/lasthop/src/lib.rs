@@ -16,5 +16,8 @@ pub mod downlink;
 pub mod samplerate;
 
 pub use controller::{Association, Controller};
-pub use downlink::{run_session, ClientScenario, Mode, SessionOutcome};
+pub use downlink::{
+    joint_session_downlink, run_session, ClientScenario, Mode, SampleLevelJoint, SessionOutcome,
+    SessionSpec,
+};
 pub use samplerate::SampleRate;

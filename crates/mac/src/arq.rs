@@ -24,27 +24,37 @@ pub struct ArqOutcome {
     pub medium_time: Duration,
 }
 
+/// One ARQ workload: what is sent, at which rate, how likely an attempt
+/// succeeds, and how often the sender retries.
+#[derive(Debug, Clone, Copy)]
+pub struct ArqProfile {
+    /// Data rate of the DATA frames.
+    pub rate: RateId,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+    /// Per-attempt probability that the DATA frame is received *and* its
+    /// ACK returns (callers fold both in).
+    pub success_prob: f64,
+    /// Attempts per packet before giving up.
+    pub retry_limit: u32,
+}
+
 /// Simulates one packet through stop-and-wait ARQ.
 ///
-/// `success_prob` is the per-attempt probability that the DATA frame is
-/// received *and* its ACK returns (callers fold both in). Failed attempts
-/// still consume a full exchange of medium time (the sender waits out the
-/// ACK timeout, modelled as the same duration).
+/// Failed attempts still consume a full exchange of medium time (the
+/// sender waits out the ACK timeout, modelled as the same duration).
 pub fn send_packet<R: Rng + ?Sized>(
     rng: &mut R,
     params: &Params,
     timing: &DcfTiming,
-    rate: RateId,
-    payload_len: usize,
-    success_prob: f64,
-    retry_limit: u32,
+    profile: &ArqProfile,
 ) -> ArqOutcome {
     let mut backoff = Backoff::new(*timing);
     let mut total = Duration::ZERO;
-    for attempt in 1..=retry_limit.max(1) {
+    for attempt in 1..=profile.retry_limit.max(1) {
         let bo = backoff.draw(rng);
-        total = total + exchange_duration(params, timing, rate, payload_len, bo);
-        if rng.gen::<f64>() < success_prob {
+        total = total + exchange_duration(params, timing, profile.rate, profile.payload_len, bo);
+        if rng.gen::<f64>() < profile.success_prob {
             return ArqOutcome {
                 delivered: true,
                 attempts: attempt,
@@ -55,7 +65,7 @@ pub fn send_packet<R: Rng + ?Sized>(
     }
     ArqOutcome {
         delivered: false,
-        attempts: retry_limit.max(1),
+        attempts: profile.retry_limit.max(1),
         medium_time: total,
     }
 }
@@ -72,32 +82,20 @@ pub fn expected_attempts(success_prob: f64) -> f64 {
 
 /// Simulates a bulk transfer of `n_packets` and returns the achieved
 /// goodput in bits/s (delivered payload bits over total medium time).
-#[allow(clippy::too_many_arguments)]
 pub fn bulk_throughput_bps<R: Rng + ?Sized>(
     rng: &mut R,
     params: &Params,
     timing: &DcfTiming,
-    rate: RateId,
-    payload_len: usize,
-    success_prob: f64,
-    retry_limit: u32,
+    profile: &ArqProfile,
     n_packets: usize,
 ) -> f64 {
     let mut delivered_bits = 0u64;
     let mut total = Duration::ZERO;
     for _ in 0..n_packets {
-        let o = send_packet(
-            rng,
-            params,
-            timing,
-            rate,
-            payload_len,
-            success_prob,
-            retry_limit,
-        );
+        let o = send_packet(rng, params, timing, profile);
         total = total + o.medium_time;
         if o.delivered {
-            delivered_bits += (payload_len * 8) as u64;
+            delivered_bits += (profile.payload_len * 8) as u64;
         }
     }
     if total == Duration::ZERO {
@@ -114,6 +112,15 @@ mod tests {
     use rand::SeedableRng;
     use ssync_phy::OfdmParams;
 
+    fn profile(payload_len: usize, success_prob: f64, retry_limit: u32) -> ArqProfile {
+        ArqProfile {
+            rate: RateId::R12,
+            payload_len,
+            success_prob,
+            retry_limit,
+        }
+    }
+
     #[test]
     fn lossless_link_single_attempt() {
         let params = OfdmParams::dot11a();
@@ -122,10 +129,7 @@ mod tests {
             &mut rng,
             &params,
             &DcfTiming::default(),
-            RateId::R12,
-            1000,
-            1.0,
-            7,
+            &profile(1000, 1.0, 7),
         );
         assert!(o.delivered);
         assert_eq!(o.attempts, 1);
@@ -139,10 +143,7 @@ mod tests {
             &mut rng,
             &params,
             &DcfTiming::default(),
-            RateId::R12,
-            1000,
-            0.0,
-            7,
+            &profile(1000, 0.0, 7),
         );
         assert!(!o.delivered);
         assert_eq!(o.attempts, 7);
@@ -162,10 +163,7 @@ mod tests {
                     &mut rng,
                     &params,
                     &DcfTiming::default(),
-                    RateId::R12,
-                    500,
-                    p,
-                    50,
+                    &profile(500, p, 50),
                 )
                 .attempts as f64
             })
@@ -182,8 +180,8 @@ mod tests {
         let params = OfdmParams::dot11a();
         let timing = DcfTiming::default();
         let mut rng = StdRng::seed_from_u64(4);
-        let clean = bulk_throughput_bps(&mut rng, &params, &timing, RateId::R12, 1460, 1.0, 7, 500);
-        let lossy = bulk_throughput_bps(&mut rng, &params, &timing, RateId::R12, 1460, 0.5, 7, 500);
+        let clean = bulk_throughput_bps(&mut rng, &params, &timing, &profile(1460, 1.0, 7), 500);
+        let lossy = bulk_throughput_bps(&mut rng, &params, &timing, &profile(1460, 0.5, 7), 500);
         let ratio = lossy / clean;
         assert!((0.35..0.6).contains(&ratio), "ratio {ratio}");
     }

@@ -17,7 +17,8 @@ pub mod csma;
 pub mod frames;
 
 pub use arq::{
-    bulk_throughput_bps, expected_attempts, send_packet, ArqOutcome, DEFAULT_RETRY_LIMIT,
+    bulk_throughput_bps, expected_attempts, send_packet, ArqOutcome, ArqProfile,
+    DEFAULT_RETRY_LIMIT,
 };
 pub use csma::{exchange_duration, saturation_throughput_bps, Backoff, DcfTiming};
 pub use frames::{AckFrame, DataFrame, MacFrame};

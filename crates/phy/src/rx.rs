@@ -75,6 +75,22 @@ pub struct RxResult {
     pub diag: RxDiagnostics,
 }
 
+/// One contiguous run of OFDM symbols inside a capture: where it starts,
+/// how many symbols, at which CP, and where its pilot-polarity sequence
+/// begins.
+#[derive(Debug, Clone, Copy)]
+struct SymbolSpan {
+    /// Buffer index of the run's first sample.
+    start: usize,
+    /// Number of symbols.
+    n_syms: usize,
+    /// Cyclic-prefix length per symbol, samples.
+    cp_len: usize,
+    /// Pilot symbol index of the first symbol (DATA continues the
+    /// SIGNAL-field polarity sequence).
+    first_symbol_index: usize,
+}
+
 /// A planned receiver for one numerology.
 #[derive(Debug, Clone)]
 pub struct Receiver {
@@ -145,15 +161,13 @@ impl Receiver {
         if buf.len() < sig_start + n_sig * sym_len {
             return Err(RxError::Truncated(det));
         }
-        let sig_llrs = self.symbol_llrs(
-            &buf,
-            sig_start,
-            n_sig,
-            self.params.cp_len,
-            modulation::Modulation::Bpsk,
-            &est,
-            0,
-        );
+        let sig_span = SymbolSpan {
+            start: sig_start,
+            n_syms: n_sig,
+            cp_len: self.params.cp_len,
+            first_symbol_index: 0,
+        };
+        let sig_llrs = self.symbol_llrs(&buf, &sig_span, modulation::Modulation::Bpsk, &est);
         let signal =
             frame::decode_signal(&self.params, &sig_llrs).ok_or(RxError::BadSignal(det))?;
 
@@ -164,8 +178,13 @@ impl Receiver {
             return Err(RxError::Truncated(det));
         }
         let m = signal.rate.modulation();
-        let data_llrs =
-            self.symbol_llrs(&buf, data_start, n_data, self.params.cp_len, m, &est, n_sig);
+        let data_span = SymbolSpan {
+            start: data_start,
+            n_syms: n_data,
+            cp_len: self.params.cp_len,
+            first_symbol_index: n_sig,
+        };
+        let data_llrs = self.symbol_llrs(&buf, &data_span, m, &est);
         let psdu = frame::decode_data(
             &self.params,
             &data_llrs,
@@ -196,29 +215,25 @@ impl Receiver {
         }
     }
 
-    /// Demodulates `n_syms` symbols starting at `start`, returning per-symbol
+    /// Demodulates the symbol run described by `span`, returning per-symbol
     /// LLR vectors. Pilot phase tracking is applied per symbol; pilot symbol
-    /// indices begin at `first_symbol_index` (so DATA pilots continue the
-    /// SIGNAL-field polarity sequence, as in the transmitter).
-    #[allow(clippy::too_many_arguments)]
+    /// indices begin at `span.first_symbol_index` (so DATA pilots continue
+    /// the SIGNAL-field polarity sequence, as in the transmitter).
     fn symbol_llrs(
         &self,
         buf: &[Complex64],
-        start: usize,
-        n_syms: usize,
-        cp_len: usize,
+        span: &SymbolSpan,
         m: modulation::Modulation,
         est: &ChannelEstimate,
-        first_symbol_index: usize,
     ) -> Vec<Vec<f64>> {
-        let sym_len = self.params.fft_size + cp_len;
-        let b = self.window_backoff.min(cp_len);
-        let mut out = Vec::with_capacity(n_syms);
-        for s in 0..n_syms {
-            let sym_start = start + s * sym_len;
+        let sym_len = self.params.fft_size + span.cp_len;
+        let b = self.window_backoff.min(span.cp_len);
+        let mut out = Vec::with_capacity(span.n_syms);
+        for s in 0..span.n_syms {
+            let sym_start = span.start + s * sym_len;
             let grid =
-                ofdm::demodulate_window(&self.params, &self.fft, buf, sym_start + cp_len - b);
-            let theta = self.pilot_phase(&grid, est, first_symbol_index + s);
+                ofdm::demodulate_window(&self.params, &self.fft, buf, sym_start + span.cp_len - b);
+            let theta = self.pilot_phase(&grid, est, span.first_symbol_index + s);
             let rot = Complex64::cis(theta);
             let mut llrs = Vec::with_capacity(self.params.n_data() * m.bits_per_symbol());
             for &k in &self.params.data_carriers {

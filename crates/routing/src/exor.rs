@@ -22,10 +22,22 @@ use crate::singlepath::TransferOutcome;
 use crate::topology::MeshTopology;
 use rand::Rng;
 use ssync_core::SIFS_S;
-use ssync_mac::{send_packet, Backoff, DcfTiming};
+use ssync_mac::{send_packet, ArqProfile, Backoff, DcfTiming};
 use ssync_phy::ber::PerTable;
 use ssync_phy::{Params, RateId, Transmitter};
 use ssync_sim::Duration;
+
+/// Endpoints of one opportunistic batch: source, destination, and the
+/// candidate forwarders (relays) between them.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRoute<'a> {
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Potential forwarders (the source is added automatically).
+    pub candidates: &'a [usize],
+}
 
 /// Parameters of an opportunistic batch transfer.
 #[derive(Debug, Clone, Copy)]
@@ -67,20 +79,21 @@ impl ExorConfig {
     }
 }
 
-/// Runs one batch from `src` to `dst`; `candidates` are the potential
-/// forwarders (relays). Returns `None` if the destination is unreachable
-/// even by single-path routing.
-#[allow(clippy::too_many_arguments)]
+/// Runs one batch along `route`. Returns `None` if the destination is
+/// unreachable even by single-path routing.
 pub fn run_batch<R: Rng + ?Sized>(
     rng: &mut R,
     params: &Params,
     topo: &MeshTopology,
     per: &PerTable,
-    src: usize,
-    dst: usize,
-    candidates: &[usize],
+    route: &BatchRoute<'_>,
     cfg: &ExorConfig,
 ) -> Option<TransferOutcome> {
+    let BatchRoute {
+        src,
+        dst,
+        candidates,
+    } = *route;
     let timing = DcfTiming::default();
     let tx = Transmitter::new(params.clone());
     let frame_s = tx.frame_duration_s(cfg.payload_len, cfg.rate);
@@ -197,15 +210,13 @@ pub fn run_batch<R: Rng + ?Sized>(
         let Some(holder) = holder else { continue };
         let p_data = topo.delivery(per, cfg.rate, holder, dst);
         let p_ack = topo.delivery(per, RateId::R6, dst, holder);
-        let o = send_packet(
-            rng,
-            params,
-            &timing,
-            cfg.rate,
-            cfg.payload_len,
-            p_data * p_ack,
-            cfg.retry_limit,
-        );
+        let profile = ArqProfile {
+            rate: cfg.rate,
+            payload_len: cfg.payload_len,
+            success_prob: p_data * p_ack,
+            retry_limit: cfg.retry_limit,
+        };
+        let o = send_packet(rng, params, &timing, &profile);
         medium = medium + o.medium_time;
         if o.delivered {
             has[dst][p] = true;
@@ -251,7 +262,12 @@ mod tests {
         let per = PerTable::analytic();
         let topo = diamond(snr);
         let mut rng = StdRng::seed_from_u64(seed);
-        run_batch(&mut rng, &params, &topo, &per, 0, 4, &[1, 2, 3], cfg).unwrap()
+        let route = BatchRoute {
+            src: 0,
+            dst: 4,
+            candidates: &[1, 2, 3],
+        };
+        run_batch(&mut rng, &params, &topo, &per, &route, cfg).unwrap()
     }
 
     #[test]
@@ -303,7 +319,12 @@ mod tests {
         let per = PerTable::analytic();
         let mut rng = StdRng::seed_from_u64(3);
         let cfg = ExorConfig::new(RateId::R6);
-        assert!(run_batch(&mut rng, &params, &topo, &per, 0, 1, &[], &cfg).is_none());
+        let route = BatchRoute {
+            src: 0,
+            dst: 1,
+            candidates: &[],
+        };
+        assert!(run_batch(&mut rng, &params, &topo, &per, &route, &cfg).is_none());
     }
 
     #[test]

@@ -18,6 +18,6 @@ pub mod singlepath;
 pub mod topology;
 
 pub use etx::{best_path, etx_to_destination, forwarder_priority, link_etx};
-pub use exor::{run_batch, ExorConfig};
-pub use singlepath::{run_transfer, TransferOutcome};
+pub use exor::{run_batch, BatchRoute, ExorConfig};
+pub use singlepath::{run_transfer, TransferOutcome, TransferSpec};
 pub use topology::MeshTopology;

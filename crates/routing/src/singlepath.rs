@@ -8,10 +8,27 @@
 use crate::etx::best_path;
 use crate::topology::MeshTopology;
 use rand::Rng;
-use ssync_mac::{send_packet, DcfTiming};
+use ssync_mac::{send_packet, ArqProfile, DcfTiming};
 use ssync_phy::ber::PerTable;
 use ssync_phy::{Params, RateId};
 use ssync_sim::Duration;
+
+/// One bulk transfer: endpoints, rate, and traffic shape.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferSpec {
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Data rate of every hop.
+    pub rate: RateId,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+    /// Packets in the transfer.
+    pub n_packets: usize,
+    /// Per-hop ARQ retry limit.
+    pub retry_limit: u32,
+}
 
 /// Result of a bulk transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,42 +54,34 @@ fn finish(delivered: usize, payload_len: usize, medium_time: Duration) -> Transf
     }
 }
 
-/// Transfers `n_packets` of `payload_len` bytes from `src` to `dst` along
-/// the best ETX path at `rate`. Returns `None` if no path exists.
-#[allow(clippy::too_many_arguments)]
+/// Runs the transfer described by `spec` along the best ETX path.
+/// Returns `None` if no path exists.
 pub fn run_transfer<R: Rng + ?Sized>(
     rng: &mut R,
     params: &Params,
     topo: &MeshTopology,
     per: &PerTable,
-    rate: RateId,
-    src: usize,
-    dst: usize,
-    payload_len: usize,
-    n_packets: usize,
-    retry_limit: u32,
+    spec: &TransferSpec,
 ) -> Option<TransferOutcome> {
-    let path = best_path(topo, per, rate, src, dst)?;
+    let path = best_path(topo, per, spec.rate, spec.src, spec.dst)?;
     let timing = DcfTiming::default();
     let mut delivered = 0usize;
     let mut medium = Duration::ZERO;
-    for _ in 0..n_packets {
+    for _ in 0..spec.n_packets {
         let mut alive = true;
         for hop in path.windows(2) {
             let (a, b) = (hop[0], hop[1]);
             // Per-attempt success = forward data delivery × reverse ACK
             // delivery (ACK at the robust rate — approximate with R6 PER).
-            let p_data = topo.delivery(per, rate, a, b);
+            let p_data = topo.delivery(per, spec.rate, a, b);
             let p_ack = topo.delivery(per, RateId::R6, b, a);
-            let o = send_packet(
-                rng,
-                params,
-                &timing,
-                rate,
-                payload_len,
-                p_data * p_ack,
-                retry_limit,
-            );
+            let profile = ArqProfile {
+                rate: spec.rate,
+                payload_len: spec.payload_len,
+                success_prob: p_data * p_ack,
+                retry_limit: spec.retry_limit,
+            };
+            let o = send_packet(rng, params, &timing, &profile);
             medium = medium + o.medium_time;
             if !o.delivered {
                 alive = false;
@@ -83,7 +92,7 @@ pub fn run_transfer<R: Rng + ?Sized>(
             delivered += 1;
         }
     }
-    Some(finish(delivered, payload_len, medium))
+    Some(finish(delivered, spec.payload_len, medium))
 }
 
 #[cfg(test)]
@@ -103,24 +112,23 @@ mod tests {
         ])
     }
 
+    fn spec(n_packets: usize) -> TransferSpec {
+        TransferSpec {
+            src: 0,
+            dst: 2,
+            rate: RateId::R12,
+            payload_len: 1460,
+            n_packets,
+            retry_limit: 7,
+        }
+    }
+
     #[test]
     fn clean_links_deliver_everything() {
         let params = OfdmParams::dot11a();
         let per = PerTable::analytic();
         let mut rng = StdRng::seed_from_u64(1);
-        let o = run_transfer(
-            &mut rng,
-            &params,
-            &relay_topology(30.0),
-            &per,
-            RateId::R12,
-            0,
-            2,
-            1460,
-            100,
-            7,
-        )
-        .unwrap();
+        let o = run_transfer(&mut rng, &params, &relay_topology(30.0), &per, &spec(100)).unwrap();
         assert_eq!(o.delivered, 100);
         assert!(o.throughput_bps > 1e6, "throughput {}", o.throughput_bps);
     }
@@ -130,32 +138,10 @@ mod tests {
         let params = OfdmParams::dot11a();
         let per = PerTable::analytic();
         let mut rng = StdRng::seed_from_u64(2);
-        let clean = run_transfer(
-            &mut rng,
-            &params,
-            &relay_topology(30.0),
-            &per,
-            RateId::R12,
-            0,
-            2,
-            1460,
-            200,
-            7,
-        )
-        .unwrap();
-        let lossy = run_transfer(
-            &mut rng,
-            &params,
-            &relay_topology(7.0),
-            &per,
-            RateId::R12,
-            0,
-            2,
-            1460,
-            200,
-            7,
-        )
-        .unwrap();
+        let clean =
+            run_transfer(&mut rng, &params, &relay_topology(30.0), &per, &spec(200)).unwrap();
+        let lossy =
+            run_transfer(&mut rng, &params, &relay_topology(7.0), &per, &spec(200)).unwrap();
         assert!(
             lossy.throughput_bps < 0.75 * clean.throughput_bps,
             "lossy {} clean {}",
@@ -171,8 +157,14 @@ mod tests {
         let inf = f64::NEG_INFINITY;
         let topo = MeshTopology::from_snrs(vec![vec![inf, inf], vec![inf, inf]]);
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(
-            run_transfer(&mut rng, &params, &topo, &per, RateId::R6, 0, 1, 100, 10, 7).is_none()
-        );
+        let s = TransferSpec {
+            src: 0,
+            dst: 1,
+            rate: RateId::R6,
+            payload_len: 100,
+            n_packets: 10,
+            retry_limit: 7,
+        };
+        assert!(run_transfer(&mut rng, &params, &topo, &per, &s).is_none());
     }
 }

@@ -122,6 +122,19 @@ impl Network {
             .unwrap_or(f64::NEG_INFINITY)
     }
 
+    /// Overrides the `tx → rx` link's amplitude gain so its *mean* SNR
+    /// (against the unit-power noise convention, including the multipath
+    /// realisation's power) equals `snr_db`. No-op if the link does not
+    /// exist. The controlled-sweep primitive behind the pinned-SNR
+    /// experiments and the last-hop model cross-validation.
+    pub fn pin_snr_db(&mut self, tx: NodeId, rx: NodeId, snr_db: f64) {
+        if let Some(link) = self.medium.link_mut(tx, rx) {
+            let gain = ssync_dsp::stats::linear_from_db(snr_db).sqrt();
+            let mp_power = link.multipath.power().sqrt();
+            link.amplitude_gain = gain / mp_power.max(1e-12);
+        }
+    }
+
     /// The true one-way propagation delay `a → b` in seconds (ground truth
     /// for evaluating the probe protocol's estimates).
     pub fn true_delay_s(&self, a: NodeId, b: NodeId) -> f64 {
@@ -145,6 +158,22 @@ mod tests {
             Position::new(10.0, 0.0),
             Position::new(5.0, 8.0),
         ]
+    }
+
+    #[test]
+    fn pin_snr_db_hits_target_mean_snr() {
+        let params = OfdmParams::dot11a();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Network::build(
+            &mut rng,
+            &params,
+            &triangle(),
+            &ChannelModels::testbed(&params),
+        );
+        net.pin_snr_db(NodeId(0), NodeId(1), 17.5);
+        assert!((net.snr_db(NodeId(0), NodeId(1)) - 17.5).abs() < 0.01);
+        // Missing link: a silent no-op.
+        net.pin_snr_db(NodeId(0), NodeId(0), 10.0);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sourcesync::lasthop::{run_session, Association, ClientScenario, Controller, Mode};
+use sourcesync::lasthop::{
+    run_session, Association, ClientScenario, Controller, Mode, SessionSpec,
+};
 use sourcesync::phy::ber::PerTable;
 use sourcesync::phy::OfdmParams;
 use sourcesync::sim::NodeId;
@@ -49,28 +51,22 @@ fn main() {
     );
 
     let n_packets = 600;
+    let spec = |mode| SessionSpec {
+        mode,
+        payload_len: 1460,
+        n_packets,
+        retry_limit: 7,
+    };
     let mut rng = StdRng::seed_from_u64(5);
     let single = run_session(
         &mut rng,
         &params,
         &per,
         &scenario,
-        Mode::BestSingleAp,
-        1460,
-        n_packets,
-        7,
+        &spec(Mode::BestSingleAp),
     );
     let mut rng = StdRng::seed_from_u64(5);
-    let joint = run_session(
-        &mut rng,
-        &params,
-        &per,
-        &scenario,
-        Mode::SourceSync,
-        1460,
-        n_packets,
-        7,
-    );
+    let joint = run_session(&mut rng, &params, &per, &scenario, &spec(Mode::SourceSync));
 
     println!("\n                 delivered   throughput   settled rate");
     println!(

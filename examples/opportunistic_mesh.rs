@@ -10,7 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sourcesync::phy::ber::PerTable;
 use sourcesync::phy::{OfdmParams, RateId};
-use sourcesync::routing::{run_batch, run_transfer, ExorConfig, MeshTopology};
+use sourcesync::routing::{
+    run_batch, run_transfer, BatchRoute, ExorConfig, MeshTopology, TransferSpec,
+};
 use sourcesync::sim::FaultInjector;
 
 fn main() {
@@ -56,19 +58,16 @@ fn main() {
     let cfg_ss = ExorConfig::new(rate).with_sender_diversity();
     let n_pkts = cfg.batch_size * 4;
 
-    let single = run_transfer(
-        &mut rng,
-        &params,
-        &scaled,
-        &per,
+    let transfer = TransferSpec {
+        src: 0,
+        dst: 4,
         rate,
-        0,
-        4,
-        cfg.payload_len,
-        n_pkts,
-        7,
-    )
-    .expect("destination reachable");
+        payload_len: cfg.payload_len,
+        n_packets: n_pkts,
+        retry_limit: 7,
+    };
+    let single =
+        run_transfer(&mut rng, &params, &scaled, &per, &transfer).expect("destination reachable");
     println!(
         "\nsingle path : {:5.2} Mbps ({} of {} packets)",
         single.throughput_bps / 1e6,
@@ -76,27 +75,23 @@ fn main() {
         n_pkts
     );
 
+    let route = BatchRoute {
+        src: 0,
+        dst: 4,
+        candidates: &[1, 2, 3],
+    };
     let mut exor_tp = 0.0;
     let mut ss_tp = 0.0;
     for b in 0..4u64 {
         let mut rng_e = StdRng::seed_from_u64(100 + b);
-        exor_tp += run_batch(&mut rng_e, &params, &scaled, &per, 0, 4, &[1, 2, 3], &cfg)
+        exor_tp += run_batch(&mut rng_e, &params, &scaled, &per, &route, &cfg)
             .unwrap()
             .throughput_bps
             / 4.0;
         let mut rng_s = StdRng::seed_from_u64(200 + b);
-        ss_tp += run_batch(
-            &mut rng_s,
-            &params,
-            &scaled,
-            &per,
-            0,
-            4,
-            &[1, 2, 3],
-            &cfg_ss,
-        )
-        .unwrap()
-        .throughput_bps
+        ss_tp += run_batch(&mut rng_s, &params, &scaled, &per, &route, &cfg_ss)
+            .unwrap()
+            .throughput_bps
             / 4.0;
     }
     println!("ExOR        : {:5.2} Mbps", exor_tp / 1e6);

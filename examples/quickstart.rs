@@ -1,16 +1,20 @@
-//! Quickstart: two senders, one receiver, one SourceSync joint frame.
+//! Quickstart: two senders, one receiver, one SourceSync joint frame —
+//! driven through the staged `JointSession` API, one protocol role at a
+//! time.
 //!
 //! Builds a three-node network on the simulated testbed floor, measures
-//! propagation delays with the probe protocol, solves wait times, runs a
-//! joint transmission at the sample level, and prints what the receiver
-//! saw.
+//! propagation delays with the probe protocol, solves wait times, then
+//! plays the §4.4 protocol explicitly: the lead's transmission
+//! (`LeadTx`), the co-sender's detect → compensate → join
+//! (`CosenderJoin`, with a typed `JoinFailure` if it cannot), and the
+//! receiver's joint decode (`ReceiverDecode`).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sourcesync::channel::Position;
-use sourcesync::core::{run_joint_transmission, CosenderPlan, DelayDatabase, JointConfig};
+use sourcesync::core::{CosenderPlan, DelayDatabase, JointConfig, JointSession};
 use sourcesync::phy::OfdmParams;
 use sourcesync::sim::{ChannelModels, Network, NodeId};
 
@@ -52,23 +56,40 @@ fn main() {
     let sol = db.wait_solution(lead, &[cosender], &[receiver]).unwrap();
     println!("\nco-sender wait time: {:.2} ns", sol.waits[0] * 1e9);
 
-    // 3. Run the joint transmission.
+    // 3. Describe the joint transmission once...
     let payload = b"hello from two synchronized senders at once".to_vec();
-    let out = run_joint_transmission(
-        &mut net,
-        &mut rng,
-        lead,
-        &[CosenderPlan {
+    let session = JointSession::new(lead)
+        .cosender(CosenderPlan {
             node: cosender,
             wait_s: sol.waits[0],
-        }],
-        &[receiver],
-        &payload,
-        &db,
-        &JointConfig::default(),
+        })
+        .receiver(receiver)
+        .payload(payload.clone())
+        .config(JointConfig::default());
+
+    // ...then drive each role's stage explicitly.
+    let frame = session.lead_tx().transmit(&mut net);
+    println!(
+        "\nlead {lead}: sync header at t0, {} data symbols after SIFS + 1 training slot",
+        frame.timeline.n_data_symbols
     );
 
-    let report = &out.reports[0];
+    match session
+        .cosender_join(0, &frame)
+        .join(&mut net, &mut rng, &db)
+    {
+        Ok(tx) => println!(
+            "co-sender {cosender}: joined (training at {:.3} µs, measured lead CFO {:+.0} Hz)",
+            tx.training_time.as_secs_f64() * 1e6,
+            tx.cfo_hz
+        ),
+        Err(reason) => println!("co-sender {cosender}: DID NOT JOIN — {reason}"),
+    }
+
+    let report = session
+        .receiver_decode(receiver, &frame)
+        .decode(&mut net, &mut rng);
+
     println!("\nreceiver report:");
     println!("  header decoded : {}", report.header_ok);
     println!("  co-sender seen : {}", report.co_channels[0].is_some());
@@ -81,9 +102,8 @@ fn main() {
             .unwrap_or_else(|| "<decode failed>".into())
     );
     println!(
-        "  measured misalignment: {:.1} ns (simulator truth: {:.1} ns)",
+        "  measured misalignment: {:.1} ns",
         report.measured_misalign_s[0].unwrap_or(f64::NAN) * 1e9,
-        out.true_misalign_s[0][0] * 1e9
     );
     println!(
         "  mean effective gain  : {:.2} (vs ~1.0 for one unit-gain sender)",
