@@ -83,3 +83,36 @@ fn fig13_cp_sweep_matches_presession_output() {
         &run_rendered(scenario, &cfg),
     );
 }
+
+/// Two further joint-transmission-heavy scenarios, pinned when the modem
+/// grew its zero-allocation workspaces: the workspace paths promise
+/// bit-identical signal processing, and these captures (taken immediately
+/// before the refactor) enforce it end to end. Checked at one
+/// multi-threaded worker count for the same reason as fig12/fig13 above.
+#[test]
+fn fig16_subcarrier_snr_matches_preworkspace_output() {
+    let scenario = scenarios::find("fig16_subcarrier_snr").expect("scenario registered");
+    let cfg = RunConfig {
+        threads: 4,
+        ..Default::default()
+    };
+    golden::assert_matches(
+        "fig16_subcarrier_snr (threads=4)",
+        include_str!("golden/fig16_subcarrier_snr.tsv"),
+        &run_rendered(scenario, &cfg),
+    );
+}
+
+#[test]
+fn ablation_combiner_matches_preworkspace_output() {
+    let scenario = scenarios::find("ablation_combiner").expect("scenario registered");
+    let cfg = RunConfig {
+        threads: 4,
+        ..Default::default()
+    };
+    golden::assert_matches(
+        "ablation_combiner (threads=4)",
+        include_str!("golden/ablation_combiner.tsv"),
+        &run_rendered(scenario, &cfg),
+    );
+}

@@ -11,8 +11,52 @@
 
 use crate::jce::{role_pilot_phase, RoleChannels};
 use ssync_dsp::{Complex64, Fft};
+use ssync_phy::workspace::{DemapTables, SymbolLlrs, TxWorkspace};
 use ssync_phy::{frame, modulation, ofdm, Params, RateId};
 use ssync_stbc::{encode_pair, Codeword};
+
+/// Reusable scratch for the joint data section, transmit and receive side:
+/// the space-time-coded symbol pair, the two demodulated grids, the
+/// per-symbol LLR pool, and the demap tables. One workspace per driving
+/// loop (a `JointSession` stage, a bench iteration); buffers are reused
+/// across frames so the per-symbol-pair loop is allocation-free at steady
+/// state.
+#[derive(Debug, Clone)]
+pub struct CombineWorkspace {
+    /// OFDM modulator scratch for the transmit side.
+    pub(crate) tx: TxWorkspace,
+    /// Space-time-coded even/odd symbol of the current pair.
+    s0: Vec<Complex64>,
+    s1: Vec<Complex64>,
+    /// Demodulated grids of the current pair.
+    g0: Vec<Complex64>,
+    g1: Vec<Complex64>,
+    /// Composite pilot channel (the no-pilot-sharing ablation path).
+    composite: Vec<Complex64>,
+    /// Per-symbol LLR pool.
+    llrs: SymbolLlrs,
+    /// Hard-decision scratch for the decision-directed EVM.
+    hard_bits: Vec<u8>,
+    /// Demap tables for every modulation, built once.
+    tables: DemapTables,
+}
+
+impl CombineWorkspace {
+    /// A workspace keyed to `params`.
+    pub fn new(params: &Params) -> Self {
+        CombineWorkspace {
+            tx: TxWorkspace::new(params),
+            s0: Vec::with_capacity(params.n_data()),
+            s1: Vec::with_capacity(params.n_data()),
+            g0: Vec::with_capacity(params.fft_size),
+            g1: Vec::with_capacity(params.fft_size),
+            composite: Vec::with_capacity(params.pilot_carriers.len()),
+            llrs: SymbolLlrs::new(),
+            hard_bits: Vec::new(),
+            tables: DemapTables::new(),
+        }
+    }
+}
 
 /// How the joint data section is coded on the air — the knobs every
 /// sender of one joint frame shares (derived from
@@ -45,6 +89,31 @@ pub fn joint_data_waveform(
     role: Codeword,
     spec: &DataSectionSpec,
 ) -> Vec<Complex64> {
+    let mut wave = Vec::new();
+    joint_data_waveform_into(
+        params,
+        fft,
+        psdu,
+        role,
+        spec,
+        &mut CombineWorkspace::new(params),
+        &mut wave,
+    );
+    wave
+}
+
+/// [`joint_data_waveform`] through a reusable [`CombineWorkspace`]: `out`
+/// is cleared and refilled and the per-pair space-time-coded symbols live
+/// in workspace scratch. Bit-identical to the allocating path.
+pub fn joint_data_waveform_into(
+    params: &Params,
+    fft: &Fft,
+    psdu: &[u8],
+    role: Codeword,
+    spec: &DataSectionSpec,
+    ws: &mut CombineWorkspace,
+    out: &mut Vec<Complex64>,
+) {
     let DataSectionSpec {
         rate,
         cp_len,
@@ -55,16 +124,21 @@ pub fn joint_data_waveform(
     if symbols.len() % 2 == 1 {
         symbols.push(vec![Complex64::ZERO; params.n_data()]);
     }
-    let mut wave = Vec::new();
+    out.clear();
     for (pair_idx, pair) in symbols.chunks(2).enumerate() {
         let (x0, x1) = (&pair[0], &pair[1]);
-        let (s0, s1): (Vec<Complex64>, Vec<Complex64>) = if smart_combiner {
-            (0..params.n_data())
-                .map(|k| encode_pair(role, x0[k], x1[k]))
-                .unzip()
+        ws.s0.clear();
+        ws.s1.clear();
+        if smart_combiner {
+            for k in 0..params.n_data() {
+                let (a, b) = encode_pair(role, x0[k], x1[k]);
+                ws.s0.push(a);
+                ws.s1.push(b);
+            }
         } else {
-            (x0.clone(), x1.clone())
-        };
+            ws.s0.extend_from_slice(x0);
+            ws.s1.extend_from_slice(x1);
+        }
         let even_idx = 2 * pair_idx;
         let odd_idx = 2 * pair_idx + 1;
         // Shared pilots: role A on even symbols, role B on odd. Without
@@ -77,19 +151,20 @@ pub fn joint_data_waveform(
         } else {
             (true, true)
         };
-        wave.extend(ofdm::modulate_symbol_with_pilots(
+        ofdm::modulate_symbol_append(
             params,
             fft,
-            &s0,
+            &ws.s0,
             even_idx,
             cp_len,
             pilots_even,
-        ));
-        wave.extend(ofdm::modulate_symbol_with_pilots(
-            params, fft, &s1, odd_idx, cp_len, pilots_odd,
-        ));
+            &mut ws.tx,
+            out,
+        );
+        ofdm::modulate_symbol_append(
+            params, fft, &ws.s1, odd_idx, cp_len, pilots_odd, &mut ws.tx, out,
+        );
     }
-    wave
 }
 
 /// Per-frame statistics the joint decoder gathers.
@@ -130,6 +205,30 @@ pub fn decode_joint_data(
     spec: &DataSectionSpec,
     roles: &RoleChannels,
 ) -> Option<(Option<Vec<u8>>, CombinerStats)> {
+    decode_joint_data_with(
+        params,
+        fft,
+        buf,
+        window,
+        spec,
+        roles,
+        &mut CombineWorkspace::new(params),
+    )
+}
+
+/// [`decode_joint_data`] through a reusable [`CombineWorkspace`]: the
+/// per-pair grids, LLR pool, and demap scratch live in `ws`, so the
+/// symbol-pair loop is allocation-free at steady state. Bit-identical to
+/// the allocating path.
+pub fn decode_joint_data_with(
+    params: &Params,
+    fft: &Fft,
+    buf: &[Complex64],
+    window: &JointDataWindow,
+    spec: &DataSectionSpec,
+    roles: &RoleChannels,
+    ws: &mut CombineWorkspace,
+) -> Option<(Option<Vec<u8>>, CombinerStats)> {
     let JointDataWindow {
         data_start,
         n_syms,
@@ -151,7 +250,17 @@ pub fn decode_joint_data(
     }
     let m = rate.modulation();
     let n0 = roles.noise_power.max(1e-15);
-    let mut llrs_per_symbol: Vec<Vec<f64>> = Vec::with_capacity(n_syms);
+    let CombineWorkspace {
+        g0,
+        g1,
+        composite,
+        llrs,
+        hard_bits,
+        tables,
+        ..
+    } = ws;
+    let table = tables.get_mut(m);
+    llrs.reset();
     let mut gain_acc = 0.0;
     let mut gain_count = 0usize;
     let mut evm_err = 0.0;
@@ -159,30 +268,33 @@ pub fn decode_joint_data(
     for pair_idx in 0..n_on_air / 2 {
         let even_start = data_start + (2 * pair_idx) * sym_len + cp_len - b;
         let odd_start = even_start + sym_len;
-        let g0 = ofdm::demodulate_window(params, fft, buf, even_start);
-        let g1 = ofdm::demodulate_window(params, fft, buf, odd_start);
+        ofdm::demodulate_window_into(params, fft, buf, even_start, g0);
+        ofdm::demodulate_window_into(params, fft, buf, odd_start, g1);
         // Residual phase per role from the shared pilots. Without pilot
         // sharing, both roles' pilots superpose in every symbol; track a
         // single common phase against the *composite* pilot channel.
         let (theta_a, theta_b) = if pilot_sharing {
             (
-                role_pilot_phase(params, &g0, &roles.h_a_pilot, 2 * pair_idx),
-                role_pilot_phase(params, &g1, &roles.h_b_pilot, 2 * pair_idx + 1),
+                role_pilot_phase(params, g0, &roles.h_a_pilot, 2 * pair_idx),
+                role_pilot_phase(params, g1, &roles.h_b_pilot, 2 * pair_idx + 1),
             )
         } else {
-            let composite: Vec<Complex64> = roles
-                .h_a_pilot
-                .iter()
-                .zip(&roles.h_b_pilot)
-                .map(|(a, b)| *a + *b)
-                .collect();
-            let t0 = role_pilot_phase(params, &g0, &composite, 2 * pair_idx);
+            composite.clear();
+            composite.extend(
+                roles
+                    .h_a_pilot
+                    .iter()
+                    .zip(&roles.h_b_pilot)
+                    .map(|(a, b)| *a + *b),
+            );
+            let t0 = role_pilot_phase(params, g0, composite, 2 * pair_idx);
             (t0, t0)
         };
         let rot_a = Complex64::cis(theta_a);
         let rot_b = Complex64::cis(theta_b);
-        let mut llrs0 = Vec::with_capacity(params.n_data() * m.bits_per_symbol());
-        let mut llrs1 = Vec::with_capacity(params.n_data() * m.bits_per_symbol());
+        let (llrs0, llrs1) = llrs.next_symbol_pair();
+        llrs0.reserve(params.n_data() * m.bits_per_symbol());
+        llrs1.reserve(params.n_data() * m.bits_per_symbol());
         for (j, &k) in params.data_carriers.iter().enumerate() {
             let y0 = g0[params.bin(k)];
             let y1 = g1[params.bin(k)];
@@ -193,22 +305,18 @@ pub fn decode_joint_data(
             gain_acc += d.gain;
             gain_count += 1;
             let n_eff = n0 / gain;
-            llrs0.extend(modulation::demap_llrs(m, d.x0, Complex64::ONE, n_eff));
-            llrs1.extend(modulation::demap_llrs(m, d.x1, Complex64::ONE, n_eff));
+            table.demap_llrs_into(d.x0, Complex64::ONE, n_eff, llrs0);
+            table.demap_llrs_into(d.x1, Complex64::ONE, n_eff, llrs1);
             // Decision-directed EVM on the combined estimates.
             for xhat in [d.x0, d.x1] {
-                let bits = modulation::demap_hard(m, xhat, Complex64::ONE);
-                let nearest = modulation::map_symbol(m, &bits);
+                table.demap_hard_into(xhat, Complex64::ONE, hard_bits);
+                let nearest = modulation::map_symbol(m, hard_bits);
                 evm_err += xhat.dist(nearest).powi(2);
                 evm_sig += nearest.norm_sqr();
             }
         }
-        llrs_per_symbol.push(llrs0);
-        if llrs_per_symbol.len() < n_syms {
-            llrs_per_symbol.push(llrs1);
-        }
     }
-    let psdu = frame::decode_data(params, &llrs_per_symbol[..n_syms], rate, psdu_len);
+    let psdu = frame::decode_data(params, &llrs.symbols()[..n_syms], rate, psdu_len);
     let stats = CombinerStats {
         mean_effective_gain: if gain_count > 0 {
             gain_acc / gain_count as f64

@@ -36,13 +36,14 @@ pub mod timeline;
 pub mod wire;
 
 pub use combiner::{
-    decode_joint_data, joint_data_waveform, CombinerStats, DataSectionSpec, JointDataWindow,
+    decode_joint_data, decode_joint_data_with, joint_data_waveform, joint_data_waveform_into,
+    CombineWorkspace, CombinerStats, DataSectionSpec, JointDataWindow,
 };
 pub use jce::RoleChannels;
 pub use joint::{run_joint_transmission, CosenderPlan, JointConfig, JointOutcome, ReceiverReport};
 pub use session::{
     CosenderJoin, CosenderOutcome, CosenderTx, JoinFailure, JointSession, LeadFrame, LeadTx,
-    ReceiverDecode,
+    ReceiverDecode, SessionWorkspace,
 };
 pub use sls::{arrival_estimate_s, probe_pair, tracking_update, DelayDatabase, ProbeOutcome};
 pub use timeline::{JointTimeline, HEADER_RATE, SIFS_S};

@@ -47,7 +47,9 @@
 //! # }
 //! ```
 
-use crate::combiner::{decode_joint_data, CombinerStats, DataSectionSpec, JointDataWindow};
+use crate::combiner::{
+    decode_joint_data_with, CombineWorkspace, CombinerStats, DataSectionSpec, JointDataWindow,
+};
 use crate::jce::{
     estimate_from_training_slot, training_slot_energy_ratio, RoleChannels, PRESENCE_THRESHOLD,
 };
@@ -60,6 +62,7 @@ use ssync_dsp::mixer::apply_cfo_from;
 use ssync_dsp::{Complex64, Fft};
 use ssync_phy::chanest::{delay_from_slope, phase_slope, ChannelEstimate};
 use ssync_phy::preamble::cosender_training;
+use ssync_phy::workspace::{RxWorkspace, TxWorkspace};
 use ssync_phy::{crc, frame, Params, Receiver, Transmitter};
 use ssync_sim::{Network, NodeId, Time};
 use ssync_stbc::codebook::codeword_for;
@@ -290,24 +293,33 @@ impl JointSession {
         rng: &mut R,
         db: &DelayDatabase,
     ) -> JointOutcome {
-        // One set of planned machinery (FFT tables, detector, modem) for
-        // the whole frame; the stage wrappers build their own when invoked
-        // standalone.
-        let ctx = StageCtx::new(net.params.clone());
-        let frame = self.lead_tx().transmit_with(net, &ctx);
+        // One set of planned machinery (FFT tables, detector, modem,
+        // scratch buffers) for the whole frame; the stage wrappers build
+        // their own when invoked standalone.
+        self.run_with(net, rng, db, &mut SessionWorkspace::new(net.params.clone()))
+    }
+
+    /// [`JointSession::run`] through a reusable [`SessionWorkspace`]:
+    /// callers driving many sessions reuse all planned machinery and
+    /// scratch across frames. Bit-identical to [`JointSession::run`].
+    pub fn run_with<R: Rng + ?Sized>(
+        &self,
+        net: &mut Network,
+        rng: &mut R,
+        db: &DelayDatabase,
+        ws: &mut SessionWorkspace,
+    ) -> JointOutcome {
+        let frame = self.lead_tx().transmit_with(net, ws);
         let cosenders: Vec<CosenderOutcome> = (0..self.plans.len())
             .map(|i| CosenderOutcome {
                 node: self.plans[i].node,
-                join: self.cosender_join(i, &frame).join_with(net, rng, db, &ctx),
+                join: self.cosender_join(i, &frame).join_with(net, rng, db, ws),
             })
             .collect();
         let mut reports = Vec::with_capacity(self.receivers.len());
         let mut true_misalign = Vec::with_capacity(self.receivers.len());
         for &rcv in &self.receivers {
-            reports.push(
-                self.receiver_decode(rcv, &frame)
-                    .decode_with(net, rng, &ctx),
-            );
+            reports.push(self.receiver_decode(rcv, &frame).decode_with(net, rng, ws));
             true_misalign.push(ground_truth_misalign_s(
                 net, self.lead, &frame, &cosenders, rcv,
             ));
@@ -349,25 +361,50 @@ pub fn ground_truth_misalign_s(
         .collect()
 }
 
-/// The planned per-frame machinery every stage shares: the numerology,
-/// FFT tables, the modem transmitter, and the detector-equipped receiver.
-/// Built once per [`JointSession::run`]; a stage invoked standalone
-/// builds its own.
-struct StageCtx {
+/// The planned per-frame machinery and scratch every stage shares: the
+/// numerology, FFT tables, the modem transmitter, the detector-equipped
+/// receiver, and the reusable TX/RX/combine workspaces.
+///
+/// Built once per [`JointSession::run`]; a stage invoked through its
+/// allocating entry point builds a throwaway one. Callers driving many
+/// sessions (sweeps, benches, the last-hop downlink) hold one
+/// `SessionWorkspace` per thread and pass it to the `_with` stage variants
+/// — each stage then runs its per-symbol hot loops without heap
+/// allocation, and the outputs stay byte-identical to the allocating
+/// paths.
+pub struct SessionWorkspace {
     params: Params,
     fft: Fft,
     tx: Transmitter,
     rx: Receiver,
+    /// Transmit-side modulator scratch (header waveform).
+    tx_ws: TxWorkspace,
+    /// Receive-chain scratch (detection, equalisation, soft bits).
+    rx_ws: RxWorkspace,
+    /// Joint data-section scratch (space-time coding and combining).
+    combine_ws: CombineWorkspace,
+    /// CFO-corrected capture copy of the receiver-decode stage.
+    capture_scratch: Vec<Complex64>,
 }
 
-impl StageCtx {
-    fn new(params: Params) -> Self {
-        StageCtx {
+impl SessionWorkspace {
+    /// Plans all machinery for one numerology.
+    pub fn new(params: Params) -> Self {
+        SessionWorkspace {
             fft: Fft::new(params.fft_size),
             tx: Transmitter::new(params.clone()),
             rx: Receiver::new(params.clone()),
+            tx_ws: TxWorkspace::new(&params),
+            rx_ws: RxWorkspace::new(&params),
+            combine_ws: CombineWorkspace::new(&params),
+            capture_scratch: Vec::new(),
             params,
         }
+    }
+
+    /// The numerology this workspace was planned for.
+    pub fn params(&self) -> &Params {
+        &self.params
     }
 }
 
@@ -416,29 +453,39 @@ impl LeadTx<'_> {
     /// space-time-coded data after the SIFS + training slots, and returns
     /// the frame the other stages key off.
     pub fn transmit(&self, net: &mut Network) -> LeadFrame {
-        self.transmit_with(net, &StageCtx::new(net.params.clone()))
+        self.transmit_with(net, &mut SessionWorkspace::new(net.params.clone()))
     }
 
-    fn transmit_with(&self, net: &mut Network, ctx: &StageCtx) -> LeadFrame {
+    /// [`LeadTx::transmit`] through a reusable [`SessionWorkspace`].
+    pub fn transmit_with(&self, net: &mut Network, ws: &mut SessionWorkspace) -> LeadFrame {
         let s = self.session;
-        let frame_sched = self.schedule(&ctx.params);
+        let frame_sched = self.schedule(&ws.params);
 
         net.medium.clear_transmissions();
-        let header_wave = ctx.tx.frame_waveform(
+        // The medium takes ownership of each waveform, so the outer vectors
+        // are necessarily fresh; the workspace still serves the per-symbol
+        // modulator scratch inside.
+        let mut header_wave = Vec::new();
+        ws.tx.frame_waveform_into(
             &frame_sched.header.to_bytes(),
             HEADER_RATE,
             frame::FLAG_JOINT,
+            &mut ws.tx_ws,
+            &mut header_wave,
         );
         debug_assert_eq!(header_wave.len(), frame_sched.timeline.header_len);
         net.medium.transmit(s.lead, frame_sched.t0, header_wave);
 
         let spec = s.config.data_section(frame_sched.timeline.data_cp);
-        let lead_data = crate::combiner::joint_data_waveform(
-            &ctx.params,
-            &ctx.fft,
+        let mut lead_data = Vec::new();
+        crate::combiner::joint_data_waveform_into(
+            &ws.params,
+            &ws.fft,
             &frame_sched.psdu,
             codeword_for(0),
             &spec,
+            &mut ws.combine_ws,
+            &mut lead_data,
         );
         net.medium
             .transmit(s.lead, frame_sched.data_time, lead_data);
@@ -470,27 +517,29 @@ impl CosenderJoin<'_> {
         rng: &mut R,
         db: &DelayDatabase,
     ) -> Result<CosenderTx, JoinFailure> {
-        self.join_with(net, rng, db, &StageCtx::new(net.params.clone()))
+        self.join_with(net, rng, db, &mut SessionWorkspace::new(net.params.clone()))
     }
 
-    fn join_with<R: Rng + ?Sized>(
+    /// [`CosenderJoin::join`] through a reusable [`SessionWorkspace`].
+    pub fn join_with<R: Rng + ?Sized>(
         &self,
         net: &mut Network,
         rng: &mut R,
         db: &DelayDatabase,
-        ctx: &StageCtx,
+        ws: &mut SessionWorkspace,
     ) -> Result<CosenderTx, JoinFailure> {
         let s = self.session;
         let plan = &s.plans[self.index];
         let co = plan.node;
-        let params = &ctx.params;
+        let params = ws.params.clone();
+        let params = &params;
         let period = params.sample_period_fs();
         let timeline = &self.frame.timeline;
 
         // 1. Detect the sync header in this co-sender's own noisy capture.
         let window = CAPTURE_MARGIN * 2 + timeline.header_len + 200;
         let buf = net.medium.capture(rng, co, Time::ZERO, window);
-        let Ok(res) = ctx.rx.receive(&buf) else {
+        let Ok(res) = ws.rx.receive_with(&buf, &mut ws.rx_ws) else {
             return Err(JoinFailure::NoDetect);
         };
         if res.signal.flags & frame::FLAG_JOINT == 0 {
@@ -546,13 +595,16 @@ impl CosenderJoin<'_> {
         // 4. Build and transmit: training then (after any other co-senders'
         // slots) data, with a continuous CFO pre-rotation.
         let spec = s.config.data_section(timeline.data_cp);
-        let mut training = cosender_training(params, &ctx.fft, timeline.data_cp);
-        let mut data = crate::combiner::joint_data_waveform(
+        let mut training = cosender_training(params, &ws.fft, timeline.data_cp);
+        let mut data = Vec::new();
+        crate::combiner::joint_data_waveform_into(
             params,
-            &ctx.fft,
+            &ws.fft,
             &self.frame.psdu,
             codeword_for(self.index + 1),
             &spec,
+            &mut ws.combine_ws,
+            &mut data,
         );
         let data_gap_samples = (timeline.data_start() - timeline.training_slot(self.index)) as u64;
         let data_time = Time(tx_time.0 + data_gap_samples * period);
@@ -598,33 +650,40 @@ impl ReceiverDecode<'_> {
 
     /// Captures this receiver's view of the joint frame and decodes it.
     pub fn decode<R: Rng + ?Sized>(&self, net: &mut Network, rng: &mut R) -> ReceiverReport {
-        self.decode_with(net, rng, &StageCtx::new(net.params.clone()))
+        self.decode_with(net, rng, &mut SessionWorkspace::new(net.params.clone()))
     }
 
-    fn decode_with<R: Rng + ?Sized>(
+    /// [`ReceiverDecode::decode`] through a reusable [`SessionWorkspace`].
+    pub fn decode_with<R: Rng + ?Sized>(
         &self,
         net: &mut Network,
         rng: &mut R,
-        ctx: &StageCtx,
+        ws: &mut SessionWorkspace,
     ) -> ReceiverReport {
         let timeline = &self.frame.timeline;
         let window = CAPTURE_MARGIN * 2 + timeline.total_len() + 400;
         let buf = net.medium.capture(rng, self.node, Time::ZERO, window);
-        decode_capture(ctx, &buf, self.node, self.frame, &self.session.config)
+        decode_capture(ws, &buf, self.node, self.frame, &self.session.config)
     }
 }
 
 /// Joint-frame reception from an already-captured buffer.
 fn decode_capture(
-    ctx: &StageCtx,
+    ws: &mut SessionWorkspace,
     buf: &[Complex64],
     node: NodeId,
     frame_sched: &LeadFrame,
     cfg: &JointConfig,
 ) -> ReceiverReport {
-    let StageCtx {
-        params, fft, rx, ..
-    } = ctx;
+    let SessionWorkspace {
+        params,
+        fft,
+        rx,
+        rx_ws,
+        combine_ws,
+        capture_scratch,
+        ..
+    } = ws;
     // The receiver's common early-window offset (same convention as the
     // phy receiver's default backoff).
     let backoff = params.cp_len / 4;
@@ -641,7 +700,7 @@ fn decode_capture(
         effective_snr_db: Vec::new(),
         stats: CombinerStats::default(),
     };
-    let Ok(res) = rx.receive(buf) else {
+    let Ok(res) = rx.receive_with(buf, rx_ws) else {
         return empty;
     };
     if res.signal.flags & frame::FLAG_JOINT == 0 {
@@ -661,12 +720,16 @@ fn decode_capture(
 
     // CFO-correct a copy referenced to sample 0 (same convention as the
     // phy receiver, so the lead channel estimate stays consistent).
-    let mut corrected = buf.to_vec();
-    ssync_dsp::mixer::apply_cfo(
-        &mut corrected,
-        -res.diag.detection.cfo_hz,
-        params.sample_rate_hz,
-    );
+    capture_scratch.clear();
+    capture_scratch.extend_from_slice(buf);
+    let corrected: &[Complex64] = {
+        ssync_dsp::mixer::apply_cfo(
+            capture_scratch,
+            -res.diag.detection.cfo_hz,
+            params.sample_rate_hz,
+        );
+        capture_scratch
+    };
 
     // Noise floor from the SIFS silence (time domain), for presence checks.
     let sifs_lo = base + timeline.header_len + timeline.sifs_len / 4;
@@ -689,7 +752,7 @@ fn decode_capture(
         // regions, which must not masquerade as a present co-sender.
         let trim = timeline.training_slot_len / 5;
         let ratio = training_slot_energy_ratio(
-            &corrected,
+            corrected,
             slot + trim,
             timeline.training_slot_len - 2 * trim,
             time_noise,
@@ -699,7 +762,7 @@ fn decode_capture(
             misalign.push(None);
             continue;
         }
-        let est = estimate_from_training_slot(params, fft, &corrected, slot, data_cp, backoff);
+        let est = estimate_from_training_slot(params, fft, corrected, slot, data_cp, backoff);
         // Misalignment: co-sender's sub-sample offset minus the lead's.
         let delta_co =
             delay_from_slope(params, phase_slope(params, &est, 3e6)) - backoff.min(data_cp) as f64;
@@ -725,7 +788,7 @@ fn decode_capture(
         psdu_len: rx_header.psdu_len as usize,
         backoff,
     };
-    let decode = decode_joint_data(params, fft, &corrected, &window, &spec, &roles);
+    let decode = decode_joint_data_with(params, fft, corrected, &window, &spec, &roles, combine_ws);
     let (payload, stats) = match decode {
         Some((psdu, stats)) => {
             let payload = psdu.as_deref().and_then(crc::check_crc).map(|p| p.to_vec());

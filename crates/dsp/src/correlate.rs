@@ -13,11 +13,23 @@ use crate::complex::Complex64;
 ///
 /// Returns an empty vector if the template is longer than the signal or empty.
 pub fn cross_correlate(signal: &[Complex64], template: &[Complex64]) -> Vec<Complex64> {
+    let mut out = Vec::new();
+    cross_correlate_into(signal, template, &mut out);
+    out
+}
+
+/// [`cross_correlate`] into a caller-owned buffer (cleared and refilled;
+/// capacity reused across calls, so the steady-state path is allocation-free).
+pub fn cross_correlate_into(
+    signal: &[Complex64],
+    template: &[Complex64],
+    out: &mut Vec<Complex64>,
+) {
+    out.clear();
     if template.is_empty() || signal.len() < template.len() {
-        return Vec::new();
+        return;
     }
     let lags = signal.len() - template.len() + 1;
-    let mut out = Vec::with_capacity(lags);
     for t in 0..lags {
         let mut acc = Complex64::ZERO;
         for (m, tap) in template.iter().enumerate() {
@@ -25,7 +37,6 @@ pub fn cross_correlate(signal: &[Complex64], template: &[Complex64]) -> Vec<Comp
         }
         out.push(acc);
     }
-    out
 }
 
 /// Normalised cross-correlation magnitude in `[0, 1]`:
@@ -34,24 +45,41 @@ pub fn cross_correlate(signal: &[Complex64], template: &[Complex64]) -> Vec<Comp
 /// A value near 1 means the window is a scaled copy of the template, which
 /// makes thresholds SNR-independent.
 pub fn normalized_cross_correlate(signal: &[Complex64], template: &[Complex64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    normalized_cross_correlate_into(signal, template, &mut out);
+    out
+}
+
+/// [`normalized_cross_correlate`] into a caller-owned buffer. Computes each
+/// lag's correlation inline (no intermediate raw-correlation vector), so the
+/// reused-buffer path performs zero heap allocations at steady state while
+/// producing bit-identical values to the allocating path.
+pub fn normalized_cross_correlate_into(
+    signal: &[Complex64],
+    template: &[Complex64],
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     if template.is_empty() || signal.len() < template.len() {
-        return Vec::new();
+        return;
     }
     let t_norm = template.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
-    let raw = cross_correlate(signal, template);
     let m = template.len();
+    let lags = signal.len() - m + 1;
     // Sliding window energy of the signal.
     let mut win_energy: f64 = signal[..m].iter().map(|v| v.norm_sqr()).sum();
-    let mut out = Vec::with_capacity(raw.len());
-    for (t, c) in raw.iter().enumerate() {
+    for t in 0..lags {
+        let mut acc = Complex64::ZERO;
+        for (i, tap) in template.iter().enumerate() {
+            acc += signal[t + i] * tap.conj();
+        }
         let denom = win_energy.sqrt() * t_norm;
-        out.push(if denom > 0.0 { c.abs() / denom } else { 0.0 });
+        out.push(if denom > 0.0 { acc.abs() / denom } else { 0.0 });
         if t + m < signal.len() {
             win_energy += signal[t + m].norm_sqr() - signal[t].norm_sqr();
             win_energy = win_energy.max(0.0);
         }
     }
-    out
 }
 
 /// Delay-and-correlate metric for a signal containing a period-`period`
@@ -62,8 +90,17 @@ pub fn normalized_cross_correlate(signal: &[Complex64], template: &[Complex64]) 
 /// energy `R[t] = Σ_{m<period} |signal[t+m+period]|²`, returning the timing
 /// metric `|P[t]|²/R[t]²` which plateaus near 1 over the repeated region.
 pub fn autocorrelation_metric(signal: &[Complex64], period: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    autocorrelation_metric_into(signal, period, &mut out);
+    out
+}
+
+/// [`autocorrelation_metric`] into a caller-owned buffer (cleared and
+/// refilled; capacity reused across calls).
+pub fn autocorrelation_metric_into(signal: &[Complex64], period: usize, out: &mut Vec<f64>) {
+    out.clear();
     if period == 0 || signal.len() < 2 * period {
-        return Vec::new();
+        return;
     }
     let n = signal.len() - 2 * period + 1;
     let mut p = Complex64::ZERO;
@@ -72,7 +109,6 @@ pub fn autocorrelation_metric(signal: &[Complex64], period: usize) -> Vec<f64> {
         p += signal[m] * signal[m + period].conj();
         r += signal[m + period].norm_sqr();
     }
-    let mut out = Vec::with_capacity(n);
     for t in 0..n {
         out.push(if r > 0.0 { p.norm_sqr() / (r * r) } else { 0.0 });
         if t + 1 < n {
@@ -82,7 +118,6 @@ pub fn autocorrelation_metric(signal: &[Complex64], period: usize) -> Vec<f64> {
             r = r.max(0.0);
         }
     }
-    out
 }
 
 /// Double sliding window energy ratio: for each boundary position `t`
@@ -94,8 +129,17 @@ pub fn autocorrelation_metric(signal: &[Complex64], period: usize) -> Vec<f64> {
 /// noise floor — the coarse trigger of the packet detector. The ratio is
 /// clamped to `1e6` to stay finite over perfectly silent leading windows.
 pub fn energy_ratio(signal: &[Complex64], window: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    energy_ratio_into(signal, window, &mut out);
+    out
+}
+
+/// [`energy_ratio`] into a caller-owned buffer (cleared and refilled;
+/// capacity reused across calls).
+pub fn energy_ratio_into(signal: &[Complex64], window: usize, out: &mut Vec<f64>) {
+    out.clear();
     if window == 0 || signal.len() < 2 * window {
-        return Vec::new();
+        return;
     }
     let mut lead: f64 = signal[..window].iter().map(|v| v.norm_sqr()).sum();
     let mut trail: f64 = signal[window..2 * window]
@@ -103,7 +147,6 @@ pub fn energy_ratio(signal: &[Complex64], window: usize) -> Vec<f64> {
         .map(|v| v.norm_sqr())
         .sum();
     let n = signal.len() - 2 * window + 1;
-    let mut out = Vec::with_capacity(n);
     for t in 0..n {
         let ratio = if lead > 0.0 { trail / lead } else { 1e6 };
         out.push(ratio.min(1e6));
@@ -114,7 +157,6 @@ pub fn energy_ratio(signal: &[Complex64], window: usize) -> Vec<f64> {
             trail = trail.max(0.0);
         }
     }
-    out
 }
 
 /// Index of the maximum value of a real slice, or `None` if empty. Ties break
@@ -211,6 +253,33 @@ mod tests {
         assert!(energy_ratio(&[Complex64::ONE; 8], 0).is_empty());
         assert_eq!(argmax(&[]), None);
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+    }
+
+    #[test]
+    fn into_variants_bitwise_match_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let gauss = ComplexGaussian::unit();
+        let signal = gauss.sample_vec(&mut rng, 300);
+        let template = gauss.sample_vec(&mut rng, 16);
+        let mut cc = Vec::new();
+        let mut ncc = Vec::new();
+        let mut ac = Vec::new();
+        let mut er = Vec::new();
+        // Two passes through one set of reused buffers: the second pass must
+        // still match (no state leaks between calls).
+        for _ in 0..2 {
+            cross_correlate_into(&signal, &template, &mut cc);
+            assert_eq!(cc, cross_correlate(&signal, &template));
+            normalized_cross_correlate_into(&signal, &template, &mut ncc);
+            assert_eq!(ncc, normalized_cross_correlate(&signal, &template));
+            autocorrelation_metric_into(&signal, 16, &mut ac);
+            assert_eq!(ac, autocorrelation_metric(&signal, 16));
+            energy_ratio_into(&signal, 16, &mut er);
+            assert_eq!(er, energy_ratio(&signal, 16));
+        }
+        // Degenerate inputs clear the buffer rather than leaving stale data.
+        cross_correlate_into(&signal[..4], &template, &mut cc);
+        assert!(cc.is_empty());
     }
 
     #[test]

@@ -20,9 +20,18 @@ pub const SINC_HALF_WIDTH: usize = 16;
 /// Delays a waveform by a non-negative integer number of samples, prepending
 /// zeros (output length grows by `shift`).
 pub fn integer_delay(signal: &[Complex64], shift: usize) -> Vec<Complex64> {
-    let mut out = vec![Complex64::ZERO; shift + signal.len()];
-    out[shift..].copy_from_slice(signal);
+    let mut out = Vec::new();
+    integer_delay_into(signal, shift, &mut out);
     out
+}
+
+/// [`integer_delay`] into a caller-owned buffer: `out` is cleared and
+/// refilled, so its capacity is reused across calls (no steady-state
+/// allocation once it has grown to the working size).
+pub fn integer_delay_into(signal: &[Complex64], shift: usize, out: &mut Vec<Complex64>) {
+    out.clear();
+    out.resize(shift, Complex64::ZERO);
+    out.extend_from_slice(signal);
 }
 
 /// Normalised sinc: `sin(πx)/(πx)` with `sinc(0) = 1`.
@@ -51,13 +60,19 @@ fn blackman(i: usize, n: usize) -> f64 {
 /// signal by `SINC_HALF_WIDTH - 1 + mu` samples total (the integer part is a
 /// filter-latency constant the caller compensates).
 pub fn fractional_kernel(mu: f64) -> Vec<f64> {
+    let mut kernel = Vec::new();
+    fractional_kernel_into(mu, &mut kernel);
+    kernel
+}
+
+/// [`fractional_kernel`] into a caller-owned buffer (cleared and refilled;
+/// capacity reused across calls).
+pub fn fractional_kernel_into(mu: f64, kernel: &mut Vec<f64>) {
     assert!((0.0..1.0).contains(&mu), "mu must be in [0,1), got {mu}");
     let n = 2 * SINC_HALF_WIDTH;
-    let mut kernel = Vec::with_capacity(n);
-    for (i, k) in (0..n)
-        .map(|i| (i, i as f64 - (SINC_HALF_WIDTH - 1) as f64))
-        .collect::<Vec<_>>()
-    {
+    kernel.clear();
+    for i in 0..n {
+        let k = i as f64 - (SINC_HALF_WIDTH - 1) as f64;
         let x = k - mu;
         kernel.push(sinc(x) * blackman(i, n));
     }
@@ -68,7 +83,6 @@ pub fn fractional_kernel(mu: f64) -> Vec<f64> {
             *v /= s;
         }
     }
-    kernel
 }
 
 /// Delays a waveform by an arbitrary non-negative real number of samples.
@@ -79,6 +93,36 @@ pub fn fractional_kernel(mu: f64) -> Vec<f64> {
 /// sample `i` of the *input* appears (band-limited-interpolated) at output
 /// index `i + delay` exactly, so callers can reason in input coordinates.
 pub fn fractional_delay(signal: &[Complex64], delay: f64) -> Vec<Complex64> {
+    let mut ws = DelayWorkspace::new();
+    let mut out = Vec::new();
+    fractional_delay_into(signal, delay, &mut ws, &mut out);
+    out
+}
+
+/// Reusable scratch for [`fractional_delay_into`]: holds the interpolation
+/// kernel between calls so the steady-state delay path does not allocate.
+#[derive(Debug, Clone, Default)]
+pub struct DelayWorkspace {
+    kernel: Vec<f64>,
+}
+
+impl DelayWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        DelayWorkspace::default()
+    }
+}
+
+/// [`fractional_delay`] into a caller-owned buffer: `out` is cleared and
+/// refilled and `ws` holds the kernel scratch, so after the first call at a
+/// given working size the path performs no heap allocation. Produces
+/// bit-identical output to [`fractional_delay`] (same accumulation order).
+pub fn fractional_delay_into(
+    signal: &[Complex64],
+    delay: f64,
+    ws: &mut DelayWorkspace,
+    out: &mut Vec<Complex64>,
+) {
     assert!(
         delay >= 0.0 && delay.is_finite(),
         "delay must be finite and >= 0, got {delay}"
@@ -86,27 +130,32 @@ pub fn fractional_delay(signal: &[Complex64], delay: f64) -> Vec<Complex64> {
     let int_part = delay.floor() as usize;
     let mu = delay - int_part as f64;
     if mu == 0.0 {
-        return integer_delay(signal, int_part);
+        integer_delay_into(signal, int_part, out);
+        return;
     }
-    let kernel = fractional_kernel(mu);
+    fractional_kernel_into(mu, &mut ws.kernel);
+    let kernel = &ws.kernel;
     // Convolve; kernel latency is SINC_HALF_WIDTH - 1 samples which we absorb
-    // into the integer shift.
+    // into the integer shift. The wanted total shift is int_part + mu and the
+    // convolution already delays by latency + mu, so the output is the
+    // convolution placed (int_part - latency) samples in — or trimmed by the
+    // difference when that is negative.
     let latency = SINC_HALF_WIDTH - 1;
     let conv_len = signal.len() + kernel.len() - 1;
-    let mut conv = vec![Complex64::ZERO; conv_len];
+    let (lead, trim) = if int_part >= latency {
+        (int_part - latency, 0)
+    } else {
+        (0, latency - int_part)
+    };
+    out.clear();
+    out.resize(lead + conv_len - trim, Complex64::ZERO);
     for (i, s) in signal.iter().enumerate() {
         for (j, k) in kernel.iter().enumerate() {
-            conv[i + j] += s.scale(*k);
+            let t = i + j;
+            if t >= trim {
+                out[lead + t - trim] += s.scale(*k);
+            }
         }
-    }
-    // Total wanted shift of int_part + mu; the convolution already delayed by
-    // latency + mu, so shift by (int_part - latency) more — or trim if
-    // negative.
-    if int_part >= latency {
-        integer_delay(&conv, int_part - latency)
-    } else {
-        let trim = latency - int_part;
-        conv[trim..].to_vec()
     }
 }
 
@@ -247,6 +296,26 @@ mod tests {
     #[should_panic(expected = "delay must be finite")]
     fn rejects_negative_delay() {
         let _ = fractional_delay(&[Complex64::ONE], -1.0);
+    }
+
+    #[test]
+    fn delay_into_bitwise_matches_allocating_path() {
+        // One reused workspace + output buffer across many delays must give
+        // exactly the bytes of the fresh-allocation path (including the
+        // integer fast path and the trim/lead branches of the convolution).
+        let sig = bandlimited_signal(30, 128);
+        let mut ws = DelayWorkspace::new();
+        let mut out = Vec::new();
+        for &d in &[0.0, 0.5, 3.0, 2.37, 14.9, 15.0, 15.1, 40.25] {
+            fractional_delay_into(&sig, d, &mut ws, &mut out);
+            assert_eq!(out, fractional_delay(&sig, d), "delay {d}");
+        }
+        let mut idelay = Vec::new();
+        integer_delay_into(&sig, 7, &mut idelay);
+        assert_eq!(idelay, integer_delay(&sig, 7));
+        let mut kernel = Vec::new();
+        fractional_kernel_into(0.3, &mut kernel);
+        assert_eq!(kernel, fractional_kernel(0.3));
     }
 
     #[test]

@@ -120,6 +120,41 @@ impl Fft {
         self.transform(buf, true);
     }
 
+    /// Forward transform of `input` into a caller-provided buffer, without
+    /// allocating: the zero-allocation entry point the modem workspaces
+    /// (`ssync_phy`'s `TxWorkspace`/`RxWorkspace`) are built on.
+    ///
+    /// # Panics
+    /// Panics if `input` or `out` is not exactly the FFT size.
+    pub fn forward_into(&self, input: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(
+            input.len(),
+            self.n,
+            "input length {} != FFT size {}",
+            input.len(),
+            self.n
+        );
+        out.copy_from_slice(input);
+        self.forward(out);
+    }
+
+    /// Inverse transform (including the 1/N scaling) of `input` into a
+    /// caller-provided buffer, without allocating.
+    ///
+    /// # Panics
+    /// Panics if `input` or `out` is not exactly the FFT size.
+    pub fn inverse_into(&self, input: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(
+            input.len(),
+            self.n,
+            "input length {} != FFT size {}",
+            input.len(),
+            self.n
+        );
+        out.copy_from_slice(input);
+        self.inverse(out);
+    }
+
     /// Convenience: forward transform into a fresh vector.
     pub fn forward_to_vec(&self, input: &[Complex64]) -> Vec<Complex64> {
         let mut buf = input.to_vec();
@@ -279,6 +314,31 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = Fft::new(48);
+    }
+
+    #[test]
+    fn into_variants_match_to_vec_exactly() {
+        // The workspace refactor's contract: the `_into` entry points are
+        // bit-identical to the allocating convenience paths.
+        let mut rng = StdRng::seed_from_u64(12);
+        let gauss = ComplexGaussian::unit();
+        let fft = Fft::new(128);
+        let mut out = vec![Complex64::ZERO; 128];
+        for _ in 0..8 {
+            let x: Vec<Complex64> = (0..128).map(|_| gauss.sample(&mut rng)).collect();
+            fft.forward_into(&x, &mut out);
+            assert_eq!(out, fft.forward_to_vec(&x));
+            fft.inverse_into(&x, &mut out);
+            assert_eq!(out, fft.inverse_to_vec(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn forward_into_rejects_wrong_size() {
+        let fft = Fft::new(64);
+        let mut out = vec![Complex64::ZERO; 64];
+        fft.forward_into(&[Complex64::ONE; 32], &mut out);
     }
 
     use std::f64::consts::PI;

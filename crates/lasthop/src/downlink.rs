@@ -16,7 +16,10 @@
 
 use crate::samplerate::SampleRate;
 use rand::Rng;
-use ssync_core::{CosenderOutcome, CosenderPlan, DelayDatabase, JointConfig, JointSession, SIFS_S};
+use ssync_core::{
+    CosenderOutcome, CosenderPlan, DelayDatabase, JointConfig, JointSession, SessionWorkspace,
+    SIFS_S,
+};
 use ssync_mac::DcfTiming;
 use ssync_phy::ber::PerTable;
 use ssync_phy::{Params, RateId, Transmitter};
@@ -208,6 +211,26 @@ pub fn joint_session_downlink<R: Rng + ?Sized>(
     scenario: &ClientScenario,
     payload: &[u8],
 ) -> SampleLevelJoint {
+    joint_session_downlink_with(
+        rng,
+        params,
+        scenario,
+        payload,
+        &mut SessionWorkspace::new(params.clone()),
+    )
+}
+
+/// [`joint_session_downlink`] through a reusable [`SessionWorkspace`]: a
+/// controller validating many clients (or a bench sweeping SNR grids)
+/// reuses all modem machinery and scratch across sessions. Bit-identical
+/// to the allocating path.
+pub fn joint_session_downlink_with<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &Params,
+    scenario: &ClientScenario,
+    payload: &[u8],
+    ws: &mut SessionWorkspace,
+) -> SampleLevelJoint {
     use ssync_channel::Position;
 
     let n_aps = scenario.downlink_snr_db.len().max(1);
@@ -257,7 +280,7 @@ pub fn joint_session_downlink<R: Rng + ?Sized>(
         .receiver(client)
         .payload(payload)
         .config(JointConfig::default());
-    let out = session.run(&mut net, rng, &db);
+    let out = session.run_with(&mut net, rng, &db, ws);
 
     let report = &out.reports[0];
     // NaN (not a plausible-looking 0 dB) when the client never decoded the
@@ -435,6 +458,30 @@ mod tests {
         // The APs synchronized: sub-sample misalignment at 20 Msps.
         let m = check.misalign_s[0].expect("no misalignment measurement");
         assert!(m.abs() < 100e-9, "misalignment {m}");
+    }
+
+    #[test]
+    fn reused_session_workspace_matches_fresh_runs() {
+        // Two back-to-back sample-level sessions through ONE workspace must
+        // give exactly the outcomes of two fresh-workspace runs: no state
+        // may leak between sessions.
+        let params = OfdmParams::dot11a();
+        let scenarios = [scenario(14.0, 12.0), scenario(11.0, 13.0)];
+        let mut ws = SessionWorkspace::new(params.clone());
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = StdRng::seed_from_u64(31);
+        for (i, s) in scenarios.iter().enumerate() {
+            let reused =
+                joint_session_downlink_with(&mut rng_a, &params, s, &[0x77u8; 120], &mut ws);
+            let fresh = joint_session_downlink(&mut rng_b, &params, s, &[0x77u8; 120]);
+            assert_eq!(reused.delivered, fresh.delivered, "session {i}");
+            assert_eq!(
+                reused.measured_snr_db.to_bits(),
+                fresh.measured_snr_db.to_bits()
+            );
+            assert_eq!(reused.misalign_s, fresh.misalign_s);
+            assert_eq!(reused.cosenders.len(), fresh.cosenders.len());
+        }
     }
 
     #[test]

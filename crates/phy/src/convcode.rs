@@ -26,8 +26,16 @@ fn parity(x: u8) -> u8 {
 /// the order (g0, g1) per input bit. The caller is responsible for appending
 /// [`TAIL_BITS`] zero bits if a terminated trellis is wanted.
 pub fn encode_half(bits: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_half_into(bits, &mut out);
+    out
+}
+
+/// [`encode_half`] into a caller-owned buffer (cleared and refilled;
+/// capacity reused across calls).
+pub fn encode_half_into(bits: &[u8], out: &mut Vec<u8>) {
     let mut state: u8 = 0; // 6 previous bits
-    let mut out = Vec::with_capacity(bits.len() * 2);
+    out.clear();
     for &b in bits {
         debug_assert!(b <= 1, "bits must be 0/1");
         let reg = (b << 6) | state; // current bit is the newest (MSB of the 7-bit window)
@@ -35,7 +43,6 @@ pub fn encode_half(bits: &[u8]) -> Vec<u8> {
         out.push(parity(reg & G1));
         state = ((state >> 1) | (b << 5)) & 0x3F;
     }
-    out
 }
 
 /// The puncturing pattern for a code rate: `true` = transmit, `false` = drop.
@@ -52,13 +59,23 @@ pub fn puncture_pattern(rate: CodeRate) -> &'static [bool] {
 
 /// Punctures a rate-1/2 coded stream to the target rate.
 pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
+    let mut out = Vec::new();
+    puncture_into(coded, rate, &mut out);
+    out
+}
+
+/// [`puncture`] into a caller-owned buffer (cleared and refilled; capacity
+/// reused across calls).
+pub fn puncture_into(coded: &[u8], rate: CodeRate, out: &mut Vec<u8>) {
     let pat = puncture_pattern(rate);
-    coded
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| pat[i % pat.len()])
-        .map(|(_, b)| *b)
-        .collect()
+    out.clear();
+    out.extend(
+        coded
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pat[i % pat.len()])
+            .map(|(_, b)| *b),
+    );
 }
 
 /// Expands a punctured *LLR* stream back to the mother-code positions,
@@ -69,6 +86,18 @@ pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 /// Panics if the punctured stream length does not match what the pattern
 /// yields for `mother_len`.
 pub fn depuncture_llr(llrs: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    depuncture_llr_into(llrs, rate, mother_len, &mut out);
+    out
+}
+
+/// [`depuncture_llr`] into a caller-owned buffer (cleared and refilled;
+/// capacity reused across calls).
+///
+/// # Panics
+/// Panics if the punctured stream length does not match what the pattern
+/// yields for `mother_len`.
+pub fn depuncture_llr_into(llrs: &[f64], rate: CodeRate, mother_len: usize, out: &mut Vec<f64>) {
     let pat = puncture_pattern(rate);
     let kept = (0..mother_len).filter(|i| pat[i % pat.len()]).count();
     assert_eq!(
@@ -79,7 +108,7 @@ pub fn depuncture_llr(llrs: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f6
         kept,
         mother_len
     );
-    let mut out = Vec::with_capacity(mother_len);
+    out.clear();
     let mut src = llrs.iter();
     for i in 0..mother_len {
         if pat[i % pat.len()] {
@@ -88,7 +117,6 @@ pub fn depuncture_llr(llrs: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f6
             out.push(0.0);
         }
     }
-    out
 }
 
 /// Number of punctured (transmitted) bits produced from `n_info` information

@@ -10,8 +10,9 @@
 
 use crate::params::OfdmParams;
 use crate::preamble::{lts_symbol, PreambleLayout, STS_REPS};
+use crate::workspace::DetectScratch;
 use ssync_dsp::correlate::{
-    argmax, autocorrelation_metric, energy_ratio, normalized_cross_correlate,
+    argmax, autocorrelation_metric_into, energy_ratio_into, normalized_cross_correlate_into,
 };
 use ssync_dsp::{Complex64, Fft};
 use std::f64::consts::PI;
@@ -102,6 +103,20 @@ impl Detector {
         samples: &[Complex64],
         from: usize,
     ) -> Option<Detection> {
+        self.detect_with(params, samples, from, &mut DetectScratch::new())
+    }
+
+    /// [`Detector::detect`] through reusable [`DetectScratch`] buffers: the
+    /// energy/autocorrelation metrics and the CFO-corrected fine-timing
+    /// window live in `ws`, so repeated detections do not allocate at
+    /// steady state. Bit-identical to the allocating path.
+    pub fn detect_with(
+        &self,
+        params: &OfdmParams,
+        samples: &[Complex64],
+        from: usize,
+        ws: &mut DetectScratch,
+    ) -> Option<Detection> {
         let n = params.fft_size;
         let period = n / 4;
         let layout = PreambleLayout::of(params);
@@ -111,7 +126,8 @@ impl Detector {
 
         // 1. Coarse energy trigger.
         let region = &samples[from..];
-        let ratios = energy_ratio(region, period);
+        energy_ratio_into(region, period, &mut ws.ratios);
+        let ratios = &ws.ratios;
         let decim = self.config.decimation.max(1);
         let mut t = 0usize;
         loop {
@@ -140,7 +156,8 @@ impl Detector {
             if vend <= vstart + 2 * period {
                 return None;
             }
-            let metric = autocorrelation_metric(&samples[vstart..vend], period);
+            autocorrelation_metric_into(&samples[vstart..vend], period, &mut ws.metric);
+            let metric = &ws.metric;
             let mean_metric: f64 = if metric.is_empty() {
                 0.0
             } else {
@@ -168,10 +185,13 @@ impl Detector {
             if search_hi <= search_lo + self.lts.len() {
                 return None;
             }
-            let mut local: Vec<Complex64> = samples[search_lo..search_hi].to_vec();
-            apply_cfo(&mut local, -coarse_cfo, params.sample_rate_hz);
-            let xc = normalized_cross_correlate(&local, &self.lts);
-            let peak = argmax(&xc)?;
+            ws.local.clear();
+            ws.local.extend_from_slice(&samples[search_lo..search_hi]);
+            let local = &mut ws.local;
+            apply_cfo(local, -coarse_cfo, params.sample_rate_hz);
+            normalized_cross_correlate_into(local, &self.lts, &mut ws.xc);
+            let xc = &ws.xc;
+            let peak = argmax(xc)?;
             if xc[peak] < self.config.xcorr_threshold {
                 t += period;
                 continue;
@@ -350,6 +370,27 @@ mod tests {
         assert!(det
             .detect(&params, &buf, 300 + PreambleLayout::of(&params).total_len())
             .is_none());
+    }
+
+    #[test]
+    fn detect_with_reused_scratch_matches_allocating_path() {
+        let params = OfdmParams::dot11a();
+        let fft = Fft::new(params.fft_size);
+        let det = Detector::new(&params, &fft);
+        let mut ws = DetectScratch::new();
+        for seed in 0..6 {
+            let buf = scene(&params, 250 + 13 * seed as usize, 18.0, 20e3, 40 + seed);
+            let a = det.detect(&params, &buf, 0);
+            let b = det.detect_with(&params, &buf, 0, &mut ws);
+            assert_eq!(a, b, "seed {seed}");
+        }
+        // No-detection path leaves the scratch reusable too.
+        let mut rng = StdRng::seed_from_u64(99);
+        let noise = ComplexGaussian::with_power(1.0).sample_vec(&mut rng, 2000);
+        assert_eq!(
+            det.detect(&params, &noise, 0),
+            det.detect_with(&params, &noise, 0, &mut ws)
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ pub fn decode_signal(params: &OfdmParams, llrs_per_symbol: &[Vec<f64>]) -> Optio
     let il = Interleaver::new(params, Modulation::Bpsk);
     let mut mother = Vec::new();
     for sym_llrs in llrs_per_symbol {
-        mother.extend(il.deinterleave_llrs(sym_llrs));
+        // Appending the de-interleaved block in place (rather than
+        // extending from a fresh per-symbol vector) keeps the receive
+        // chain's per-symbol allocation count at zero.
+        il.deinterleave_llrs_append(sym_llrs, &mut mother);
     }
     let decoded = viterbi::decode_terminated(&mother)?;
     SignalField::from_bits(&decoded)
@@ -189,7 +192,7 @@ pub fn decode_data(
         if sym.len() != params.coded_bits_per_symbol(m) {
             return None;
         }
-        punctured.extend(il.deinterleave_llrs(sym));
+        il.deinterleave_llrs_append(sym, &mut punctured);
     }
     let n_syms = llrs_per_symbol.len();
     let n_info = n_syms * params.data_bits_per_symbol(rate);

@@ -112,6 +112,52 @@ impl Interleaver {
         }
         out
     }
+
+    /// [`Interleaver::interleave`] into a caller-owned buffer (cleared and
+    /// refilled; capacity reused across calls).
+    pub fn interleave_into(&self, bits: &[u8], out: &mut Vec<u8>) {
+        assert_eq!(
+            bits.len(),
+            self.block_len(),
+            "interleaver block size mismatch"
+        );
+        out.clear();
+        out.resize(bits.len(), 0);
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.perm[k]] = b;
+        }
+    }
+
+    /// [`Interleaver::deinterleave_llrs`], *appending* the de-interleaved
+    /// block to `out` (the frame decoder concatenates per-symbol blocks into
+    /// one punctured-stream vector, so append is the composable shape).
+    pub fn deinterleave_llrs_append(&self, llrs: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            llrs.len(),
+            self.block_len(),
+            "deinterleaver block size mismatch"
+        );
+        let base = out.len();
+        out.resize(base + llrs.len(), 0.0);
+        for (k, &l) in llrs.iter().enumerate() {
+            out[base + self.inv[k]] = l;
+        }
+    }
+
+    /// [`Interleaver::deinterleave_bits`] into a caller-owned buffer
+    /// (cleared and refilled; capacity reused across calls).
+    pub fn deinterleave_bits_into(&self, bits: &[u8], out: &mut Vec<u8>) {
+        assert_eq!(
+            bits.len(),
+            self.block_len(),
+            "deinterleaver block size mismatch"
+        );
+        out.clear();
+        out.resize(bits.len(), 0);
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.inv[k]] = b;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@
 //! * [`tx`] / [`rx`] — full frame chains with pilot phase tracking and
 //!   CRC-checked payloads,
 //! * [`ber`] — Monte-Carlo PER calibration through the real modem, backing
-//!   the fast path of the network simulator.
+//!   the fast path of the network simulator,
+//! * [`workspace`] — reusable TX/RX scratch buffers so the per-symbol hot
+//!   loops run without heap allocation (every allocating signature keeps a
+//!   bit-identical thin wrapper).
 
 pub mod ber;
 pub mod chanest;
@@ -36,6 +39,7 @@ pub mod rx;
 pub mod scramble;
 pub mod tx;
 pub mod viterbi;
+pub mod workspace;
 
 pub use chanest::ChannelEstimate;
 pub use detect::{Detection, Detector};
@@ -43,3 +47,4 @@ pub use frame::SignalField;
 pub use params::{Modulation, OfdmParams, Params, RateId};
 pub use rx::{Receiver, RxDiagnostics, RxError, RxResult};
 pub use tx::Transmitter;
+pub use workspace::{DetectScratch, RxWorkspace, SymbolLlrs, TxWorkspace};

@@ -121,6 +121,96 @@ pub fn demap_hard(m: Modulation, y: Complex64, h: Complex64) -> Vec<u8> {
         .expect("constellation not empty")
 }
 
+/// [`map_bits`] into a caller-owned buffer (cleared and refilled; capacity
+/// reused across calls).
+pub fn map_bits_into(m: Modulation, bits: &[u8], out: &mut Vec<Complex64>) {
+    let bps = m.bits_per_symbol();
+    assert_eq!(
+        bits.len() % bps,
+        0,
+        "bit stream not a multiple of bits/symbol"
+    );
+    out.clear();
+    out.extend(bits.chunks(bps).map(|g| map_symbol(m, g)));
+}
+
+/// A precomputed constellation plus demap scratch: the allocation-free
+/// counterpart of [`demap_llrs`] / [`demap_hard`].
+///
+/// [`demap_llrs`] rebuilds the whole labelled constellation on every call —
+/// one `Vec<(Vec<u8>, Complex64)>` per data subcarrier per OFDM symbol, the
+/// single largest source of buffer churn in the receive chain. A
+/// `DemapTable` builds it once per modulation and reuses two `bps`-sized
+/// minimum-metric scratch vectors, producing bit-identical LLRs.
+#[derive(Debug, Clone)]
+pub struct DemapTable {
+    m: Modulation,
+    points: Vec<(Vec<u8>, Complex64)>,
+    min0: Vec<f64>,
+    min1: Vec<f64>,
+}
+
+impl DemapTable {
+    /// Builds the table for one modulation.
+    pub fn new(m: Modulation) -> Self {
+        DemapTable {
+            m,
+            points: constellation(m),
+            min0: Vec::with_capacity(m.bits_per_symbol()),
+            min1: Vec::with_capacity(m.bits_per_symbol()),
+        }
+    }
+
+    /// The modulation this table was built for.
+    #[inline]
+    pub fn modulation(&self) -> Modulation {
+        self.m
+    }
+
+    /// [`demap_llrs`], *appending* `bits_per_symbol` LLRs to `out` (the
+    /// receive chain accumulates per-carrier LLRs into one per-symbol
+    /// vector, so append — not clear-and-fill — is the composable shape).
+    pub fn demap_llrs_into(&mut self, y: Complex64, h: Complex64, n0: f64, out: &mut Vec<f64>) {
+        let bps = self.m.bits_per_symbol();
+        self.min0.clear();
+        self.min0.resize(bps, f64::INFINITY);
+        self.min1.clear();
+        self.min1.resize(bps, f64::INFINITY);
+        for (bits, x) in &self.points {
+            let d = y.dist(h * *x);
+            let metric = d * d;
+            for (i, &b) in bits.iter().enumerate() {
+                if b == 0 {
+                    if metric < self.min0[i] {
+                        self.min0[i] = metric;
+                    }
+                } else if metric < self.min1[i] {
+                    self.min1[i] = metric;
+                }
+            }
+        }
+        let scale = 1.0 / n0.max(1e-12);
+        out.extend((0..bps).map(|i| (self.min1[i] - self.min0[i]) * scale));
+    }
+
+    /// [`demap_hard`] into a caller-owned buffer (cleared and refilled).
+    /// Ties break toward the constellation point scanned first, matching
+    /// the `Iterator::min_by` convention of the allocating path.
+    pub fn demap_hard_into(&self, y: Complex64, h: Complex64, out: &mut Vec<u8>) {
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, (_, x)) in self.points.iter().enumerate() {
+            let d = y.dist(h * *x);
+            match best {
+                Some((_, bd)) if d >= bd => {}
+                _ => best = Some((idx, d)),
+            }
+        }
+        let (idx, _) = best.expect("constellation not empty");
+        out.clear();
+        out.extend_from_slice(&self.points[idx].0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +348,44 @@ mod tests {
     #[should_panic(expected = "multiple")]
     fn map_bits_rejects_ragged() {
         let _ = map_bits(Modulation::Qam16, &[0u8; 7]);
+    }
+
+    #[test]
+    fn demap_table_bitwise_matches_allocating_demappers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let noise = ComplexGaussian::with_power(0.1);
+        for m in ALL {
+            let mut table = DemapTable::new(m);
+            let mut llrs = Vec::new();
+            let mut hard = Vec::new();
+            for _ in 0..40 {
+                let bits: Vec<u8> = (0..m.bits_per_symbol())
+                    .map(|_| rng.gen_range(0..2u8))
+                    .collect();
+                let h = Complex64::from_polar(
+                    rng.gen_range(0.2..2.0),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                );
+                let y = h * map_symbol(m, &bits) + noise.sample(&mut rng);
+                llrs.clear();
+                table.demap_llrs_into(y, h, 0.1, &mut llrs);
+                assert_eq!(llrs, demap_llrs(m, y, h, 0.1), "{m:?}");
+                table.demap_hard_into(y, h, &mut hard);
+                assert_eq!(hard, demap_hard(m, y, h), "{m:?}");
+            }
+            // Tie case (y at the origin): both paths must break identically.
+            table.demap_hard_into(Complex64::ZERO, Complex64::ONE, &mut hard);
+            assert_eq!(hard, demap_hard(m, Complex64::ZERO, Complex64::ONE));
+        }
+    }
+
+    #[test]
+    fn map_bits_into_matches_map_bits() {
+        let bits = [0u8, 1, 1, 0, 0, 0, 1, 1];
+        let mut out = Vec::new();
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            map_bits_into(m, &bits, &mut out);
+            assert_eq!(out, map_bits(m, &bits), "{m:?}");
+        }
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::params::OfdmParams;
 use crate::scramble::pilot_polarity;
+use crate::workspace::TxWorkspace;
 use ssync_dsp::{Complex64, Fft};
 
 /// Builds one OFDM symbol: maps `data` onto the data subcarriers (in the
@@ -46,6 +47,36 @@ pub fn modulate_symbol_with_pilots(
     cp_len: usize,
     pilots_enabled: bool,
 ) -> Vec<Complex64> {
+    let mut ws = TxWorkspace::new(params);
+    let mut out = Vec::with_capacity(cp_len + params.fft_size);
+    modulate_symbol_append(
+        params,
+        fft,
+        data,
+        symbol_index,
+        cp_len,
+        pilots_enabled,
+        &mut ws,
+        &mut out,
+    );
+    out
+}
+
+/// [`modulate_symbol_with_pilots`] through a reusable [`TxWorkspace`],
+/// *appending* the CP-prefixed symbol to `out` (the transmitter concatenates
+/// symbols into one frame waveform, so append is the composable shape).
+/// Bit-identical to the allocating path.
+#[allow(clippy::too_many_arguments)] // mirror of modulate_symbol_with_pilots + (workspace, sink)
+pub fn modulate_symbol_append(
+    params: &OfdmParams,
+    fft: &Fft,
+    data: &[Complex64],
+    symbol_index: usize,
+    cp_len: usize,
+    pilots_enabled: bool,
+    ws: &mut TxWorkspace,
+    out: &mut Vec<Complex64>,
+) {
     assert_eq!(
         data.len(),
         params.n_data(),
@@ -56,7 +87,8 @@ pub fn modulate_symbol_with_pilots(
         "cyclic prefix must be shorter than the FFT"
     );
     let n = params.fft_size;
-    let mut grid = vec![Complex64::ZERO; n];
+    let (grid, time) = ws.grid_and_time(params);
+    grid.fill(Complex64::ZERO);
     for (i, &k) in params.data_carriers.iter().enumerate() {
         grid[params.bin(k)] = data[i];
     }
@@ -66,7 +98,7 @@ pub fn modulate_symbol_with_pilots(
             grid[params.bin(k)] = Complex64::real(pol);
         }
     }
-    let mut time = fft.inverse_to_vec(&grid);
+    fft.inverse_into(grid, time);
     // The IFFT of n_occ unit-power bins has mean time-domain power n_occ/N²;
     // scaling by N/√n_occ makes the on-air mean power 1 for every
     // numerology, so channel SNR definitions are numerology-independent.
@@ -74,10 +106,8 @@ pub fn modulate_symbol_with_pilots(
     for s in time.iter_mut() {
         *s = s.scale(scale);
     }
-    let mut out = Vec::with_capacity(cp_len + n);
     out.extend_from_slice(&time[n - cp_len..]);
-    out.extend_from_slice(&time);
-    out
+    out.extend_from_slice(time);
 }
 
 /// The time-domain gain applied by [`modulate_symbol`] (`N/√n_occ`); the
@@ -99,40 +129,64 @@ pub fn demodulate_window(
     samples: &[Complex64],
     offset: usize,
 ) -> Vec<Complex64> {
+    let mut grid = Vec::with_capacity(params.fft_size);
+    demodulate_window_into(params, fft, samples, offset, &mut grid);
+    grid
+}
+
+/// [`demodulate_window`] into a caller-owned grid buffer (cleared and
+/// refilled; capacity reused across calls, so the per-symbol receive loop
+/// performs no heap allocation at steady state). Bit-identical to the
+/// allocating path.
+pub fn demodulate_window_into(
+    params: &OfdmParams,
+    fft: &Fft,
+    samples: &[Complex64],
+    offset: usize,
+    grid: &mut Vec<Complex64>,
+) {
     assert!(
         samples.len() >= offset + params.fft_size,
         "window [{offset}, {}) out of range (len {})",
         offset + params.fft_size,
         samples.len()
     );
-    let mut buf = samples[offset..offset + params.fft_size].to_vec();
-    fft.forward(&mut buf);
+    grid.clear();
+    grid.extend_from_slice(&samples[offset..offset + params.fft_size]);
+    fft.forward(grid);
     // forward(inverse(X)) = X, so after the transmitter's symbol_scale gain
     // the grid comes back multiplied by exactly that factor; undo it.
     let inv = 1.0 / symbol_scale(params);
-    for v in buf.iter_mut() {
+    for v in grid.iter_mut() {
         *v = v.scale(inv);
     }
-    buf
 }
 
 /// Reads the data subcarriers (in `data_carriers` order) out of a grid
 /// returned by [`demodulate_window`].
 pub fn extract_data(params: &OfdmParams, grid: &[Complex64]) -> Vec<Complex64> {
-    params
-        .data_carriers
-        .iter()
-        .map(|&k| grid[params.bin(k)])
-        .collect()
+    let mut out = Vec::with_capacity(params.n_data());
+    extract_data_into(params, grid, &mut out);
+    out
+}
+
+/// [`extract_data`] into a caller-owned buffer (cleared and refilled).
+pub fn extract_data_into(params: &OfdmParams, grid: &[Complex64], out: &mut Vec<Complex64>) {
+    out.clear();
+    out.extend(params.data_carriers.iter().map(|&k| grid[params.bin(k)]));
 }
 
 /// Reads the pilot subcarriers (in `pilot_carriers` order) out of a grid.
 pub fn extract_pilots(params: &OfdmParams, grid: &[Complex64]) -> Vec<Complex64> {
-    params
-        .pilot_carriers
-        .iter()
-        .map(|&k| grid[params.bin(k)])
-        .collect()
+    let mut out = Vec::with_capacity(params.pilot_carriers.len());
+    extract_pilots_into(params, grid, &mut out);
+    out
+}
+
+/// [`extract_pilots`] into a caller-owned buffer (cleared and refilled).
+pub fn extract_pilots_into(params: &OfdmParams, grid: &[Complex64], out: &mut Vec<Complex64>) {
+    out.clear();
+    out.extend(params.pilot_carriers.iter().map(|&k| grid[params.bin(k)]));
 }
 
 #[cfg(test)]

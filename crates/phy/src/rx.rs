@@ -12,10 +12,11 @@ use crate::chanest::{self, ChannelEstimate};
 use crate::crc;
 use crate::detect::{apply_cfo, Detection, Detector, DetectorConfig};
 use crate::frame::{self, SignalField};
-use crate::modulation;
+use crate::modulation::{self, DemapTable};
 use crate::ofdm;
 use crate::params::Params;
 use crate::preamble::LTS_REPS;
+use crate::workspace::{RxWorkspace, SymbolLlrs};
 use ssync_dsp::stats;
 use ssync_dsp::{Complex64, Fft};
 
@@ -133,25 +134,69 @@ impl Receiver {
 
     /// Receives the first frame found scanning from `from`.
     pub fn receive_from(&self, samples: &[Complex64], from: usize) -> Result<RxResult, RxError> {
-        let det = self
-            .detector
-            .detect(&self.params, samples, from)
-            .ok_or(RxError::NoPacket)?;
-        self.receive_at(samples, det)
+        self.receive_from_with(samples, from, &mut RxWorkspace::new(&self.params))
     }
 
     /// Decodes a frame given an existing detection (used by the joint-frame
     /// receiver in `ssync-core`, which shares one detection across senders).
     pub fn receive_at(&self, samples: &[Complex64], det: Detection) -> Result<RxResult, RxError> {
+        self.receive_at_with(samples, det, &mut RxWorkspace::new(&self.params))
+    }
+
+    /// [`Receiver::receive`] through a reusable [`RxWorkspace`]: all
+    /// per-symbol scratch (demod grid, LLR pool, demap tables, detector
+    /// metrics, the CFO-corrected capture copy) lives in `ws` and is reused
+    /// across calls. Bit-identical to the allocating path.
+    pub fn receive_with(
+        &self,
+        samples: &[Complex64],
+        ws: &mut RxWorkspace,
+    ) -> Result<RxResult, RxError> {
+        self.receive_from_with(samples, 0, ws)
+    }
+
+    /// [`Receiver::receive_from`] through a reusable [`RxWorkspace`].
+    pub fn receive_from_with(
+        &self,
+        samples: &[Complex64],
+        from: usize,
+        ws: &mut RxWorkspace,
+    ) -> Result<RxResult, RxError> {
+        let det = self
+            .detector
+            .detect_with(&self.params, samples, from, &mut ws.detect)
+            .ok_or(RxError::NoPacket)?;
+        self.receive_at_with(samples, det, ws)
+    }
+
+    /// [`Receiver::receive_at`] through a reusable [`RxWorkspace`].
+    pub fn receive_at_with(
+        &self,
+        samples: &[Complex64],
+        det: Detection,
+        ws: &mut RxWorkspace,
+    ) -> Result<RxResult, RxError> {
         let n = self.params.fft_size;
+        let RxWorkspace {
+            corrected,
+            grid,
+            llrs,
+            hard_bits,
+            tables,
+            ..
+        } = ws;
         // CFO-correct a working copy. Rotation is referenced to sample 0 so
         // all later windows share the same reference.
-        let mut buf = samples.to_vec();
-        apply_cfo(&mut buf, -det.cfo_hz, self.params.sample_rate_hz);
+        corrected.clear();
+        corrected.extend_from_slice(samples);
+        let buf: &[Complex64] = {
+            apply_cfo(corrected, -det.cfo_hz, self.params.sample_rate_hz);
+            corrected
+        };
 
         // Channel estimate with the common window backoff.
         let b = self.window_backoff.min(det.lts_start);
-        let est = chanest::estimate_from_lts(&self.params, &self.fft, &buf, det.lts_start - b);
+        let est = chanest::estimate_from_lts(&self.params, &self.fft, buf, det.lts_start - b);
         let timing_offset = chanest::detection_delay_samples(&self.params, &est, 3e6) - b as f64;
 
         // SIGNAL field.
@@ -167,9 +212,10 @@ impl Receiver {
             cp_len: self.params.cp_len,
             first_symbol_index: 0,
         };
-        let sig_llrs = self.symbol_llrs(&buf, &sig_span, modulation::Modulation::Bpsk, &est);
+        let bpsk = modulation::Modulation::Bpsk;
+        self.symbol_llrs_into(buf, &sig_span, &est, grid, tables.get_mut(bpsk), llrs);
         let signal =
-            frame::decode_signal(&self.params, &sig_llrs).ok_or(RxError::BadSignal(det))?;
+            frame::decode_signal(&self.params, llrs.symbols()).ok_or(RxError::BadSignal(det))?;
 
         // DATA field.
         let data_start = sig_start + n_sig * sym_len;
@@ -184,10 +230,10 @@ impl Receiver {
             cp_len: self.params.cp_len,
             first_symbol_index: n_sig,
         };
-        let data_llrs = self.symbol_llrs(&buf, &data_span, m, &est);
+        self.symbol_llrs_into(buf, &data_span, &est, grid, tables.get_mut(m), llrs);
         let psdu = frame::decode_data(
             &self.params,
-            &data_llrs,
+            llrs.symbols(),
             signal.rate,
             signal.length as usize,
         );
@@ -195,7 +241,16 @@ impl Receiver {
         // Diagnostics.
         let per_carrier = est.per_carrier_snr_db(est.noise_power);
         let mean_snr_db = stats::db_from_linear(est.mean_power() / est.noise_power.max(1e-15));
-        let evm_snr_db = self.decision_directed_evm(&buf, data_start, n_data, m, &est, n_sig);
+        let evm_snr_db = self.decision_directed_evm(
+            buf,
+            data_start,
+            n_data,
+            &est,
+            n_sig,
+            grid,
+            tables.get_mut(m),
+            hard_bits,
+        );
         let diag = RxDiagnostics {
             detection: det,
             channel: est,
@@ -215,35 +270,43 @@ impl Receiver {
         }
     }
 
-    /// Demodulates the symbol run described by `span`, returning per-symbol
-    /// LLR vectors. Pilot phase tracking is applied per symbol; pilot symbol
-    /// indices begin at `span.first_symbol_index` (so DATA pilots continue
-    /// the SIGNAL-field polarity sequence, as in the transmitter).
-    fn symbol_llrs(
+    /// Demodulates the symbol run described by `span` into the per-symbol
+    /// LLR pool (reset first; read back via [`SymbolLlrs::symbols`]). Pilot
+    /// phase tracking is applied per symbol; pilot symbol indices begin at
+    /// `span.first_symbol_index` (so DATA pilots continue the SIGNAL-field
+    /// polarity sequence, as in the transmitter). The symbol loop performs
+    /// no heap allocation once the pool and grid have warmed up.
+    fn symbol_llrs_into(
         &self,
         buf: &[Complex64],
         span: &SymbolSpan,
-        m: modulation::Modulation,
         est: &ChannelEstimate,
-    ) -> Vec<Vec<f64>> {
+        grid: &mut Vec<Complex64>,
+        table: &mut DemapTable,
+        out: &mut SymbolLlrs,
+    ) {
         let sym_len = self.params.fft_size + span.cp_len;
         let b = self.window_backoff.min(span.cp_len);
-        let mut out = Vec::with_capacity(span.n_syms);
+        out.reset();
         for s in 0..span.n_syms {
             let sym_start = span.start + s * sym_len;
-            let grid =
-                ofdm::demodulate_window(&self.params, &self.fft, buf, sym_start + span.cp_len - b);
-            let theta = self.pilot_phase(&grid, est, span.first_symbol_index + s);
+            ofdm::demodulate_window_into(
+                &self.params,
+                &self.fft,
+                buf,
+                sym_start + span.cp_len - b,
+                grid,
+            );
+            let theta = self.pilot_phase(grid, est, span.first_symbol_index + s);
             let rot = Complex64::cis(theta);
-            let mut llrs = Vec::with_capacity(self.params.n_data() * m.bits_per_symbol());
+            let llrs = out.next_symbol();
+            llrs.reserve(self.params.n_data() * table.modulation().bits_per_symbol());
             for &k in &self.params.data_carriers {
                 let y = grid[self.params.bin(k)];
                 let h = est.gain(k).unwrap_or(Complex64::ONE) * rot;
-                llrs.extend(modulation::demap_llrs(m, y, h, est.noise_power));
+                table.demap_llrs_into(y, h, est.noise_power, llrs);
             }
-            out.push(llrs);
         }
-        out
     }
 
     /// Common phase error of one symbol, from its pilots.
@@ -258,16 +321,21 @@ impl Receiver {
         acc.arg()
     }
 
-    /// Decision-directed EVM over the data symbols, reported as an SNR in dB.
+    /// Decision-directed EVM over the data symbols, reported as an SNR in
+    /// dB. The per-symbol loop runs entirely in workspace buffers.
+    #[allow(clippy::too_many_arguments)] // private: span description + three workspace buffers
     fn decision_directed_evm(
         &self,
         buf: &[Complex64],
         data_start: usize,
         n_syms: usize,
-        m: modulation::Modulation,
         est: &ChannelEstimate,
         first_symbol_index: usize,
+        grid: &mut Vec<Complex64>,
+        table: &mut DemapTable,
+        hard_bits: &mut Vec<u8>,
     ) -> f64 {
+        let m = table.modulation();
         let cp = self.params.cp_len;
         let sym_len = self.params.symbol_len();
         let b = self.window_backoff.min(cp);
@@ -278,8 +346,8 @@ impl Receiver {
             if buf.len() < sym_start + cp - b + self.params.fft_size {
                 break;
             }
-            let grid = ofdm::demodulate_window(&self.params, &self.fft, buf, sym_start + cp - b);
-            let theta = self.pilot_phase(&grid, est, first_symbol_index + s);
+            ofdm::demodulate_window_into(&self.params, &self.fft, buf, sym_start + cp - b, grid);
+            let theta = self.pilot_phase(grid, est, first_symbol_index + s);
             let rot = Complex64::cis(theta);
             for &k in &self.params.data_carriers {
                 let y = grid[self.params.bin(k)];
@@ -288,8 +356,8 @@ impl Receiver {
                     continue;
                 }
                 let eq = y / h;
-                let bits = modulation::demap_hard(m, eq, Complex64::ONE);
-                let nearest = modulation::map_symbol(m, &bits);
+                table.demap_hard_into(eq, Complex64::ONE, hard_bits);
+                let nearest = modulation::map_symbol(m, hard_bits);
                 err += eq.dist(nearest).powi(2);
                 sig += nearest.norm_sqr();
             }

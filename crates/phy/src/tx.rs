@@ -5,6 +5,7 @@ use crate::frame::{self, SignalField};
 use crate::ofdm;
 use crate::params::{Params, RateId};
 use crate::preamble;
+use crate::workspace::TxWorkspace;
 use ssync_dsp::{Complex64, Fft};
 
 /// A planned transmitter for one numerology.
@@ -12,13 +13,21 @@ use ssync_dsp::{Complex64, Fft};
 pub struct Transmitter {
     params: Params,
     fft: Fft,
+    /// The preamble waveform, fixed per numerology — built once so the
+    /// per-frame hot path only copies it.
+    preamble: Vec<Complex64>,
 }
 
 impl Transmitter {
     /// Creates a transmitter.
     pub fn new(params: Params) -> Self {
         let fft = Fft::new(params.fft_size);
-        Transmitter { params, fft }
+        let preamble = preamble::preamble_waveform(&params, &fft);
+        Transmitter {
+            params,
+            fft,
+            preamble,
+        }
     }
 
     /// The numerology in use.
@@ -33,6 +42,29 @@ impl Transmitter {
     /// # Panics
     /// Panics if the framed payload exceeds the SIGNAL length capacity.
     pub fn frame_waveform(&self, payload: &[u8], rate: RateId, flags: u8) -> Vec<Complex64> {
+        let mut wave = Vec::new();
+        self.frame_waveform_into(
+            payload,
+            rate,
+            flags,
+            &mut TxWorkspace::new(&self.params),
+            &mut wave,
+        );
+        wave
+    }
+
+    /// [`Transmitter::frame_waveform`] through a reusable [`TxWorkspace`]:
+    /// `out` is cleared and refilled, so a caller transmitting many frames
+    /// reuses both the waveform buffer and the per-symbol scratch.
+    /// Bit-identical to the allocating path.
+    pub fn frame_waveform_into(
+        &self,
+        payload: &[u8],
+        rate: RateId,
+        flags: u8,
+        ws: &mut TxWorkspace,
+        out: &mut Vec<Complex64>,
+    ) {
         let psdu = crc::append_crc(payload);
         frame::validate_psdu(&psdu).expect("payload too long");
         let sig = SignalField {
@@ -40,28 +72,42 @@ impl Transmitter {
             length: psdu.len() as u16,
             flags,
         };
-        let mut wave = preamble::preamble_waveform(&self.params, &self.fft);
-        wave.extend(self.signal_waveform(&sig));
+        out.clear();
+        out.extend_from_slice(&self.preamble);
+        self.signal_waveform_append(&sig, ws, out);
         // Data pilot polarities continue the sequence after the SIGNAL
         // symbols — the receiver indexes pilots the same way.
         let n_sig = frame::n_signal_symbols(&self.params);
-        wave.extend(self.data_waveform(&psdu, rate, self.params.cp_len, n_sig));
-        wave
+        self.data_waveform_append(&psdu, rate, self.params.cp_len, n_sig, ws, out);
     }
 
     /// The SIGNAL-field portion of a frame (BPSK 1/2, base CP).
     pub fn signal_waveform(&self, sig: &SignalField) -> Vec<Complex64> {
         let mut wave = Vec::new();
+        self.signal_waveform_append(sig, &mut TxWorkspace::new(&self.params), &mut wave);
+        wave
+    }
+
+    /// [`Transmitter::signal_waveform`], appending to `out` through a
+    /// reusable workspace.
+    pub fn signal_waveform_append(
+        &self,
+        sig: &SignalField,
+        ws: &mut TxWorkspace,
+        out: &mut Vec<Complex64>,
+    ) {
         for (i, points) in frame::encode_signal(&self.params, sig).iter().enumerate() {
-            wave.extend(ofdm::modulate_symbol(
+            ofdm::modulate_symbol_append(
                 &self.params,
                 &self.fft,
                 points,
                 i,
                 self.params.cp_len,
-            ));
+                true,
+                ws,
+                out,
+            );
         }
-        wave
     }
 
     /// The DATA-field portion of a frame at an explicit cyclic-prefix length
@@ -79,19 +125,43 @@ impl Transmitter {
         first_symbol_index: usize,
     ) -> Vec<Complex64> {
         let mut wave = Vec::new();
+        self.data_waveform_append(
+            psdu,
+            rate,
+            cp_len,
+            first_symbol_index,
+            &mut TxWorkspace::new(&self.params),
+            &mut wave,
+        );
+        wave
+    }
+
+    /// [`Transmitter::data_waveform`], appending to `out` through a
+    /// reusable workspace.
+    pub fn data_waveform_append(
+        &self,
+        psdu: &[u8],
+        rate: RateId,
+        cp_len: usize,
+        first_symbol_index: usize,
+        ws: &mut TxWorkspace,
+        out: &mut Vec<Complex64>,
+    ) {
         for (i, points) in frame::encode_data(&self.params, psdu, rate)
             .iter()
             .enumerate()
         {
-            wave.extend(ofdm::modulate_symbol(
+            ofdm::modulate_symbol_append(
                 &self.params,
                 &self.fft,
                 points,
                 first_symbol_index + i,
                 cp_len,
-            ));
+                true,
+                ws,
+                out,
+            );
         }
-        wave
     }
 
     /// Total frame length in samples for a given payload (before CRC) at a

@@ -26,12 +26,24 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// One benchmark's timing summary, as collected by [`Criterion::bench_function`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Median per-iteration wall-clock time, nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples behind the median.
+    pub samples: usize,
+}
+
 /// Benchmark harness entry point; collects per-benchmark timings.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -40,6 +52,7 @@ impl Default for Criterion {
             sample_size: 10,
             warm_up_time: Duration::from_millis(100),
             measurement_time: Duration::from_millis(500),
+            results: Vec::new(),
         }
     }
 }
@@ -101,7 +114,38 @@ impl Criterion {
             median * 1e9,
             per_iter.len()
         );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: median * 1e9,
+            samples: per_iter.len(),
+        });
         self
+    }
+
+    /// Every result collected so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// A machine-readable summary of the collected results — the payload
+    /// committed as a `BENCH_*.json` baseline and uploaded as a CI
+    /// artifact. Upstream criterion writes per-benchmark JSON under
+    /// `target/criterion/`; the shim exposes one flat document instead.
+    pub fn summary_json(&self, suite: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": \"{suite}\",\n"));
+        out.push_str("  \"unit\": \"ns_per_iter_median\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"median_ns\": {:.1}, \"samples\": {} }}{comma}\n",
+                r.name, r.median_ns, r.samples
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }
 
