@@ -23,6 +23,8 @@ mod fig18_opportunistic;
 mod session_matrix;
 mod sweep_wait_residual;
 mod table_overhead;
+mod testbed_fault;
+mod testbed_multihop;
 
 pub use ablation_combiner::AblationCombiner;
 pub use ablation_tracking::AblationTracking;
@@ -38,8 +40,34 @@ pub use fig18_opportunistic::Fig18Opportunistic;
 pub use session_matrix::SessionMatrix;
 pub use sweep_wait_residual::SweepWaitResidual;
 pub use table_overhead::TableOverhead;
+pub use testbed_fault::TestbedFault;
+pub use testbed_multihop::TestbedMultihop;
 
+use rand::rngs::StdRng;
+use rand::Rng;
+use ssync_channel::Position;
 use ssync_exp::Scenario;
+
+/// The testbed scenarios' five-node diamond placement — source, three
+/// clustered relays, destination — with ±2 m of per-trial jitter so the
+/// §4.3 propagation-delay compensation sees realistic geometry. One
+/// definition, shared by `testbed_multihop` and `testbed_fault`, so "the
+/// diamond" cannot silently diverge between them.
+pub(crate) fn jittered_diamond(rng: &mut StdRng) -> Vec<Position> {
+    let mut jitter = |base: (f64, f64)| {
+        Position::new(
+            base.0 + rng.gen_range(-2.0..2.0),
+            base.1 + rng.gen_range(-2.0..2.0),
+        )
+    };
+    vec![
+        Position::new(0.0, 0.0),
+        jitter((14.0, -8.0)),
+        jitter((14.0, 0.0)),
+        jitter((14.0, 8.0)),
+        jitter((28.0, 0.0)),
+    ]
+}
 
 /// Every registered scenario, in paper order.
 pub fn all() -> &'static [&'static dyn Scenario] {
@@ -58,6 +86,8 @@ pub fn all() -> &'static [&'static dyn Scenario] {
         &TableOverhead,
         &SweepWaitResidual,
         &SessionMatrix,
+        &TestbedMultihop,
+        &TestbedFault,
     ]
 }
 
@@ -77,7 +107,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
-        assert_eq!(all().len(), 14);
+        assert_eq!(all().len(), 16);
         for name in names {
             assert!(find(name).is_some());
             assert!(!find(name).unwrap().title().is_empty());

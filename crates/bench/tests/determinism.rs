@@ -35,6 +35,24 @@ fn sweep_scenario_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The event-driven testbed: one full protocol run per fault class
+/// through `ssync_testbed::run_transfer`. Identical seeds must give
+/// byte-identical output across two renders and across 1/8 workers —
+/// the event loop, the per-exchange RNG draws, and the fault seams all
+/// sit behind the harness determinism contract.
+#[test]
+fn testbed_scenario_is_byte_identical_across_runs_and_thread_counts() {
+    let first = render("testbed_fault", 1, Format::Tsv);
+    assert!(!first.is_empty());
+    let again = render("testbed_fault", 1, Format::Tsv);
+    assert_eq!(first, again, "testbed_fault diverged between two runs");
+    assert_eq!(
+        first,
+        render("testbed_fault", 8, Format::Tsv),
+        "testbed_fault diverged at 8 threads"
+    );
+}
+
 /// The serial-draw + parallel-solve split of fig08 (1200 LP jobs).
 #[test]
 fn fig08_is_byte_identical_across_thread_counts() {

@@ -103,6 +103,27 @@ fn fig16_subcarrier_snr_matches_preworkspace_output() {
     );
 }
 
+/// The event-driven testbed's fault-injection sweep, pinned when the
+/// testbed landed: the whole protocol stack (CSMA/CA contention, ARQ,
+/// ExOR batch maps, joint frames, fault seams) must keep producing these
+/// exact typed outcomes. Its sibling `testbed_multihop` golden is pinned
+/// in `tests/golden/` too but replayed only by CI's release-mode
+/// `ssync-lab --check` step — its measured-delivery link shaping makes a
+/// debug-profile render too slow for the unit suite.
+#[test]
+fn testbed_fault_matches_pinned_output() {
+    let scenario = scenarios::find("testbed_fault").expect("scenario registered");
+    let cfg = RunConfig {
+        threads: 4,
+        ..Default::default()
+    };
+    golden::assert_matches(
+        "testbed_fault (threads=4)",
+        include_str!("golden/testbed_fault.tsv"),
+        &run_rendered(scenario, &cfg),
+    );
+}
+
 #[test]
 fn ablation_combiner_matches_preworkspace_output() {
     let scenario = scenarios::find("ablation_combiner").expect("scenario registered");

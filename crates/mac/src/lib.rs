@@ -9,11 +9,16 @@
 //!   §4.5 misalignment feedback,
 //! * [`csma`] — DCF timing (DIFS/SIFS/slots), binary-exponential backoff,
 //!   and exchange-duration arithmetic,
+//! * [`dcf`] — the event-driven promotion of [`csma`]: a per-station
+//!   contention state machine (DIFS + backoff scheduling, countdown
+//!   freeze, retry accounting, ACK deadlines) that an event-queue-driven
+//!   testbed schedules on the femtosecond timeline,
 //! * [`arq`] — stop-and-wait retransmission with medium-time accounting,
 //!   the building block of every throughput experiment.
 
 pub mod arq;
 pub mod csma;
+pub mod dcf;
 pub mod frames;
 
 pub use arq::{
@@ -21,4 +26,5 @@ pub use arq::{
     DEFAULT_RETRY_LIMIT,
 };
 pub use csma::{exchange_duration, saturation_throughput_bps, Backoff, DcfTiming};
+pub use dcf::{ack_schedule, AckSchedule, DcfContender};
 pub use frames::{AckFrame, DataFrame, MacFrame};

@@ -1,0 +1,40 @@
+//! # ssync_testbed — the event-driven protocol testbed
+//!
+//! The paper's headline results (§8) come from a physical testbed: real
+//! nodes contending on a shared medium, joining joint frames
+//! opportunistically, retransmitting on loss. This crate is that testbed
+//! over the sample-level simulator: it wires five analytic crates into
+//! one running system —
+//!
+//! * [`ssync_sim`] supplies the femtosecond [`EventQueue`](ssync_sim::EventQueue),
+//!   the [`WaveformMedium`](ssync_sim::WaveformMedium) and
+//!   [`FaultInjector`](ssync_sim::FaultInjector);
+//! * [`ssync_mac`] supplies DCF timing and the event-driven
+//!   [`DcfContender`](ssync_mac::DcfContender) contention machine;
+//! * [`ssync_phy`] modulates and recovers every frame as a real OFDM
+//!   waveform ([`link::Modem`]);
+//! * [`ssync_routing`] orders the ExOR forwarder set and the single-path
+//!   route;
+//! * [`ssync_core`] drives SourceSync joint frames role by role through
+//!   the staged [`JointSession`](ssync_core::JointSession).
+//!
+//! Modules:
+//!
+//! * [`link`] — MAC frames as modulated captures over the shared medium
+//!   (superposition, collisions and capture effects included);
+//! * [`faults`] — [`FaultInjector`](ssync_sim::FaultInjector)s wired into
+//!   the protocol seams (DATA, ACK/batch-map, sync header) with typed
+//!   accounting;
+//! * [`runtime`] — the event loop: contention, ARQ, ExOR suppression,
+//!   joint frames, batch maps, and the [`TestbedOutcome`] ledger.
+
+pub mod faults;
+pub mod link;
+pub mod runtime;
+
+pub use faults::{apply_classified, FaultCounters, FaultPlan, Faulted};
+pub use link::{Modem, BROADCAST, CAPTURE_MARGIN};
+pub use runtime::{
+    packet_payload, run_transfer, DelaySource, JoinStats, RoutingMode, TestbedConfig,
+    TestbedOutcome,
+};

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Test-count regression gate (stable toolchain only — no nightly needed).
+#
+# Counts every unit and integration test in the workspace via the stable
+# `cargo test -- --list` protocol and compares the total against the
+# committed floor in MIN_TEST_COUNT. A PR that (accidentally or silently)
+# deletes test suites fails this step; a PR that adds tests should raise
+# the floor to the new total so the ratchet only ever moves up.
+#
+# Usage: scripts/check_test_count.sh            (compare against the floor)
+#        scripts/check_test_count.sh --print    (just print the current total)
+#
+# Doc tests are not included in the count (they are built and run by the
+# separate docs CI job); the floor tracks `cargo test -q`'s suites.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor_file=MIN_TEST_COUNT
+count=$(cargo test --workspace --quiet -- --list 2>/dev/null | grep -c ': test$' || true)
+
+if [[ "${1:-}" == "--print" ]]; then
+    echo "$count"
+    exit 0
+fi
+
+floor=$(tr -d '[:space:]' < "$floor_file")
+echo "test count: $count (committed floor: $floor)"
+
+if (( count < floor )); then
+    echo "ERROR: the workspace lost tests ($count < $floor)." >&2
+    echo "If the removal is intentional, lower $floor_file in the same PR" >&2
+    echo "and justify it in the PR description." >&2
+    exit 1
+fi
+if (( count > floor )); then
+    echo "note: test count grew — consider raising $floor_file to $count."
+fi

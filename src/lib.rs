@@ -18,6 +18,8 @@
 //! * [`core`] — SourceSync itself: Symbol-Level Synchronizer, Joint Channel
 //!   Estimator, Smart Combiner, joint frame protocol
 //! * [`routing`] — ETX, single-path routing, ExOR, ExOR+SourceSync
+//! * [`testbed`] — the event-driven testbed: the real protocol stack
+//!   (CSMA/CA, ARQ, ExOR, joint frames) over the sample-level medium
 //! * [`lasthop`] — multi-AP last-hop diversity with SampleRate
 //! * [`exp`] — the declarative, parallel experiment harness behind the
 //!   `ssync-lab` runner and every figure binary
@@ -36,3 +38,4 @@ pub use ssync_phy as phy;
 pub use ssync_routing as routing;
 pub use ssync_sim as sim;
 pub use ssync_stbc as stbc;
+pub use ssync_testbed as testbed;

@@ -268,6 +268,80 @@ proptest! {
     }
 
     #[test]
+    fn event_queue_pops_in_time_then_fifo_order(
+        ops in proptest::collection::vec((0u8..4, 0u64..50), 1..200),
+    ) {
+        // Arbitrary interleaving of pushes (op 1..4, with heavy time
+        // collisions from the tiny time range) and pops (op 0) against a
+        // reference model: the queue must always yield the pending event
+        // with the smallest (time, insertion index).
+        let mut q = sourcesync::sim::EventQueue::new();
+        let mut model: Vec<(u64, usize)> = Vec::new(); // (time, insertion id)
+        let mut next_id = 0usize;
+        for (op, t) in ops {
+            if op == 0 {
+                let popped = q.pop().map(|s| (s.at, s.event));
+                let expect = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(time, id))| (time, id))
+                    .map(|(i, _)| i);
+                match (popped, expect) {
+                    (None, None) => {}
+                    (Some((at, event)), Some(i)) => {
+                        let (mt, mid) = model.remove(i);
+                        prop_assert_eq!(at, Time(mt), "popped wrong instant");
+                        prop_assert_eq!(event, mid, "FIFO tie-break violated");
+                    }
+                    (got, want) => prop_assert!(false, "pop {got:?} vs model {want:?}"),
+                }
+            } else {
+                q.schedule(Time(t), next_id);
+                model.push((t, next_id));
+                next_id += 1;
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(
+                q.peek_time(),
+                model.iter().map(|&(t, _)| Time(t)).min()
+            );
+        }
+        // Drain: the remainder must come out fully sorted, FIFO within ties.
+        let mut last: Option<(Time, usize)> = None;
+        while let Some(s) = q.pop() {
+            if let Some((lt, lid)) = last {
+                prop_assert!((s.at, s.event) > (lt, lid), "order violated in drain");
+            }
+            last = Some((s.at, s.event));
+        }
+    }
+
+    #[test]
+    fn time_roundtrips_through_sample_counts_exactly(
+        n in 0u64..1_000_000_000,
+        period in prop::sample::select(vec![7_812_500u64, 50_000_000]),
+        extra in 0u64..1_000_000,
+    ) {
+        // A whole number of samples is exactly representable: femtosecond
+        // precision survives Duration ↔ sample-count round trips.
+        let d = Duration::from_samples(n, period);
+        prop_assert_eq!(d.0, n * period);
+        prop_assert_eq!(d.as_samples_f64(period), n as f64);
+        // An on-grid instant recovers its sample index exactly, and the
+        // grid-rounding helpers are identities on it.
+        let t = Time(n * period);
+        prop_assert_eq!(t.sample_index(period), n);
+        prop_assert_eq!(t.ceil_to_sample(period), t);
+        prop_assert_eq!(t.round_to_sample(period), t);
+        // Off-grid instants floor to the same index until the next tick.
+        let off = Time(n * period + extra % period);
+        prop_assert_eq!(off.sample_index(period), n);
+        // Time + Duration arithmetic is exact at femtosecond granularity.
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(Time(0) + d + d, Time(2 * n * period));
+    }
+
+    #[test]
     fn sample_grid_rounding(t in 0u64..u64::MAX / 2, period in prop::sample::select(vec![7_812_500u64, 50_000_000])) {
         let time = Time(t);
         let up = time.ceil_to_sample(period);
