@@ -29,6 +29,7 @@ use ssync_core::{
 use ssync_dsp::rng::ComplexGaussian;
 use ssync_dsp::{Complex64, Fft};
 use ssync_phy::chanest::ChannelEstimate;
+use ssync_phy::workspace::WorkspacePool;
 use ssync_phy::{frame, OfdmParams, RateId, Receiver, RxWorkspace, Transmitter};
 use ssync_sim::{ChannelModels, Network, NodeId};
 
@@ -51,6 +52,18 @@ fn bench_frame_rx(c: &mut Criterion) {
     let _ = rx.receive_with(&buf, &mut ws).expect("warmup");
     c.bench_function("frame_rx_1460B_r24_workspace", |b| {
         b.iter(|| rx.receive_with(&buf, &mut ws).expect("decodes"))
+    });
+
+    // Batched throughput over the pool: 8 copies of the capture, decoded
+    // through `receive_batch`. Reported time is for the whole batch, so
+    // per-frame cost is the row divided by 8.
+    let captures: Vec<Vec<Complex64>> = (0..8).map(|_| buf.clone()).collect();
+    let pool = WorkspacePool::with_capacity(&params, 4);
+    c.bench_function("frame_rx_batch8_r24_pool_1thread", |b| {
+        b.iter(|| rx.receive_batch(&captures, &pool, 1))
+    });
+    c.bench_function("frame_rx_batch8_r24_pool_4threads", |b| {
+        b.iter(|| rx.receive_batch(&captures, &pool, 4))
     });
 }
 

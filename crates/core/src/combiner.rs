@@ -10,9 +10,10 @@
 //! independently.
 
 use crate::jce::{role_pilot_phase, RoleChannels};
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
+use ssync_phy::frame::DecodeScratch;
 use ssync_phy::workspace::{DemapTables, SymbolLlrs, TxWorkspace};
-use ssync_phy::{frame, modulation, ofdm, Params, RateId};
+use ssync_phy::{frame, ofdm, Params, RateId};
 use ssync_stbc::{encode_pair, Codeword};
 
 /// Reusable scratch for the joint data section, transmit and receive side:
@@ -35,10 +36,10 @@ pub struct CombineWorkspace {
     composite: Vec<Complex64>,
     /// Per-symbol LLR pool.
     llrs: SymbolLlrs,
-    /// Hard-decision scratch for the decision-directed EVM.
-    hard_bits: Vec<u8>,
     /// Demap tables for every modulation, built once.
     tables: DemapTables,
+    /// Bit-pipeline scratch (de-interleave/de-puncture + planned Viterbi).
+    decode: DecodeScratch,
 }
 
 impl CombineWorkspace {
@@ -52,8 +53,8 @@ impl CombineWorkspace {
             g1: Vec::with_capacity(params.fft_size),
             composite: Vec::with_capacity(params.pilot_carriers.len()),
             llrs: SymbolLlrs::new(),
-            hard_bits: Vec::new(),
             tables: DemapTables::new(),
+            decode: DecodeScratch::new(),
         }
     }
 }
@@ -84,7 +85,7 @@ pub struct DataSectionSpec {
 /// bench).
 pub fn joint_data_waveform(
     params: &Params,
-    fft: &Fft,
+    fft: &FftPlan,
     psdu: &[u8],
     role: Codeword,
     spec: &DataSectionSpec,
@@ -107,7 +108,7 @@ pub fn joint_data_waveform(
 /// in workspace scratch. Bit-identical to the allocating path.
 pub fn joint_data_waveform_into(
     params: &Params,
-    fft: &Fft,
+    fft: &FftPlan,
     psdu: &[u8],
     role: Codeword,
     spec: &DataSectionSpec,
@@ -199,7 +200,7 @@ pub struct JointDataWindow {
 /// `None` if the buffer is too short.
 pub fn decode_joint_data(
     params: &Params,
-    fft: &Fft,
+    fft: &FftPlan,
     buf: &[Complex64],
     window: &JointDataWindow,
     spec: &DataSectionSpec,
@@ -222,7 +223,7 @@ pub fn decode_joint_data(
 /// the allocating path.
 pub fn decode_joint_data_with(
     params: &Params,
-    fft: &Fft,
+    fft: &FftPlan,
     buf: &[Complex64],
     window: &JointDataWindow,
     spec: &DataSectionSpec,
@@ -255,8 +256,8 @@ pub fn decode_joint_data_with(
         g1,
         composite,
         llrs,
-        hard_bits,
         tables,
+        decode,
         ..
     } = ws;
     let table = tables.get_mut(m);
@@ -309,14 +310,13 @@ pub fn decode_joint_data_with(
             table.demap_llrs_into(d.x1, Complex64::ONE, n_eff, llrs1);
             // Decision-directed EVM on the combined estimates.
             for xhat in [d.x0, d.x1] {
-                table.demap_hard_into(xhat, Complex64::ONE, hard_bits);
-                let nearest = modulation::map_symbol(m, hard_bits);
+                let nearest = table.nearest(xhat, Complex64::ONE);
                 evm_err += xhat.dist(nearest).powi(2);
                 evm_sig += nearest.norm_sqr();
             }
         }
     }
-    let psdu = frame::decode_data(params, &llrs.symbols()[..n_syms], rate, psdu_len);
+    let psdu = frame::decode_data_with(params, &llrs.symbols()[..n_syms], rate, psdu_len, decode);
     let stats = CombinerStats {
         mean_effective_gain: if gain_count > 0 {
             gain_acc / gain_count as f64
@@ -335,6 +335,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use ssync_dsp::rng::ComplexGaussian;
+    use ssync_dsp::Fft;
     use ssync_phy::chanest::ChannelEstimate;
     use ssync_phy::OfdmParams;
 
@@ -360,7 +361,7 @@ mod tests {
     /// receiver, adding AWGN of power `awgn.0` drawn from seed `awgn.1`.
     fn joint_on_air(
         params: &ssync_phy::Params,
-        fft: &Fft,
+        fft: &FftPlan,
         psdu: &[u8],
         spec: &DataSectionSpec,
         (h_a, h_b): (Complex64, Complex64),

@@ -8,7 +8,7 @@
 //! space-time code *role* channels, and tracks each role's residual
 //! frequency offset through the packet via the shared pilots.
 
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
 use ssync_phy::chanest::ChannelEstimate;
 use ssync_phy::preamble::lts_values;
 use ssync_phy::scramble::pilot_polarity;
@@ -24,7 +24,7 @@ use ssync_stbc::Codeword;
 /// path in `ssync_phy::chanest`.
 pub fn estimate_from_training_slot(
     params: &Params,
-    fft: &Fft,
+    fft: &FftPlan,
     buf: &[Complex64],
     slot_start: usize,
     cp_len: usize,
@@ -184,6 +184,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use ssync_dsp::rng::ComplexGaussian;
+    use ssync_dsp::Fft;
     use ssync_phy::preamble::cosender_training;
     use ssync_phy::OfdmParams;
 

@@ -59,7 +59,7 @@ use crate::timeline::{JointTimeline, HEADER_RATE};
 use crate::wire::{packet_id, SyncHeader};
 use rand::Rng;
 use ssync_dsp::mixer::apply_cfo_from;
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
 use ssync_phy::chanest::{delay_from_slope, phase_slope, ChannelEstimate};
 use ssync_phy::preamble::cosender_training;
 use ssync_phy::workspace::{RxWorkspace, TxWorkspace};
@@ -374,7 +374,7 @@ pub fn ground_truth_misalign_s(
 /// paths.
 pub struct SessionWorkspace {
     params: Params,
-    fft: Fft,
+    fft: FftPlan,
     tx: Transmitter,
     rx: Receiver,
     /// Transmit-side modulator scratch (header waveform).
@@ -391,7 +391,7 @@ impl SessionWorkspace {
     /// Plans all machinery for one numerology.
     pub fn new(params: Params) -> Self {
         SessionWorkspace {
-            fft: Fft::new(params.fft_size),
+            fft: FftPlan::new(params.fft_size),
             tx: Transmitter::new(params.clone()),
             rx: Receiver::new(params.clone()),
             tx_ws: TxWorkspace::new(&params),

@@ -6,6 +6,34 @@
 //! training sequence. Both stages are built from the primitives here.
 
 use crate::complex::Complex64;
+use crate::simd::{C64x4, LANES, SIMD_ENABLED};
+
+/// One lag of the sliding correlation: `Σ_m signal[t+m]·conj(template[m])`,
+/// accumulated in template order. The scalar reference kernel.
+#[inline]
+fn lag_correlation(signal: &[Complex64], template: &[Complex64], t: usize) -> Complex64 {
+    let mut acc = Complex64::ZERO;
+    for (m, tap) in template.iter().enumerate() {
+        acc += signal[t + m] * tap.conj();
+    }
+    acc
+}
+
+/// Four adjacent lags at once: lanes hold lags `t..t+4`, the template walk
+/// stays sequential, so each lane accumulates exactly the scalar kernel's
+/// bits (vectorising *across* lags never reassociates a per-lag sum).
+#[inline]
+fn lag_correlation_x4(
+    signal: &[Complex64],
+    template: &[Complex64],
+    t: usize,
+) -> [Complex64; LANES] {
+    let mut acc = C64x4::ZERO;
+    for (m, tap) in template.iter().enumerate() {
+        acc = acc.add(C64x4::load(signal, t + m).mul_conj(C64x4::splat(*tap)));
+    }
+    [acc.lane(0), acc.lane(1), acc.lane(2), acc.lane(3)]
+}
 
 /// Cross-correlates `signal` against a known `template` at every lag where the
 /// template fully overlaps, returning `signal.len() - template.len() + 1`
@@ -30,12 +58,16 @@ pub fn cross_correlate_into(
         return;
     }
     let lags = signal.len() - template.len() + 1;
-    for t in 0..lags {
-        let mut acc = Complex64::ZERO;
-        for (m, tap) in template.iter().enumerate() {
-            acc += signal[t + m] * tap.conj();
+    let mut t = 0usize;
+    if SIMD_ENABLED {
+        while t + LANES <= lags {
+            out.extend_from_slice(&lag_correlation_x4(signal, template, t));
+            t += LANES;
         }
-        out.push(acc);
+    }
+    while t < lags {
+        out.push(lag_correlation(signal, template, t));
+        t += 1;
     }
 }
 
@@ -50,10 +82,12 @@ pub fn normalized_cross_correlate(signal: &[Complex64], template: &[Complex64]) 
     out
 }
 
-/// [`normalized_cross_correlate`] into a caller-owned buffer. Computes each
-/// lag's correlation inline (no intermediate raw-correlation vector), so the
-/// reused-buffer path performs zero heap allocations at steady state while
-/// producing bit-identical values to the allocating path.
+/// [`normalized_cross_correlate`] into a caller-owned buffer. The raw
+/// correlation magnitudes are computed first (four lags per step on the SIMD
+/// path), then a sequential pass applies the sliding-window-energy
+/// normalisation — the same divisions on the same operands as the original
+/// interleaved loop, so the output is bit-identical to the allocating path
+/// in both builds.
 pub fn normalized_cross_correlate_into(
     signal: &[Complex64],
     template: &[Complex64],
@@ -66,15 +100,25 @@ pub fn normalized_cross_correlate_into(
     let t_norm = template.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
     let m = template.len();
     let lags = signal.len() - m + 1;
-    // Sliding window energy of the signal.
-    let mut win_energy: f64 = signal[..m].iter().map(|v| v.norm_sqr()).sum();
-    for t in 0..lags {
-        let mut acc = Complex64::ZERO;
-        for (i, tap) in template.iter().enumerate() {
-            acc += signal[t + i] * tap.conj();
+    // Phase 1: |c[t]| for every lag.
+    let mut t = 0usize;
+    if SIMD_ENABLED {
+        while t + LANES <= lags {
+            for c in lag_correlation_x4(signal, template, t) {
+                out.push(c.abs());
+            }
+            t += LANES;
         }
+    }
+    while t < lags {
+        out.push(lag_correlation(signal, template, t).abs());
+        t += 1;
+    }
+    // Phase 2: sliding window energy of the signal, normalising in place.
+    let mut win_energy: f64 = signal[..m].iter().map(|v| v.norm_sqr()).sum();
+    for (t, v) in out.iter_mut().enumerate() {
         let denom = win_energy.sqrt() * t_norm;
-        out.push(if denom > 0.0 { acc.abs() / denom } else { 0.0 });
+        *v = if denom > 0.0 { *v / denom } else { 0.0 };
         if t + m < signal.len() {
             win_energy += signal[t + m].norm_sqr() - signal[t].norm_sqr();
             win_energy = win_energy.max(0.0);
@@ -280,6 +324,27 @@ mod tests {
         // Degenerate inputs clear the buffer rather than leaving stale data.
         cross_correlate_into(&signal[..4], &template, &mut cc);
         assert!(cc.is_empty());
+    }
+
+    #[test]
+    fn lane_and_scalar_lag_kernels_bitwise_match() {
+        // The SIMD-vs-scalar contract: each lane of the 4-lag kernel holds
+        // exactly the bits the scalar kernel computes for that lag.
+        let mut rng = StdRng::seed_from_u64(21);
+        let gauss = ComplexGaussian::unit();
+        let signal = gauss.sample_vec(&mut rng, 120);
+        let template = gauss.sample_vec(&mut rng, 17);
+        let lags = signal.len() - template.len() + 1;
+        let mut t = 0;
+        while t + 4 <= lags {
+            let lanes = lag_correlation_x4(&signal, &template, t);
+            for (j, lane) in lanes.iter().enumerate() {
+                let scalar = lag_correlation(&signal, &template, t + j);
+                assert_eq!(lane.re.to_bits(), scalar.re.to_bits(), "lag {}", t + j);
+                assert_eq!(lane.im.to_bits(), scalar.im.to_bits(), "lag {}", t + j);
+            }
+            t += 4;
+        }
     }
 
     #[test]

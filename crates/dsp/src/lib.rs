@@ -11,7 +11,10 @@
 //!   propagation delays on a sampled waveform,
 //! * [`stats`] — percentiles, dB conversions, EVM→SNR, empirical CDFs,
 //! * [`rng`] — deterministic Gaussian / complex-Gaussian sampling (Box-Muller
-//!   over `rand`, so experiments are reproducible from a `u64` seed).
+//!   over `rand`, so experiments are reproducible from a `u64` seed),
+//! * [`simd`] — portable 4-lane f64/complex vectors backing the hot inner
+//!   loops; the `simd` cargo feature (default on) dispatches the lane
+//!   kernels, `--no-default-features` the bit-identical scalar fallbacks.
 //!
 //! Everything is pure, allocation-conscious, and deterministic; there is no
 //! interior mutability and no global state.
@@ -22,7 +25,8 @@ pub mod delay;
 pub mod fft;
 pub mod mixer;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use complex::Complex64;
-pub use fft::Fft;
+pub use fft::{Fft, FftPlan};

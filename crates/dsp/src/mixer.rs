@@ -6,7 +6,46 @@
 //! offsets) use this one function, so conventions cannot drift apart.
 
 use crate::complex::Complex64;
+use crate::simd::{C64x4, LANES, SIMD_ENABLED};
 use std::f64::consts::PI;
+
+/// The scalar mixing kernel: per-sample `e^{jθ}` and complex multiply.
+#[inline]
+fn mix_scalar(samples: &mut [Complex64], step: f64, phase_origin: f64, base: usize) {
+    for (i, s) in samples.iter_mut().enumerate() {
+        *s = s.rotate(step * ((base + i) as f64 + phase_origin));
+    }
+}
+
+/// Four samples per step: the phasors are still evaluated per sample (the
+/// per-sample `cis` is the bit-identity contract — no phasor recurrence),
+/// but the complex rotations run as lane multiplies, mirroring the scalar
+/// product formula term-for-term.
+#[inline]
+fn mix_lanes(samples: &mut [Complex64], step: f64, phase_origin: f64) {
+    let n = samples.len();
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let w = C64x4 {
+            re: crate::simd::F64x4([
+                (step * (i as f64 + phase_origin)).cos(),
+                (step * ((i + 1) as f64 + phase_origin)).cos(),
+                (step * ((i + 2) as f64 + phase_origin)).cos(),
+                (step * ((i + 3) as f64 + phase_origin)).cos(),
+            ]),
+            im: crate::simd::F64x4([
+                (step * (i as f64 + phase_origin)).sin(),
+                (step * ((i + 1) as f64 + phase_origin)).sin(),
+                (step * ((i + 2) as f64 + phase_origin)).sin(),
+                (step * ((i + 3) as f64 + phase_origin)).sin(),
+            ]),
+        };
+        let rotated = C64x4::load(samples, i).mul(w);
+        rotated.store(samples, i);
+        i += LANES;
+    }
+    mix_scalar(&mut samples[i..], step, phase_origin, i);
+}
 
 /// Rotates `samples[n]` by `e^{j2π·cfo_hz·(n + phase_origin)/sample_rate_hz}`
 /// in place. `phase_origin` (in samples) lets callers keep a consistent
@@ -18,8 +57,10 @@ pub fn apply_cfo_from(
     phase_origin: f64,
 ) {
     let step = 2.0 * PI * cfo_hz / sample_rate_hz;
-    for (i, s) in samples.iter_mut().enumerate() {
-        *s = s.rotate(step * (i as f64 + phase_origin));
+    if SIMD_ENABLED {
+        mix_lanes(samples, step, phase_origin);
+    } else {
+        mix_scalar(samples, step, phase_origin, 0);
     }
 }
 
@@ -64,6 +105,22 @@ mod tests {
         let step = 2.0 * PI * 1e6 / 20e6;
         assert!(a[0].dist(Complex64::cis(step * 4.0)) < 1e-12);
         assert!(b[0].dist(Complex64::ONE) < 1e-12);
+    }
+
+    #[test]
+    fn lane_and_scalar_mixing_bitwise_match() {
+        // Odd length exercises the lane blocks and the scalar tail.
+        let mut a: Vec<Complex64> = (0..67)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut b = a.clone();
+        let step = 2.0 * PI * 37e3 / 20e6;
+        mix_lanes(&mut a, step, 3.0);
+        mix_scalar(&mut b, step, 3.0, 0);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
     }
 
     #[test]

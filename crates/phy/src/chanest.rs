@@ -6,7 +6,7 @@ use crate::ofdm;
 use crate::params::OfdmParams;
 use crate::preamble::{lts_values, LTS_REPS};
 use ssync_dsp::stats::{linear_regression_slope, unwrap_phases};
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
 use std::f64::consts::PI;
 
 /// A per-subcarrier channel estimate over the occupied carriers.
@@ -76,7 +76,7 @@ impl ChannelEstimate {
 /// difference between consecutive repetitions (which cancels the signal).
 pub fn estimate_from_lts(
     params: &OfdmParams,
-    fft: &Fft,
+    fft: &FftPlan,
     samples: &[Complex64],
     lts_start: usize,
 ) -> ChannelEstimate {
@@ -182,6 +182,7 @@ mod tests {
     use rand::SeedableRng;
     use ssync_dsp::delay::fractional_delay;
     use ssync_dsp::rng::ComplexGaussian;
+    use ssync_dsp::Fft;
 
     fn flat_channel_estimate(
         params: &OfdmParams,

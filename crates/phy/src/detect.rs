@@ -14,7 +14,7 @@ use crate::workspace::DetectScratch;
 use ssync_dsp::correlate::{
     argmax, autocorrelation_metric_into, energy_ratio_into, normalized_cross_correlate_into,
 };
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
 use std::f64::consts::PI;
 
 /// Tunable thresholds of the detector. Defaults match a standard 802.11
@@ -83,12 +83,12 @@ pub struct Detector {
 
 impl Detector {
     /// Builds a detector with default thresholds.
-    pub fn new(params: &OfdmParams, fft: &Fft) -> Self {
+    pub fn new(params: &OfdmParams, fft: &FftPlan) -> Self {
         Self::with_config(params, fft, DetectorConfig::default())
     }
 
     /// Builds a detector with explicit thresholds.
-    pub fn with_config(params: &OfdmParams, fft: &Fft, config: DetectorConfig) -> Self {
+    pub fn with_config(params: &OfdmParams, fft: &FftPlan, config: DetectorConfig) -> Self {
         Detector {
             config,
             lts: lts_symbol(params, fft),
@@ -243,6 +243,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use ssync_dsp::rng::ComplexGaussian;
+    use ssync_dsp::Fft;
 
     /// Noise, then a preamble embedded at `offset`, then padding.
     fn scene(

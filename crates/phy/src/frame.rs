@@ -123,19 +123,57 @@ pub fn encode_signal(params: &OfdmParams, sig: &SignalField) -> Vec<Vec<Complex6
         .collect()
 }
 
+/// Reusable scratch for the receive-side bit pipelines: de-interleave and
+/// de-puncture buffers plus a planned [`viterbi::ViterbiDecoder`], so the
+/// per-frame [`decode_signal_with`] / [`decode_data_with`] hot paths reuse
+/// every buffer (workspaces embed one; see `crate::workspace::RxWorkspace`).
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    /// De-interleaved (still punctured) LLR stream.
+    punctured: Vec<f64>,
+    /// Mother-code LLR stream after de-puncturing.
+    mother: Vec<f64>,
+    /// Planned Viterbi decoder (path metrics + survivor store).
+    viterbi: viterbi::ViterbiDecoder,
+    /// Decoded bit buffer (info + tail, pre-descramble).
+    bits: Vec<u8>,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Decodes SIGNAL-field LLRs (concatenated over its OFDM symbols, already
 /// de-interleaved? — no: raw per-symbol LLRs in subcarrier order).
 pub fn decode_signal(params: &OfdmParams, llrs_per_symbol: &[Vec<f64>]) -> Option<SignalField> {
+    decode_signal_with(params, llrs_per_symbol, &mut DecodeScratch::new())
+}
+
+/// [`decode_signal`] through caller-owned scratch: identical output, zero
+/// steady-state allocation.
+pub fn decode_signal_with(
+    params: &OfdmParams,
+    llrs_per_symbol: &[Vec<f64>],
+    scratch: &mut DecodeScratch,
+) -> Option<SignalField> {
     let il = Interleaver::new(params, Modulation::Bpsk);
-    let mut mother = Vec::new();
+    scratch.mother.clear();
     for sym_llrs in llrs_per_symbol {
         // Appending the de-interleaved block in place (rather than
         // extending from a fresh per-symbol vector) keeps the receive
         // chain's per-symbol allocation count at zero.
-        il.deinterleave_llrs_append(sym_llrs, &mut mother);
+        il.deinterleave_llrs_append(sym_llrs, &mut scratch.mother);
     }
-    let decoded = viterbi::decode_terminated(&mother)?;
-    SignalField::from_bits(&decoded)
+    if !scratch
+        .viterbi
+        .decode_terminated_into(&scratch.mother, &mut scratch.bits)
+    {
+        return None;
+    }
+    SignalField::from_bits(&scratch.bits)
 }
 
 /// The DATA-field bit pipeline of one frame, transmit side.
@@ -185,25 +223,53 @@ pub fn decode_data(
     rate: RateId,
     psdu_len: usize,
 ) -> Option<Vec<u8>> {
+    decode_data_with(
+        params,
+        llrs_per_symbol,
+        rate,
+        psdu_len,
+        &mut DecodeScratch::new(),
+    )
+}
+
+/// [`decode_data`] through caller-owned scratch: identical output, zero
+/// steady-state allocation beyond the returned PSDU bytes.
+pub fn decode_data_with(
+    params: &OfdmParams,
+    llrs_per_symbol: &[Vec<f64>],
+    rate: RateId,
+    psdu_len: usize,
+    scratch: &mut DecodeScratch,
+) -> Option<Vec<u8>> {
     let m = rate.modulation();
     let il = Interleaver::new(params, m);
-    let mut punctured = Vec::new();
+    scratch.punctured.clear();
     for sym in llrs_per_symbol {
         if sym.len() != params.coded_bits_per_symbol(m) {
             return None;
         }
-        il.deinterleave_llrs_append(sym, &mut punctured);
+        il.deinterleave_llrs_append(sym, &mut scratch.punctured);
     }
     let n_syms = llrs_per_symbol.len();
     let n_info = n_syms * params.data_bits_per_symbol(rate);
     let mother_len = n_info * 2;
-    let mother = convcode::depuncture_llr(&punctured, rate.code_rate(), mother_len);
-    let mut bits = viterbi::decode_terminated(&mother)?;
+    convcode::depuncture_llr_into(
+        &scratch.punctured,
+        rate.code_rate(),
+        mother_len,
+        &mut scratch.mother,
+    );
+    if !scratch
+        .viterbi
+        .decode_terminated_into(&scratch.mother, &mut scratch.bits)
+    {
+        return None;
+    }
     // Descramble SERVICE + payload (tail positions were zeroed pre-coding;
     // descrambling them yields garbage we ignore).
     let mut scrambler = Scrambler::new(DEFAULT_SEED);
-    scrambler.scramble_in_place(&mut bits);
-    let payload_bits = bits.get(16..16 + psdu_len * 8)?;
+    scrambler.scramble_in_place(&mut scratch.bits);
+    let payload_bits = scratch.bits.get(16..16 + psdu_len * 8)?;
     Some(bits_to_bytes(payload_bits))
 }
 

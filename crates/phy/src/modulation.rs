@@ -7,6 +7,7 @@
 //! a simulator.
 
 pub use crate::params::Modulation;
+use ssync_dsp::simd::{F64x4, LANES, SIMD_ENABLED};
 use ssync_dsp::Complex64;
 
 /// Per-axis Gray-coded PAM levels for `bits_per_axis` bits, in 802.11 order.
@@ -140,24 +141,67 @@ pub fn map_bits_into(m: Modulation, bits: &[u8], out: &mut Vec<Complex64>) {
 /// [`demap_llrs`] rebuilds the whole labelled constellation on every call —
 /// one `Vec<(Vec<u8>, Complex64)>` per data subcarrier per OFDM symbol, the
 /// single largest source of buffer churn in the receive chain. A
-/// `DemapTable` builds it once per modulation and reuses two `bps`-sized
-/// minimum-metric scratch vectors, producing bit-identical LLRs.
+/// `DemapTable` builds it once per modulation and produces bit-identical
+/// LLRs and hard decisions from a restructured two-phase scan:
+///
+/// 1. **Metric phase.** `|y − h·x|²` for all `M` points into a flat scratch
+///    array, four points per step through [`ssync_dsp::simd`] lanes (each
+///    lane evaluates exactly the scalar expression `d = dist(y, h·x); d·d`,
+///    so the metrics are bitwise equal to the scalar fallback's).
+/// 2. **Reduction phase.** Per-bit minima over precomputed index partitions
+///    (the point indices whose label has that bit 0 / 1), replacing the
+///    per-point label walk and its data-dependent branches. Metrics are
+///    finite and non-negative, so the partition minimum is independent of
+///    scan order and matches the legacy ascending scan exactly.
+///
+/// The hard decision keeps the *unsquared* distance and a first-index
+/// ascending argmin: squaring can merge distinct distances at the ulp level,
+/// so comparing `d·d` could break ties differently than [`demap_hard`].
 #[derive(Debug, Clone)]
 pub struct DemapTable {
     m: Modulation,
     points: Vec<(Vec<u8>, Complex64)>,
-    min0: Vec<f64>,
-    min1: Vec<f64>,
+    /// Flat copy of the constellation points (scalar tail + lookups).
+    xs: Vec<Complex64>,
+    /// The points again in split re/im form, so the lane path loads four
+    /// consecutive reals instead of deinterleaving on every call.
+    xs_re: Vec<f64>,
+    xs_im: Vec<f64>,
+    /// Per bit position: point indices whose label has that bit = 0.
+    zeros: Vec<Vec<u16>>,
+    /// Per bit position: point indices whose label has that bit = 1.
+    ones: Vec<Vec<u16>>,
+    /// Metric scratch, one slot per constellation point.
+    metrics: Vec<f64>,
 }
 
 impl DemapTable {
     /// Builds the table for one modulation.
     pub fn new(m: Modulation) -> Self {
+        let points = constellation(m);
+        let bps = m.bits_per_symbol();
+        let xs: Vec<Complex64> = points.iter().map(|(_, x)| *x).collect();
+        let mut zeros = vec![Vec::new(); bps];
+        let mut ones = vec![Vec::new(); bps];
+        for (idx, (bits, _)) in points.iter().enumerate() {
+            for (i, &b) in bits.iter().enumerate() {
+                if b == 0 {
+                    zeros[i].push(idx as u16);
+                } else {
+                    ones[i].push(idx as u16);
+                }
+            }
+        }
+        let n = xs.len();
         DemapTable {
             m,
-            points: constellation(m),
-            min0: Vec::with_capacity(m.bits_per_symbol()),
-            min1: Vec::with_capacity(m.bits_per_symbol()),
+            points,
+            xs_re: xs.iter().map(|x| x.re).collect(),
+            xs_im: xs.iter().map(|x| x.im).collect(),
+            xs,
+            zeros,
+            ones,
+            metrics: vec![0.0; n],
         }
     }
 
@@ -167,47 +211,163 @@ impl DemapTable {
         self.m
     }
 
+    /// Fills `self.metrics` with `f(dist(y, h·x))` per point: the squared
+    /// distance for soft demapping (`square = true`) or the raw distance for
+    /// the hard argmin. Lane and scalar paths are bitwise identical.
+    #[inline]
+    fn fill_metrics(&mut self, y: Complex64, h: Complex64, square: bool) {
+        #[cfg(target_arch = "x86_64")]
+        if SIMD_ENABLED && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { self.fill_metrics_avx2(y, h, square) };
+            return;
+        }
+        if SIMD_ENABLED {
+            self.fill_metrics_lanes(y, h, square);
+        } else {
+            self.fill_metrics_scalar(y, h, square);
+        }
+    }
+
+    /// [`DemapTable::fill_metrics_lanes`] as explicit 256-bit intrinsics —
+    /// the same IEEE operations in the same order (`vsqrtpd` is the
+    /// correctly-rounded sqrt, no multiply-add fusion anywhere), so the
+    /// metrics are bit-identical to both portable kernels.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fill_metrics_avx2(&mut self, y: Complex64, h: Complex64, square: bool) {
+        use std::arch::x86_64::*;
+        let n = self.xs.len();
+        let mut p = 0usize;
+        // SAFETY (for all intrinsics below): p ≤ n−4 inside the loop, and
+        // xs_re/xs_im/metrics all hold exactly n elements.
+        unsafe {
+            let vyre = _mm256_set1_pd(y.re);
+            let vyim = _mm256_set1_pd(y.im);
+            let vhre = _mm256_set1_pd(h.re);
+            let vhim = _mm256_set1_pd(h.im);
+            while p + LANES <= n {
+                let xre = _mm256_loadu_pd(self.xs_re.as_ptr().add(p));
+                let xim = _mm256_loadu_pd(self.xs_im.as_ptr().add(p));
+                let dre = _mm256_sub_pd(
+                    vyre,
+                    _mm256_sub_pd(_mm256_mul_pd(vhre, xre), _mm256_mul_pd(vhim, xim)),
+                );
+                let dim = _mm256_sub_pd(
+                    vyim,
+                    _mm256_add_pd(_mm256_mul_pd(vhre, xim), _mm256_mul_pd(vhim, xre)),
+                );
+                let d = _mm256_sqrt_pd(_mm256_add_pd(
+                    _mm256_mul_pd(dre, dre),
+                    _mm256_mul_pd(dim, dim),
+                ));
+                let m = if square { _mm256_mul_pd(d, d) } else { d };
+                _mm256_storeu_pd(self.metrics.as_mut_ptr().add(p), m);
+                p += LANES;
+            }
+        }
+        for q in p..n {
+            let d = y.dist(h * self.xs[q]);
+            self.metrics[q] = if square { d * d } else { d };
+        }
+    }
+
+    /// Lane kernel of [`DemapTable::fill_metrics`]: four points per step from
+    /// the split-form constellation.
+    #[inline]
+    fn fill_metrics_lanes(&mut self, y: Complex64, h: Complex64, square: bool) {
+        let n = self.xs.len();
+        let mut p = 0usize;
+        let vyre = F64x4::splat(y.re);
+        let vyim = F64x4::splat(y.im);
+        let vhre = F64x4::splat(h.re);
+        let vhim = F64x4::splat(h.im);
+        while p + LANES <= n {
+            let xre = F64x4::load(&self.xs_re, p);
+            let xim = F64x4::load(&self.xs_im, p);
+            // h·x term-for-term as `Complex64::mul`, then |y − h·x|.
+            let dre = vyre.sub(vhre.mul(xre).sub(vhim.mul(xim)));
+            let dim = vyim.sub(vhre.mul(xim).add(vhim.mul(xre)));
+            let d = dre.mul(dre).add(dim.mul(dim)).sqrt();
+            let m = if square { d.mul(d) } else { d };
+            m.store(&mut self.metrics, p);
+            p += LANES;
+        }
+        for q in p..n {
+            let d = y.dist(h * self.xs[q]);
+            self.metrics[q] = if square { d * d } else { d };
+        }
+    }
+
+    /// Scalar kernel of [`DemapTable::fill_metrics`].
+    #[inline]
+    fn fill_metrics_scalar(&mut self, y: Complex64, h: Complex64, square: bool) {
+        for (q, x) in self.xs.iter().enumerate() {
+            let d = y.dist(h * *x);
+            self.metrics[q] = if square { d * d } else { d };
+        }
+    }
+
     /// [`demap_llrs`], *appending* `bits_per_symbol` LLRs to `out` (the
     /// receive chain accumulates per-carrier LLRs into one per-symbol
     /// vector, so append — not clear-and-fill — is the composable shape).
     pub fn demap_llrs_into(&mut self, y: Complex64, h: Complex64, n0: f64, out: &mut Vec<f64>) {
-        let bps = self.m.bits_per_symbol();
-        self.min0.clear();
-        self.min0.resize(bps, f64::INFINITY);
-        self.min1.clear();
-        self.min1.resize(bps, f64::INFINITY);
-        for (bits, x) in &self.points {
-            let d = y.dist(h * *x);
-            let metric = d * d;
-            for (i, &b) in bits.iter().enumerate() {
-                if b == 0 {
-                    if metric < self.min0[i] {
-                        self.min0[i] = metric;
-                    }
-                } else if metric < self.min1[i] {
-                    self.min1[i] = metric;
+        self.fill_metrics(y, h, true);
+        let scale = 1.0 / n0.max(1e-12);
+        for (zs, os) in self.zeros.iter().zip(&self.ones) {
+            let mut min0 = f64::INFINITY;
+            for &p in zs {
+                let v = self.metrics[p as usize];
+                if v < min0 {
+                    min0 = v;
                 }
             }
+            let mut min1 = f64::INFINITY;
+            for &p in os {
+                let v = self.metrics[p as usize];
+                if v < min1 {
+                    min1 = v;
+                }
+            }
+            out.push((min1 - min0) * scale);
         }
-        let scale = 1.0 / n0.max(1e-12);
-        out.extend((0..bps).map(|i| (self.min1[i] - self.min0[i]) * scale));
     }
 
     /// [`demap_hard`] into a caller-owned buffer (cleared and refilled).
     /// Ties break toward the constellation point scanned first, matching
     /// the `Iterator::min_by` convention of the allocating path.
-    pub fn demap_hard_into(&self, y: Complex64, h: Complex64, out: &mut Vec<u8>) {
-        let mut best: Option<(usize, f64)> = None;
-        for (idx, (_, x)) in self.points.iter().enumerate() {
-            let d = y.dist(h * *x);
-            match best {
-                Some((_, bd)) if d >= bd => {}
-                _ => best = Some((idx, d)),
+    pub fn demap_hard_into(&mut self, y: Complex64, h: Complex64, out: &mut Vec<u8>) {
+        let best_idx = self.argmin_dist(y, h);
+        out.clear();
+        out.extend_from_slice(&self.points[best_idx].0);
+    }
+
+    /// The nearest constellation point itself (the value
+    /// [`map_symbol`] would rebuild from [`DemapTable::demap_hard_into`]'s
+    /// bits — the table stores exactly those mapped points, so this is the
+    /// identical `Complex64` without the bit round-trip). The decision-
+    /// directed EVM loops want the point, not its label.
+    pub fn nearest(&mut self, y: Complex64, h: Complex64) -> Complex64 {
+        let best_idx = self.argmin_dist(y, h);
+        self.points[best_idx].1
+    }
+
+    /// First-index argmin of `dist(y, h·x)` over the constellation.
+    #[inline]
+    fn argmin_dist(&mut self, y: Complex64, h: Complex64) -> usize {
+        self.fill_metrics(y, h, false);
+        let mut best_idx = 0usize;
+        let mut best = f64::INFINITY;
+        for (idx, &d) in self.metrics.iter().enumerate() {
+            if d < best {
+                best = d;
+                best_idx = idx;
             }
         }
-        let (idx, _) = best.expect("constellation not empty");
-        out.clear();
-        out.extend_from_slice(&self.points[idx].0);
+        best_idx
     }
 }
 
@@ -372,10 +532,86 @@ mod tests {
                 assert_eq!(llrs, demap_llrs(m, y, h, 0.1), "{m:?}");
                 table.demap_hard_into(y, h, &mut hard);
                 assert_eq!(hard, demap_hard(m, y, h), "{m:?}");
+                let near = table.nearest(y, h);
+                let rebuilt = map_symbol(m, &hard);
+                assert_eq!(near.re.to_bits(), rebuilt.re.to_bits(), "{m:?}");
+                assert_eq!(near.im.to_bits(), rebuilt.im.to_bits(), "{m:?}");
             }
             // Tie case (y at the origin): both paths must break identically.
             table.demap_hard_into(Complex64::ZERO, Complex64::ONE, &mut hard);
             assert_eq!(hard, demap_hard(m, Complex64::ZERO, Complex64::ONE));
+        }
+    }
+
+    #[test]
+    fn metric_kernels_bitwise_match() {
+        // Both fill_metrics kernels are always compiled; whichever one the
+        // build dispatches, the other must produce the same bits.
+        let mut rng = StdRng::seed_from_u64(21);
+        let noise = ComplexGaussian::with_power(0.1);
+        for m in ALL {
+            let mut lanes = DemapTable::new(m);
+            let mut scalar = DemapTable::new(m);
+            for _ in 0..50 {
+                let h = Complex64::from_polar(
+                    rng.gen_range(0.2..2.0),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                );
+                let y = h * noise.sample(&mut rng);
+                for square in [true, false] {
+                    lanes.fill_metrics_lanes(y, h, square);
+                    scalar.fill_metrics_scalar(y, h, square);
+                    for (a, b) in lanes.metrics.iter().zip(&scalar.metrics) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{m:?} square={square}");
+                    }
+                    #[cfg(target_arch = "x86_64")]
+                    if std::arch::is_x86_feature_detected!("avx2") {
+                        // SAFETY: AVX2 detected above.
+                        unsafe { lanes.fill_metrics_avx2(y, h, square) };
+                        for (a, b) in lanes.metrics.iter().zip(&scalar.metrics) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "avx2 {m:?} square={square}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[ignore] // timing probe: cargo test -p ssync_phy --release profile_metric_kernels -- --ignored --nocapture
+    fn profile_metric_kernels() {
+        let mut table = DemapTable::new(Modulation::Qam16);
+        let y = Complex64::new(0.3, -0.2);
+        let h = Complex64::new(0.9, 0.1);
+        let iters = 400_000;
+        for rep in 0..3 {
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                table.fill_metrics_lanes(y, h, true);
+                std::hint::black_box(&table.metrics);
+            }
+            let lanes = t0.elapsed();
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                table.fill_metrics_scalar(y, h, true);
+                std::hint::black_box(&table.metrics);
+            }
+            let scalar = t0.elapsed();
+            #[cfg(target_arch = "x86_64")]
+            let avx2 = if std::arch::is_x86_feature_detected!("avx2") {
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    // SAFETY: AVX2 detected above.
+                    unsafe { table.fill_metrics_avx2(y, h, true) };
+                    std::hint::black_box(&table.metrics);
+                }
+                format!("{:?}", t0.elapsed())
+            } else {
+                "n/a".into()
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            let avx2 = "n/a";
+            println!("rep {rep}: lanes {lanes:?} scalar {scalar:?} avx2 {avx2}");
         }
     }
 

@@ -10,7 +10,7 @@
 use crate::params::OfdmParams;
 use crate::scramble::pilot_polarity;
 use crate::workspace::TxWorkspace;
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
 
 /// Builds one OFDM symbol: maps `data` onto the data subcarriers (in the
 /// order of `params.data_carriers`), inserts pilots with the polarity of
@@ -23,7 +23,7 @@ use ssync_dsp::{Complex64, Fft};
 /// Panics if `data.len() != params.n_data()` or `cp_len >= fft_size`.
 pub fn modulate_symbol(
     params: &OfdmParams,
-    fft: &Fft,
+    fft: &FftPlan,
     data: &[Complex64],
     symbol_index: usize,
     cp_len: usize,
@@ -41,7 +41,7 @@ pub fn modulate_symbol(
 /// (`pilots_enabled = false`).
 pub fn modulate_symbol_with_pilots(
     params: &OfdmParams,
-    fft: &Fft,
+    fft: &FftPlan,
     data: &[Complex64],
     symbol_index: usize,
     cp_len: usize,
@@ -69,7 +69,7 @@ pub fn modulate_symbol_with_pilots(
 #[allow(clippy::too_many_arguments)] // mirror of modulate_symbol_with_pilots + (workspace, sink)
 pub fn modulate_symbol_append(
     params: &OfdmParams,
-    fft: &Fft,
+    fft: &FftPlan,
     data: &[Complex64],
     symbol_index: usize,
     cp_len: usize,
@@ -125,7 +125,7 @@ pub fn symbol_scale(params: &OfdmParams) -> f64 {
 /// constellation scale.
 pub fn demodulate_window(
     params: &OfdmParams,
-    fft: &Fft,
+    fft: &FftPlan,
     samples: &[Complex64],
     offset: usize,
 ) -> Vec<Complex64> {
@@ -140,7 +140,7 @@ pub fn demodulate_window(
 /// allocating path.
 pub fn demodulate_window_into(
     params: &OfdmParams,
-    fft: &Fft,
+    fft: &FftPlan,
     samples: &[Complex64],
     offset: usize,
     grid: &mut Vec<Complex64>,
@@ -195,6 +195,7 @@ mod tests {
     use crate::modulation::{map_bits, Modulation};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use ssync_dsp::Fft;
 
     #[test]
     fn loopback_recovers_constellation_points() {

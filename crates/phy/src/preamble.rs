@@ -17,7 +17,7 @@
 
 use crate::params::OfdmParams;
 use crate::scramble::Scrambler;
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
 
 /// Number of short-training periods transmitted (802.11 uses 10).
 pub const STS_REPS: usize = 10;
@@ -53,7 +53,7 @@ pub fn lts_values(params: &OfdmParams) -> Vec<(i32, f64)> {
 
 fn build_time_symbol(
     params: &OfdmParams,
-    fft: &Fft,
+    fft: &FftPlan,
     values: &[(i32, Complex64)],
 ) -> Vec<Complex64> {
     let mut grid = vec![Complex64::ZERO; params.fft_size];
@@ -67,7 +67,7 @@ fn build_time_symbol(
 }
 
 /// One period (`N/4` samples) of the short training signal.
-pub fn sts_period(params: &OfdmParams, fft: &Fft) -> Vec<Complex64> {
+pub fn sts_period(params: &OfdmParams, fft: &FftPlan) -> Vec<Complex64> {
     let mut prbs = Scrambler::new(STS_SEED);
     let values: Vec<(i32, Complex64)> = sts_carriers(params)
         .into_iter()
@@ -85,7 +85,7 @@ pub fn sts_period(params: &OfdmParams, fft: &Fft) -> Vec<Complex64> {
 }
 
 /// One full LTS time-domain symbol (`N` samples, no guard).
-pub fn lts_symbol(params: &OfdmParams, fft: &Fft) -> Vec<Complex64> {
+pub fn lts_symbol(params: &OfdmParams, fft: &FftPlan) -> Vec<Complex64> {
     let values: Vec<(i32, Complex64)> = lts_values(params)
         .into_iter()
         .map(|(k, v)| (k, Complex64::real(v)))
@@ -126,7 +126,7 @@ impl PreambleLayout {
 }
 
 /// The complete preamble waveform: STS repetitions, guard, LTS repetitions.
-pub fn preamble_waveform(params: &OfdmParams, fft: &Fft) -> Vec<Complex64> {
+pub fn preamble_waveform(params: &OfdmParams, fft: &FftPlan) -> Vec<Complex64> {
     let layout = PreambleLayout::of(params);
     let sts = sts_period(params, fft);
     let lts = lts_symbol(params, fft);
@@ -149,7 +149,7 @@ pub fn preamble_waveform(params: &OfdmParams, fft: &Fft) -> Vec<Complex64> {
 /// OFDM symbols, each with a cyclic prefix of `cp_len` samples (the same
 /// extended CP the joint data symbols use), so the receiver's backed-off
 /// FFT windows see a circular shift rather than inter-slot interference.
-pub fn cosender_training(params: &OfdmParams, fft: &Fft, cp_len: usize) -> Vec<Complex64> {
+pub fn cosender_training(params: &OfdmParams, fft: &FftPlan, cp_len: usize) -> Vec<Complex64> {
     let lts = lts_symbol(params, fft);
     let n = params.fft_size;
     assert!(cp_len < n, "cyclic prefix must be shorter than the FFT");
@@ -170,6 +170,7 @@ pub fn cosender_training_len(params: &OfdmParams, cp_len: usize) -> usize {
 mod tests {
     use super::*;
     use crate::params::OfdmParams;
+    use ssync_dsp::Fft;
 
     #[test]
     fn sts_is_periodic() {

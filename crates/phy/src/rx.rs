@@ -16,9 +16,9 @@ use crate::modulation::{self, DemapTable};
 use crate::ofdm;
 use crate::params::Params;
 use crate::preamble::LTS_REPS;
-use crate::workspace::{RxWorkspace, SymbolLlrs};
+use crate::workspace::{RxWorkspace, SymbolLlrs, WorkspacePool};
 use ssync_dsp::stats;
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
 
 /// Receiver failure modes.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +96,7 @@ struct SymbolSpan {
 #[derive(Debug, Clone)]
 pub struct Receiver {
     params: Params,
-    fft: Fft,
+    fft: FftPlan,
     detector: Detector,
     /// Samples of early FFT-window placement inside the CP.
     window_backoff: usize,
@@ -105,7 +105,7 @@ pub struct Receiver {
 impl Receiver {
     /// Creates a receiver with default thresholds and a backoff of `cp/4`.
     pub fn new(params: Params) -> Self {
-        let fft = Fft::new(params.fft_size);
+        let fft = FftPlan::new(params.fft_size);
         let detector = Detector::new(&params, &fft);
         let window_backoff = params.cp_len / 4;
         Receiver {
@@ -169,6 +169,30 @@ impl Receiver {
         self.receive_at_with(samples, det, ws)
     }
 
+    /// Receives one frame from each capture in `captures`, spread over
+    /// `threads` worker threads, with per-frame scratch checked out of a
+    /// shared [`WorkspacePool`].
+    ///
+    /// Results come back in capture order, each exactly what
+    /// [`Receiver::receive`] would return for that capture (the per-frame
+    /// pipeline is single-threaded and workspace paths are bit-identical to
+    /// the allocating ones, so batching changes neither values nor order —
+    /// only wall-clock). `threads <= 1` runs inline on the caller's thread;
+    /// the pool then holds at most one workspace. Work is distributed by
+    /// atomic work-stealing via [`ssync_exp::exec::par_map`], so unequal
+    /// frame lengths don't idle workers.
+    pub fn receive_batch<C: AsRef<[Complex64]> + Sync>(
+        &self,
+        captures: &[C],
+        pool: &WorkspacePool,
+        threads: usize,
+    ) -> Vec<Result<RxResult, RxError>> {
+        ssync_exp::exec::par_map(threads, captures.len(), |i| {
+            let mut ws = pool.checkout();
+            self.receive_with(captures[i].as_ref(), &mut ws)
+        })
+    }
+
     /// [`Receiver::receive_at`] through a reusable [`RxWorkspace`].
     pub fn receive_at_with(
         &self,
@@ -181,8 +205,8 @@ impl Receiver {
             corrected,
             grid,
             llrs,
-            hard_bits,
             tables,
+            decode,
             ..
         } = ws;
         // CFO-correct a working copy. Rotation is referenced to sample 0 so
@@ -214,8 +238,8 @@ impl Receiver {
         };
         let bpsk = modulation::Modulation::Bpsk;
         self.symbol_llrs_into(buf, &sig_span, &est, grid, tables.get_mut(bpsk), llrs);
-        let signal =
-            frame::decode_signal(&self.params, llrs.symbols()).ok_or(RxError::BadSignal(det))?;
+        let signal = frame::decode_signal_with(&self.params, llrs.symbols(), decode)
+            .ok_or(RxError::BadSignal(det))?;
 
         // DATA field.
         let data_start = sig_start + n_sig * sym_len;
@@ -230,27 +254,23 @@ impl Receiver {
             cp_len: self.params.cp_len,
             first_symbol_index: n_sig,
         };
-        self.symbol_llrs_into(buf, &data_span, &est, grid, tables.get_mut(m), llrs);
-        let psdu = frame::decode_data(
+        // One pass over the data symbols produces both the soft bits and the
+        // decision-directed EVM sums (the EVM reuses the grid/phase/channel
+        // values the demap just computed, replacing a second demod pass).
+        let (evm_sig, evm_err) =
+            self.symbol_llrs_evm_into(buf, &data_span, &est, grid, tables.get_mut(m), llrs);
+        let psdu = frame::decode_data_with(
             &self.params,
             llrs.symbols(),
             signal.rate,
             signal.length as usize,
+            decode,
         );
 
         // Diagnostics.
         let per_carrier = est.per_carrier_snr_db(est.noise_power);
         let mean_snr_db = stats::db_from_linear(est.mean_power() / est.noise_power.max(1e-15));
-        let evm_snr_db = self.decision_directed_evm(
-            buf,
-            data_start,
-            n_data,
-            &est,
-            n_sig,
-            grid,
-            tables.get_mut(m),
-            hard_bits,
-        );
+        let evm_snr_db = stats::snr_db_from_evm(evm_sig, evm_err);
         let diag = RxDiagnostics {
             detection: det,
             channel: est,
@@ -309,6 +329,57 @@ impl Receiver {
         }
     }
 
+    /// [`Receiver::symbol_llrs_into`] for the DATA span, with the
+    /// decision-directed EVM fused into the same symbol loop: each carrier's
+    /// `(y, h)` feeds the soft demap and, equalised, the
+    /// nearest-constellation-point error sums. Returns `(signal, error)`
+    /// power sums for [`ssync_dsp::stats::snr_db_from_evm`]. Every
+    /// expression matches the former standalone EVM pass, so the fusion
+    /// changes no reported value — it only removes the second demodulation
+    /// of every data symbol.
+    fn symbol_llrs_evm_into(
+        &self,
+        buf: &[Complex64],
+        span: &SymbolSpan,
+        est: &ChannelEstimate,
+        grid: &mut Vec<Complex64>,
+        table: &mut DemapTable,
+        out: &mut SymbolLlrs,
+    ) -> (f64, f64) {
+        let sym_len = self.params.fft_size + span.cp_len;
+        let b = self.window_backoff.min(span.cp_len);
+        let mut err = 0.0;
+        let mut sig = 0.0;
+        out.reset();
+        for s in 0..span.n_syms {
+            let sym_start = span.start + s * sym_len;
+            ofdm::demodulate_window_into(
+                &self.params,
+                &self.fft,
+                buf,
+                sym_start + span.cp_len - b,
+                grid,
+            );
+            let theta = self.pilot_phase(grid, est, span.first_symbol_index + s);
+            let rot = Complex64::cis(theta);
+            let llrs = out.next_symbol();
+            llrs.reserve(self.params.n_data() * table.modulation().bits_per_symbol());
+            for &k in &self.params.data_carriers {
+                let y = grid[self.params.bin(k)];
+                let h = est.gain(k).unwrap_or(Complex64::ONE) * rot;
+                table.demap_llrs_into(y, h, est.noise_power, llrs);
+                if h.norm_sqr() < 1e-12 {
+                    continue;
+                }
+                let eq = y / h;
+                let nearest = table.nearest(eq, Complex64::ONE);
+                err += eq.dist(nearest).powi(2);
+                sig += nearest.norm_sqr();
+            }
+        }
+        (sig, err)
+    }
+
     /// Common phase error of one symbol, from its pilots.
     fn pilot_phase(&self, grid: &[Complex64], est: &ChannelEstimate, symbol_index: usize) -> f64 {
         let pol = crate::scramble::pilot_polarity(symbol_index);
@@ -319,50 +390,6 @@ impl Receiver {
             acc += y * (h * Complex64::real(pol)).conj();
         }
         acc.arg()
-    }
-
-    /// Decision-directed EVM over the data symbols, reported as an SNR in
-    /// dB. The per-symbol loop runs entirely in workspace buffers.
-    #[allow(clippy::too_many_arguments)] // private: span description + three workspace buffers
-    fn decision_directed_evm(
-        &self,
-        buf: &[Complex64],
-        data_start: usize,
-        n_syms: usize,
-        est: &ChannelEstimate,
-        first_symbol_index: usize,
-        grid: &mut Vec<Complex64>,
-        table: &mut DemapTable,
-        hard_bits: &mut Vec<u8>,
-    ) -> f64 {
-        let m = table.modulation();
-        let cp = self.params.cp_len;
-        let sym_len = self.params.symbol_len();
-        let b = self.window_backoff.min(cp);
-        let mut err = 0.0;
-        let mut sig = 0.0;
-        for s in 0..n_syms {
-            let sym_start = data_start + s * sym_len;
-            if buf.len() < sym_start + cp - b + self.params.fft_size {
-                break;
-            }
-            ofdm::demodulate_window_into(&self.params, &self.fft, buf, sym_start + cp - b, grid);
-            let theta = self.pilot_phase(grid, est, first_symbol_index + s);
-            let rot = Complex64::cis(theta);
-            for &k in &self.params.data_carriers {
-                let y = grid[self.params.bin(k)];
-                let h = est.gain(k).unwrap_or(Complex64::ONE) * rot;
-                if h.norm_sqr() < 1e-12 {
-                    continue;
-                }
-                let eq = y / h;
-                table.demap_hard_into(eq, Complex64::ONE, hard_bits);
-                let nearest = modulation::map_symbol(m, hard_bits);
-                err += eq.dist(nearest).powi(2);
-                sig += nearest.norm_sqr();
-            }
-        }
-        stats::snr_db_from_evm(sig, err)
     }
 }
 

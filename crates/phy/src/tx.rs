@@ -6,13 +6,13 @@ use crate::ofdm;
 use crate::params::{Params, RateId};
 use crate::preamble;
 use crate::workspace::TxWorkspace;
-use ssync_dsp::{Complex64, Fft};
+use ssync_dsp::{Complex64, FftPlan};
 
 /// A planned transmitter for one numerology.
 #[derive(Debug, Clone)]
 pub struct Transmitter {
     params: Params,
-    fft: Fft,
+    fft: FftPlan,
     /// The preamble waveform, fixed per numerology — built once so the
     /// per-frame hot path only copies it.
     preamble: Vec<Complex64>,
@@ -21,7 +21,7 @@ pub struct Transmitter {
 impl Transmitter {
     /// Creates a transmitter.
     pub fn new(params: Params) -> Self {
-        let fft = Fft::new(params.fft_size);
+        let fft = FftPlan::new(params.fft_size);
         let preamble = preamble::preamble_waveform(&params, &fft);
         Transmitter {
             params,

@@ -5,50 +5,367 @@
 //! assumes a terminated trellis (encoder flushed to state 0 with
 //! [`crate::convcode::TAIL_BITS`] zeros) and performs full traceback, which
 //! is fine for packet-sized messages.
+//!
+//! This is the modem's single hottest loop (~70% of a long-frame receive),
+//! so the add-compare-select is organised for throughput while staying
+//! bit-identical to the straightforward reference recursion
+//! ([`decode_terminated_reference`], kept as the differential-test oracle):
+//!
+//! * **Butterfly order.** Next-states are visited directly: state `ns` has
+//!   predecessors `2·(ns&31)` and `2·(ns&31)+1` and input `ns>>5`. The
+//!   reference scans `(state, input)` ascending with a strict `>` update, so
+//!   ties go to the even predecessor — the butterfly replicates that by
+//!   taking the odd candidate only on strictly greater metric.
+//! * **Batched branch metrics.** Both generators tap the newest register
+//!   bit, so `branch(s, 1) = −branch(s, 0)` exactly (IEEE negation is exact
+//!   and `m + (−b) ≡ m − b`), and the per-state metric is a ±1.0-weighted
+//!   sum `σ₀·l0 + σ₁·l1` with constant sign tables — the whole step is 32
+//!   butterfly lanes of identical arithmetic, dispatched through
+//!   [`ssync_dsp::simd`] lanes (or the scalar twin without the `simd`
+//!   feature; both paths compute the same bits).
+//! * **Bit-parallel survivors.** A survivor decision is one bit
+//!   (even/odd predecessor), so a whole step packs into a single `u64`
+//!   instead of 64 `(state, input)` records — 16× less survivor memory and
+//!   a pointer-free traceback `state ← 2·(state&31) + bit`.
+//!
+//! Unreachable states carry `−∞` metrics through the same arithmetic; the
+//! traceback never visits one (state 0 is always reachable via the all-zeros
+//! path, and every finite-metric state has a finite-metric predecessor), so
+//! survivor bits recorded for unreachable states are dead data and the
+//! decoded output is bit-identical to the reference.
 
 use crate::convcode::{G0, G1, N_STATES};
+use ssync_dsp::simd::{F64x4, LANES, SIMD_ENABLED};
 
-#[inline]
-fn parity(x: u8) -> u8 {
-    (x.count_ones() & 1) as u8
+const HALF: usize = N_STATES / 2;
+const NEG_INF: f64 = f64::NEG_INFINITY;
+
+/// ±1.0 sign of an LLR's contribution to the input-0 branch metric of
+/// predecessor `2·lo + odd`: +1.0 where the expected coded bit is 0.
+const fn branch_signs(odd: bool, g: u8) -> [f64; HALF] {
+    let mut t = [0.0; HALF];
+    let mut lo = 0;
+    while lo < HALF {
+        let state = 2 * lo + if odd { 1 } else { 0 };
+        t[lo] = if ((state as u8) & g).count_ones() % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
+        lo += 1;
+    }
+    t
 }
 
-/// Expected (g0, g1) coded bits for each `(state, input)` pair.
-fn expected_outputs() -> [[(u8, u8); 2]; N_STATES] {
-    let mut table = [[(0u8, 0u8); 2]; N_STATES];
-    for (state, entry) in table.iter_mut().enumerate() {
-        for input in 0..2u8 {
-            let reg = ((input) << 6) | state as u8;
-            entry[input as usize] = (parity(reg & G0), parity(reg & G1));
+// Sign tables in butterfly (deinterleaved-predecessor) order, for the EVEN
+// predecessor `2·lo`. The odd predecessor's tables are not needed: both
+// generators also tap the oldest register bit (bit 0 of the state), so
+// flipping even→odd predecessor flips both coded bits and
+// `branch(2·lo+1, 0) = −branch(2·lo, 0)` exactly — the whole butterfly runs
+// on ±be (IEEE negation is exact and `m + (−b) ≡ m − b`).
+const SE0: [f64; HALF] = branch_signs(false, G0);
+const SE1: [f64; HALF] = branch_signs(false, G1);
+
+/// Compile-time proof of the `bo = −be` identity used by the step kernels.
+const _: () = {
+    assert!(G0 & 1 == 1 && G1 & 1 == 1, "both generators must tap bit 0");
+    let so0 = branch_signs(true, G0);
+    let so1 = branch_signs(true, G1);
+    let mut lo = 0;
+    while lo < HALF {
+        assert!(so0[lo] == -SE0[lo] && so1[lo] == -SE1[lo]);
+        lo += 1;
+    }
+};
+
+/// Per-butterfly index into the per-step branch-value table
+/// `[l0+l1, l0−l1, −(l0−l1), −(l0+l1)]`. The sign-weighted sum
+/// `σ₀·l0 + σ₁·l1` can only take those four values, and each equals the
+/// directly-computed sum bit-for-bit: multiplying by ±1.0 is exact, and IEEE
+/// rounding commutes with negation, so e.g. `(−l0) + l1 ≡ −(l0 − l1)`.
+const BE_IDX: [usize; HALF] = {
+    let mut t = [0usize; HALF];
+    let mut lo = 0;
+    while lo < HALF {
+        t[lo] = match (SE0[lo] < 0.0, SE1[lo] < 0.0) {
+            (false, false) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (true, true) => 3,
+        };
+        lo += 1;
+    }
+    t
+};
+
+/// A reusable planned decoder: path-metric arrays plus the bit-parallel
+/// survivor store, so steady-state decoding (one frame after another through
+/// an `RxWorkspace`) allocates nothing.
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    metric: [f64; N_STATES],
+    next: [f64; N_STATES],
+    /// One survivor word per trellis step; bit `ns` set ⇒ state `ns` took
+    /// its odd predecessor.
+    survivors: Vec<u64>,
+}
+
+impl Default for ViterbiDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ViterbiDecoder {
+    /// Creates a decoder (survivor capacity grows on first use).
+    pub fn new() -> Self {
+        ViterbiDecoder {
+            metric: [NEG_INF; N_STATES],
+            next: [NEG_INF; N_STATES],
+            survivors: Vec::new(),
         }
     }
-    table
-}
 
-#[inline]
-fn next_state(state: usize, input: u8) -> usize {
-    ((state >> 1) | ((input as usize) << 5)) & (N_STATES - 1)
+    /// One add-compare-select step, scalar kernel. Returns the survivor word.
+    #[inline]
+    fn step_scalar(&mut self, l0: f64, l1: f64) -> u64 {
+        let s = l0 + l1;
+        let t = l0 - l1;
+        let vals = [s, t, -t, -s];
+        let mut word = 0u64;
+        for lo in 0..HALF {
+            let me = self.metric[2 * lo];
+            let mo = self.metric[2 * lo + 1];
+            let be = vals[BE_IDX[lo]];
+            // Input 0 target: ns = lo (odd predecessor's metric is −be).
+            let c0 = me + be;
+            let c1 = mo - be;
+            let odd = c1 > c0;
+            self.next[lo] = if odd { c1 } else { c0 };
+            word |= (odd as u64) << lo;
+            // Input 1 target: ns = lo + 32, branch metric negated.
+            let d0 = me - be;
+            let d1 = mo + be;
+            let odd1 = d1 > d0;
+            self.next[lo + HALF] = if odd1 { d1 } else { d0 };
+            word |= (odd1 as u64) << (lo + HALF);
+        }
+        word
+    }
+
+    /// One add-compare-select step, four butterflies per lane group. Each
+    /// lane runs exactly the scalar kernel's expressions, so the survivor
+    /// word and metrics are bit-identical to [`ViterbiDecoder::step_scalar`].
+    #[inline]
+    fn step_lanes(&mut self, l0: f64, l1: f64) -> u64 {
+        let s = l0 + l1;
+        let t = l0 - l1;
+        let vals = [s, t, -t, -s];
+        let mut bes = [0.0f64; HALF];
+        for lo in 0..HALF {
+            bes[lo] = vals[BE_IDX[lo]];
+        }
+        let mut word = 0u64;
+        let mut lo = 0usize;
+        while lo < HALF {
+            let me = F64x4([
+                self.metric[2 * lo],
+                self.metric[2 * lo + 2],
+                self.metric[2 * lo + 4],
+                self.metric[2 * lo + 6],
+            ]);
+            let mo = F64x4([
+                self.metric[2 * lo + 1],
+                self.metric[2 * lo + 3],
+                self.metric[2 * lo + 5],
+                self.metric[2 * lo + 7],
+            ]);
+            let be = F64x4::load(&bes, lo);
+            let c0 = me.add(be);
+            let c1 = mo.sub(be);
+            let odd = c1.gt(c0);
+            F64x4::select(odd, c1, c0).store(&mut self.next, lo);
+            let d0 = me.sub(be);
+            let d1 = mo.add(be);
+            let odd1 = d1.gt(d0);
+            F64x4::select(odd1, d1, d0).store(&mut self.next, lo + HALF);
+            for j in 0..LANES {
+                word |= (odd[j] as u64) << (lo + j);
+                word |= (odd1[j] as u64) << (lo + j + HALF);
+            }
+            lo += LANES;
+        }
+        word
+    }
+
+    /// Runs every trellis step, pushing one survivor word per step.
+    ///
+    /// The `simd` build adds a third tier above the portable lanes: on
+    /// x86-64 hosts whose CPU reports AVX2 at runtime, the step runs through
+    /// explicit 256-bit intrinsics ([`ViterbiDecoder::step_avx2`]). Every
+    /// instruction it uses is the same IEEE-754 operation the portable
+    /// kernels perform (`vaddpd`/`vmulpd`/`vsubpd`, an ordered `>` compare,
+    /// a select), and nothing fuses a multiply-add, so all three tiers are
+    /// bit-identical — the in-module differential tests drive them over the
+    /// same metric evolutions and compare exact bits.
+    #[inline]
+    fn run_steps(&mut self, llrs: &[f64]) {
+        #[cfg(target_arch = "x86_64")]
+        if SIMD_ENABLED && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { self.run_steps_avx2(llrs) };
+            return;
+        }
+        for pair in llrs.chunks_exact(2) {
+            let word = if SIMD_ENABLED {
+                self.step_lanes(pair[0], pair[1])
+            } else {
+                self.step_scalar(pair[0], pair[1])
+            };
+            self.survivors.push(word);
+            std::mem::swap(&mut self.metric, &mut self.next);
+        }
+    }
+
+    /// The step loop over [`ViterbiDecoder::step_avx2`].
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_steps_avx2(&mut self, llrs: &[f64]) {
+        for pair in llrs.chunks_exact(2) {
+            // SAFETY: caller guarantees AVX2.
+            let word = unsafe { self.step_avx2(pair[0], pair[1]) };
+            self.survivors.push(word);
+            std::mem::swap(&mut self.metric, &mut self.next);
+        }
+    }
+
+    /// One add-compare-select step as eight 256-bit butterfly groups.
+    ///
+    /// Lane-for-lane the arithmetic is [`ViterbiDecoder::step_scalar`]'s:
+    /// the branch metric is the ±1.0-weighted sum (`vmulpd`+`vaddpd` on the
+    /// sign tables — bit-equal to the scalar value-table lookup, see
+    /// [`BE_IDX`]), the compare is the ordered strict `>` (`_CMP_GT_OQ`,
+    /// false on ties like the scalar `>`), `vblendvpd` is the two-way
+    /// select, and `vmovmskpd` packs the four decisions straight into the
+    /// survivor word.
+    ///
+    /// # Safety
+    /// The host CPU must support AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn step_avx2(&mut self, l0: f64, l1: f64) -> u64 {
+        use std::arch::x86_64::*;
+        let vl0 = _mm256_set1_pd(l0);
+        let vl1 = _mm256_set1_pd(l1);
+        let mut word = 0u64;
+        let mut lo = 0usize;
+        while lo < HALF {
+            // SAFETY: lo ≤ HALF−4, so every load/store below stays inside
+            // the fixed-size metric/next/sign-table arrays.
+            unsafe {
+                let a = _mm256_loadu_pd(self.metric.as_ptr().add(2 * lo));
+                let b = _mm256_loadu_pd(self.metric.as_ptr().add(2 * lo + 4));
+                // Deinterleave four (even, odd) predecessor metric pairs.
+                let t0 = _mm256_unpacklo_pd(a, b); // m0 m4 m2 m6
+                let t1 = _mm256_unpackhi_pd(a, b); // m1 m5 m3 m7
+                let me = _mm256_permute4x64_pd::<0b11011000>(t0); // m0 m2 m4 m6
+                let mo = _mm256_permute4x64_pd::<0b11011000>(t1); // m1 m3 m5 m7
+                let be = _mm256_add_pd(
+                    _mm256_mul_pd(_mm256_loadu_pd(SE0.as_ptr().add(lo)), vl0),
+                    _mm256_mul_pd(_mm256_loadu_pd(SE1.as_ptr().add(lo)), vl1),
+                );
+                let c0 = _mm256_add_pd(me, be);
+                let c1 = _mm256_sub_pd(mo, be);
+                let gt = _mm256_cmp_pd::<_CMP_GT_OQ>(c1, c0);
+                let next = self.next.as_mut_ptr();
+                _mm256_storeu_pd(next.add(lo), _mm256_blendv_pd(c0, c1, gt));
+                word |= (_mm256_movemask_pd(gt) as u64) << lo;
+                let d0 = _mm256_sub_pd(me, be);
+                let d1 = _mm256_add_pd(mo, be);
+                let gt1 = _mm256_cmp_pd::<_CMP_GT_OQ>(d1, d0);
+                _mm256_storeu_pd(next.add(lo + HALF), _mm256_blendv_pd(d0, d1, gt1));
+                word |= (_mm256_movemask_pd(gt1) as u64) << (lo + HALF);
+            }
+            lo += 4;
+        }
+        word
+    }
+
+    /// Decodes a terminated mother-code LLR stream into `bits` (cleared and
+    /// refilled, tail included). Returns `false` for empty or odd-length
+    /// input, leaving `bits` empty.
+    pub fn decode_terminated_into(&mut self, llrs: &[f64], bits: &mut Vec<u8>) -> bool {
+        bits.clear();
+        if llrs.is_empty() || llrs.len() % 2 != 0 {
+            return false;
+        }
+        let n_steps = llrs.len() / 2;
+        self.metric = [NEG_INF; N_STATES];
+        self.metric[0] = 0.0; // encoder starts in state 0
+        self.survivors.clear();
+        self.survivors.reserve(n_steps);
+        self.run_steps(llrs);
+        bits.resize(n_steps, 0);
+        let mut state = 0usize; // terminated trellis ends in state 0
+        for step in (0..n_steps).rev() {
+            bits[step] = (state >> 5) as u8;
+            let odd = ((self.survivors[step] >> state) & 1) as usize;
+            state = 2 * (state & (HALF - 1)) + odd;
+        }
+        true
+    }
+
+    /// Allocating convenience over [`ViterbiDecoder::decode_terminated_into`].
+    pub fn decode_terminated(&mut self, llrs: &[f64]) -> Option<Vec<u8>> {
+        let mut bits = Vec::new();
+        if self.decode_terminated_into(llrs, &mut bits) {
+            Some(bits)
+        } else {
+            None
+        }
+    }
 }
 
 /// Decodes a terminated mother-code LLR stream (`2` LLRs per trellis step,
 /// erasures as `0.0`) into information bits *including* the tail — callers
 /// strip the final [`crate::convcode::TAIL_BITS`].
 ///
-/// Survivor storage is a full `(predecessor state, input)` record per state
-/// per step, so traceback is exact. Returns `None` for empty or odd-length
-/// input.
+/// Legacy convenience over [`ViterbiDecoder`] (bit-identical); hot paths
+/// hold a decoder and use [`ViterbiDecoder::decode_terminated_into`].
+/// Returns `None` for empty or odd-length input.
 pub fn decode_terminated(llrs: &[f64]) -> Option<Vec<u8>> {
+    ViterbiDecoder::new().decode_terminated(llrs)
+}
+
+/// The pre-optimisation reference decoder: full `(predecessor, input)`
+/// survivor records and a `(state, input)`-order scan. Kept as the oracle
+/// the butterfly/bit-parallel decoder is differentially tested against.
+#[doc(hidden)]
+pub fn decode_terminated_reference(llrs: &[f64]) -> Option<Vec<u8>> {
+    #[inline]
+    fn parity(x: u8) -> u8 {
+        (x.count_ones() & 1) as u8
+    }
+    fn next_state(state: usize, input: u8) -> usize {
+        ((state >> 1) | ((input as usize) << 5)) & (N_STATES - 1)
+    }
     if llrs.is_empty() || llrs.len() % 2 != 0 {
         return None;
     }
+    let mut outputs = [[(0u8, 0u8); 2]; N_STATES];
+    for (state, entry) in outputs.iter_mut().enumerate() {
+        for input in 0..2u8 {
+            let reg = (input << 6) | state as u8;
+            entry[input as usize] = (parity(reg & G0), parity(reg & G1));
+        }
+    }
     let n_steps = llrs.len() / 2;
-    let outputs = expected_outputs();
-
-    const NEG_INF: f64 = f64::NEG_INFINITY;
     let mut metric = vec![NEG_INF; N_STATES];
-    metric[0] = 0.0; // encoder starts in state 0
+    metric[0] = 0.0;
     let mut survivors: Vec<[u16; N_STATES]> = Vec::with_capacity(n_steps);
-
     let mut next = vec![NEG_INF; N_STATES];
     for step in 0..n_steps {
         let l0 = llrs[2 * step];
@@ -75,8 +392,7 @@ pub fn decode_terminated(llrs: &[f64]) -> Option<Vec<u8>> {
         survivors.push(surv);
         std::mem::swap(&mut metric, &mut next);
     }
-
-    let mut state = 0usize; // terminated trellis ends in state 0
+    let mut state = 0usize;
     let mut bits = vec![0u8; n_steps];
     for step in (0..n_steps).rev() {
         let packed = survivors[step][state];
@@ -184,5 +500,156 @@ mod tests {
         assert!(decode_terminated(&[]).is_none());
         assert!(decode_terminated(&[1.0]).is_none());
         assert!(decode_terminated(&[1.0, 1.0, 1.0]).is_none());
+        let mut dec = ViterbiDecoder::new();
+        let mut bits = vec![7u8; 3];
+        assert!(!dec.decode_terminated_into(&[], &mut bits));
+        assert!(bits.is_empty());
+    }
+
+    #[test]
+    fn matches_reference_on_noisy_llrs() {
+        // The restructuring contract: butterfly order, batched ±branch
+        // metrics, and bit-parallel survivors reproduce the reference
+        // decoder's output exactly, including on noise too strong to decode.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dec = ViterbiDecoder::new();
+        let mut bits = Vec::new();
+        for trial in 0..40 {
+            let n_steps = rng.gen_range(1..200) * 2;
+            let llrs: Vec<f64> = (0..n_steps).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let reference = decode_terminated_reference(&llrs).unwrap();
+            assert!(
+                dec.decode_terminated_into(&llrs, &mut bits),
+                "trial {trial}"
+            );
+            assert_eq!(bits, reference, "trial {trial}");
+            assert_eq!(decode_terminated(&llrs).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_erasures_and_ties() {
+        // All-zero LLRs make every branch metric tie: the even-predecessor
+        // tie-break must match the reference's ascending-scan behaviour.
+        let mut dec = ViterbiDecoder::new();
+        let mut bits = Vec::new();
+        let zeros = vec![0.0f64; 64];
+        assert!(dec.decode_terminated_into(&zeros, &mut bits));
+        assert_eq!(bits, decode_terminated_reference(&zeros).unwrap());
+        // Half-erased structured stream.
+        let mut rng = StdRng::seed_from_u64(6);
+        let info: Vec<u8> = (0..150).map(|_| rng.gen_range(0..2u8)).collect();
+        let coded = encode_with_tail(&info);
+        let mut llrs = llrs_from_bits(&coded);
+        for l in llrs.iter_mut().step_by(3) {
+            *l = 0.0;
+        }
+        assert!(dec.decode_terminated_into(&llrs, &mut bits));
+        assert_eq!(bits, decode_terminated_reference(&llrs).unwrap());
+    }
+
+    #[test]
+    fn lane_and_scalar_steps_bitwise_match() {
+        // Drive every compiled kernel over the same metric evolution and
+        // compare survivor words and metric arrays exactly.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = ViterbiDecoder::new();
+        let mut b = ViterbiDecoder::new();
+        let mut c = ViterbiDecoder::new();
+        a.metric = [NEG_INF; N_STATES];
+        a.metric[0] = 0.0;
+        b.metric = a.metric;
+        c.metric = a.metric;
+        #[cfg(target_arch = "x86_64")]
+        let avx2 = std::arch::is_x86_feature_detected!("avx2");
+        #[cfg(not(target_arch = "x86_64"))]
+        let avx2 = false;
+        for step in 0..200 {
+            let l0 = rng.gen_range(-3.0..3.0);
+            let l1 = rng.gen_range(-3.0..3.0);
+            let wa = a.step_lanes(l0, l1);
+            let wb = b.step_scalar(l0, l1);
+            assert_eq!(wa, wb, "survivor word, step {step}");
+            for s in 0..N_STATES {
+                assert_eq!(
+                    a.next[s].to_bits(),
+                    b.next[s].to_bits(),
+                    "metric {s}, step {step}"
+                );
+            }
+            if avx2 {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    // SAFETY: AVX2 detected above.
+                    let wc = unsafe { c.step_avx2(l0, l1) };
+                    assert_eq!(wc, wb, "avx2 survivor word, step {step}");
+                    for s in 0..N_STATES {
+                        assert_eq!(
+                            c.next[s].to_bits(),
+                            b.next[s].to_bits(),
+                            "avx2 metric {s}, step {step}"
+                        );
+                    }
+                }
+                std::mem::swap(&mut c.metric, &mut c.next);
+            }
+            std::mem::swap(&mut a.metric, &mut a.next);
+            std::mem::swap(&mut b.metric, &mut b.next);
+        }
+    }
+
+    #[test]
+    #[ignore] // timing probe: cargo test -p ssync_phy --release profile_step_kernels -- --ignored --nocapture
+    fn profile_step_kernels() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut dec = ViterbiDecoder::new();
+        dec.metric = [NEG_INF; N_STATES];
+        dec.metric[0] = 0.0;
+        let steps: Vec<(f64, f64)> = (0..12_000)
+            .map(|_| (rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)))
+            .collect();
+        for rep in 0..3 {
+            let t0 = std::time::Instant::now();
+            for &(l0, l1) in &steps {
+                std::hint::black_box(dec.step_scalar(l0, l1));
+                std::mem::swap(&mut dec.metric, &mut dec.next);
+            }
+            let scalar = t0.elapsed();
+            let t0 = std::time::Instant::now();
+            for &(l0, l1) in &steps {
+                std::hint::black_box(dec.step_lanes(l0, l1));
+                std::mem::swap(&mut dec.metric, &mut dec.next);
+            }
+            let lanes = t0.elapsed();
+            #[cfg(target_arch = "x86_64")]
+            let avx2 = if std::arch::is_x86_feature_detected!("avx2") {
+                let t0 = std::time::Instant::now();
+                for &(l0, l1) in &steps {
+                    // SAFETY: AVX2 detected above.
+                    std::hint::black_box(unsafe { dec.step_avx2(l0, l1) });
+                    std::mem::swap(&mut dec.metric, &mut dec.next);
+                }
+                format!("{:?}", t0.elapsed())
+            } else {
+                "n/a".into()
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            let avx2 = "n/a";
+            println!("rep {rep}: scalar {scalar:?} lanes {lanes:?} avx2 {avx2}");
+        }
+    }
+
+    #[test]
+    fn decoder_reuse_is_stateless_across_calls() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut dec = ViterbiDecoder::new();
+        let mut bits = Vec::new();
+        for _ in 0..5 {
+            let info: Vec<u8> = (0..80).map(|_| rng.gen_range(0..2u8)).collect();
+            let coded = encode_with_tail(&info);
+            let llrs = llrs_from_bits(&coded);
+            assert!(dec.decode_terminated_into(&llrs, &mut bits));
+            assert_eq!(bits, decode_terminated_reference(&llrs).unwrap());
+        }
     }
 }

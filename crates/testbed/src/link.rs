@@ -11,6 +11,7 @@
 use rand::Rng;
 use ssync_dsp::Complex64;
 use ssync_mac::MacFrame;
+use ssync_phy::workspace::WorkspacePool;
 use ssync_phy::{crc, Params, RateId, Receiver, Transmitter};
 use ssync_sim::{Duration, Network, NodeId, Time};
 
@@ -21,10 +22,19 @@ pub const BROADCAST: u16 = 0xFFFF;
 pub const CAPTURE_MARGIN: usize = 400;
 
 /// The planned modem machinery one testbed run reuses for every frame.
+///
+/// All receive-side scratch lives in a shared [`WorkspacePool`], so every
+/// decode — the per-listener decodes of [`Modem::exchange`], one-off
+/// [`Modem::decode_mac`] calls, multi-capture [`Modem::decode_mac_batch`]
+/// fan-outs — reuses warm buffers instead of re-allocating the modem
+/// workspace per frame.
 pub struct Modem {
     params: Params,
     tx: Transmitter,
     rx: Receiver,
+    pool: WorkspacePool,
+    /// Worker threads for batched decodes (1 = decode inline).
+    decode_threads: usize,
 }
 
 impl Modem {
@@ -33,13 +43,28 @@ impl Modem {
         Modem {
             tx: Transmitter::new(params.clone()),
             rx: Receiver::new(params.clone()),
+            pool: WorkspacePool::new(&params),
             params,
+            decode_threads: 1,
         }
+    }
+
+    /// Spreads batched decodes ([`Modem::exchange`],
+    /// [`Modem::decode_mac_batch`]) over `threads` workers. Decoded outputs
+    /// are identical for any thread count — only wall-clock changes.
+    pub fn with_decode_threads(mut self, threads: usize) -> Self {
+        self.decode_threads = threads.max(1);
+        self
     }
 
     /// The numerology.
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// The shared receive-workspace pool.
+    pub fn pool(&self) -> &WorkspacePool {
+        &self.pool
     }
 
     /// Serialises a MAC frame into a CRC-protected PHY waveform.
@@ -56,9 +81,29 @@ impl Modem {
     /// Attempts to recover one MAC frame from a capture: detection, the
     /// full receive chain, CRC, MAC parse. `None` on any failure.
     pub fn decode_mac(&self, capture: &[Complex64]) -> Option<MacFrame> {
-        let res = self.rx.receive(capture).ok()?;
+        let mut ws = self.pool.checkout();
+        let res = self.rx.receive_with(capture, &mut ws).ok()?;
         let bytes = crc::check_crc(&res.payload)?;
         MacFrame::from_bytes(bytes)
+    }
+
+    /// [`Modem::decode_mac`] over many captures at once through
+    /// [`Receiver::receive_batch`] and the shared pool, spread over the
+    /// modem's decode threads. Results are in capture order and identical
+    /// to per-capture [`Modem::decode_mac`] calls.
+    pub fn decode_mac_batch<C: AsRef<[Complex64]> + Sync>(
+        &self,
+        captures: &[C],
+    ) -> Vec<Option<MacFrame>> {
+        self.rx
+            .receive_batch(captures, &self.pool, self.decode_threads)
+            .into_iter()
+            .map(|res| {
+                let res = res.ok()?;
+                let bytes = crc::check_crc(&res.payload)?;
+                MacFrame::from_bytes(bytes)
+            })
+            .collect()
     }
 
     /// One broadcast air instance: clears the medium, places every
@@ -86,12 +131,17 @@ impl Modem {
             net.medium.transmit(*tx, t0, wave.clone());
         }
         let window = CAPTURE_MARGIN * 2 + longest + 200;
+        // Capture sequentially (the medium draws listener noise from `rng`,
+        // so capture order is part of the deterministic scenario), then
+        // decode the noise-free-of-rng batch through the workspace pool.
+        let captures: Vec<Vec<Complex64>> = listeners
+            .iter()
+            .map(|&l| net.medium.capture(rng, l, Time::ZERO, window))
+            .collect();
         listeners
             .iter()
-            .map(|&l| {
-                let buf = net.medium.capture(rng, l, Time::ZERO, window);
-                (l, self.decode_mac(&buf))
-            })
+            .copied()
+            .zip(self.decode_mac_batch(&captures))
             .collect()
     }
 }
