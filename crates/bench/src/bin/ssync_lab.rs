@@ -17,14 +17,22 @@
 //! * `--out FILE` — write to a file instead of stdout.
 //! * `--check FILE` — golden-regression mode: compare the rendered output
 //!   against `FILE`; exit 1 with a first-divergence diagnostic on mismatch.
+//! * `--trace FILE` — (observable scenarios only) write a Chrome
+//!   trace-event JSON of the run, loadable in Perfetto as a per-node
+//!   timeline. The normal rendered output is byte-identical with or
+//!   without this flag.
+//! * `--metrics FILE` — (observable scenarios only) write the folded
+//!   metric-registry snapshot, serialized per `--format`.
 
 use ssync_bench::scenarios;
 use ssync_exp::{golden, run_rendered, Format, RunConfig};
+use ssync_obs::run_observed_rendered;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  ssync-lab list\n  ssync-lab run <scenario> [--threads N] [--trials K] \
-         [--format tsv|json] [--out FILE] [--check FILE]\n\nrun `ssync-lab list` for scenario names"
+         [--format tsv|json] [--out FILE] [--check FILE] [--trace FILE] [--metrics FILE]\n\n\
+         run `ssync-lab list` for scenario names"
     );
     std::process::exit(2);
 }
@@ -61,6 +69,8 @@ fn run(args: &[String]) {
     let mut cfg = RunConfig::from_env();
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> String {
@@ -89,11 +99,39 @@ fn run(args: &[String]) {
             }
             "--out" => out_path = Some(value("--out")),
             "--check" => check_path = Some(value("--check")),
+            "--trace" => trace_path = Some(value("--trace")),
+            "--metrics" => metrics_path = Some(value("--metrics")),
             other => fail(&format!("unknown flag {other:?}")),
         }
     }
 
-    let rendered = run_rendered(scenario, &cfg);
+    let rendered = if trace_path.is_some() || metrics_path.is_some() {
+        let Some(observable) = scenarios::find_observable(name) else {
+            let names: Vec<&str> = scenarios::observable().iter().map(|s| s.name()).collect();
+            fail(&format!(
+                "scenario {name:?} does not support --trace/--metrics \
+                 (observable scenarios: {})",
+                names.join(", ")
+            ));
+        };
+        let (rendered, obs) = run_observed_rendered(observable, &cfg);
+        if let Some(path) = &trace_path {
+            std::fs::write(path, obs.chrome_trace_json())
+                .unwrap_or_else(|e| fail(&format!("cannot write trace {path:?}: {e}")));
+        }
+        if let Some(path) = &metrics_path {
+            let snapshot = obs.metrics_snapshot();
+            let serialized = match cfg.format {
+                Format::Tsv => ssync_exp::sink::render_tsv(&snapshot),
+                Format::Json => ssync_exp::sink::render_json("metrics", &snapshot),
+            };
+            std::fs::write(path, serialized)
+                .unwrap_or_else(|e| fail(&format!("cannot write metrics {path:?}: {e}")));
+        }
+        rendered
+    } else {
+        run_rendered(scenario, &cfg)
+    };
 
     if let Some(path) = &check_path {
         let expected = std::fs::read_to_string(path)

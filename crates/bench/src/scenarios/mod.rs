@@ -47,6 +47,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use ssync_channel::Position;
 use ssync_exp::Scenario;
+use ssync_obs::Observable;
 
 /// The testbed scenarios' five-node diamond placement — source, three
 /// clustered relays, destination — with ±2 m of per-trial jitter so the
@@ -96,6 +97,19 @@ pub fn find(name: &str) -> Option<&'static dyn Scenario> {
     all().iter().copied().find(|s| s.name() == name)
 }
 
+/// The scenarios that can additionally run with observability attached
+/// (`ssync-lab run <name> --trace/--metrics`): the event-driven testbed
+/// pair, whose engine threads an [`ssync_obs::TraceRecorder`] and
+/// [`ssync_obs::MetricRegistry`] through the whole protocol stack.
+pub fn observable() -> &'static [&'static dyn Observable] {
+    &[&TestbedMultihop, &TestbedFault]
+}
+
+/// Looks an observable scenario up by its stable name.
+pub fn find_observable(name: &str) -> Option<&'static dyn Observable> {
+    observable().iter().copied().find(|s| s.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +127,20 @@ mod tests {
             assert!(!find(name).unwrap().title().is_empty());
         }
         assert!(find("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn observable_registry_is_a_subset_of_the_main_registry() {
+        for s in observable() {
+            assert!(
+                find(s.name()).is_some(),
+                "observable scenario {:?} missing from all()",
+                s.name()
+            );
+            assert!(find_observable(s.name()).is_some());
+        }
+        assert!(find_observable("testbed_multihop").is_some());
+        assert!(find_observable("testbed_fault").is_some());
+        assert!(find_observable("fig08_wait_lp").is_none());
     }
 }

@@ -12,10 +12,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ssync_exp::{Ctx, Output, Scenario, Value};
+use ssync_obs::{Obs, Observable};
 use ssync_phy::{OfdmParams, RateId};
 use ssync_sim::{ChannelModels, FaultInjector, Network, NodeId};
 use ssync_testbed::{
-    run_transfer, DelaySource, FaultPlan, RoutingMode, TestbedConfig, TestbedOutcome,
+    run_transfer_observed, DelaySource, FaultPlan, RoutingMode, TestbedConfig, TestbedOutcome,
 };
 
 /// A fixed-budget diamond (src 0, relays 1–3, dst 4): healthy first hop,
@@ -145,20 +146,13 @@ fn cases() -> Vec<FaultCase> {
 /// See the module docs.
 pub struct TestbedFault;
 
-impl Scenario for TestbedFault {
-    fn name(&self) -> &'static str {
-        "testbed_fault"
-    }
-
-    fn title(&self) -> &'static str {
-        "Event-driven testbed: fault-injection sweep over every protocol seam"
-    }
-
-    fn paper_ref(&self) -> &'static str {
-        "§8 robustness"
-    }
-
-    fn run(&self, ctx: &Ctx, out: &mut Output) {
+impl TestbedFault {
+    /// One body for both the plain and observed paths. Each (case, trial)
+    /// run fills its own recorder/registry, folded into `obs` in case
+    /// order then trial order as a `{class}/t{trial}` track — so a fault
+    /// sweep's trace shows every injected class as its own Perfetto
+    /// process.
+    fn run_with_obs(&self, ctx: &Ctx, out: &mut Output, obs: &mut Obs) {
         let cases = cases();
         let trials = ctx.trials(1);
         out.comment("Fault injection: per-class deliveries, protocol reactions, typed joins");
@@ -178,7 +172,7 @@ impl Scenario for TestbedFault {
             "faults_injected",
         ]);
 
-        let rows: Vec<Vec<TestbedOutcome>> = ctx.par_map(cases.len(), |c| {
+        let observed = ctx.par_map(cases.len(), |c| {
             let case = &cases[c];
             (0..trials)
                 .map(|t| {
@@ -192,11 +186,33 @@ impl Scenario for TestbedFault {
                         delays: case.delays,
                         ..TestbedConfig::new(RateId::R12, case.mode)
                     };
-                    run_transfer(&mut net, &mut rng, 0, 4, &[1, 2, 3], &cfg)
-                        .expect("diamond is routable")
+                    let mut rec = obs.trial_recorder();
+                    let mut reg = obs.trial_registry();
+                    let outcome = run_transfer_observed(
+                        &mut net,
+                        &mut rng,
+                        0,
+                        4,
+                        &[1, 2, 3],
+                        &cfg,
+                        &mut rec,
+                        &mut reg,
+                    )
+                    .expect("diamond is routable");
+                    (outcome, rec, reg)
                 })
-                .collect()
+                .collect::<Vec<_>>()
         });
+        let mut rows: Vec<Vec<TestbedOutcome>> = Vec::with_capacity(observed.len());
+        for (case, per_trial) in cases.iter().zip(observed) {
+            let mut outcomes = Vec::with_capacity(per_trial.len());
+            for (t, (outcome, rec, reg)) in per_trial.into_iter().enumerate() {
+                obs.add_track(format!("{}/t{t}", case.name), rec);
+                obs.merge_metrics(&reg);
+                outcomes.push(outcome);
+            }
+            rows.push(outcomes);
+        }
 
         for (case, outcomes) in cases.iter().zip(&rows) {
             let sum = |f: &dyn Fn(&TestbedOutcome) -> u64| -> i64 {
@@ -226,5 +242,29 @@ impl Scenario for TestbedFault {
             "every FaultInjector class (drop/corrupt x data/ack/header) plus the empty \
              delay database maps to its typed outcome above",
         );
+    }
+}
+
+impl Scenario for TestbedFault {
+    fn name(&self) -> &'static str {
+        "testbed_fault"
+    }
+
+    fn title(&self) -> &'static str {
+        "Event-driven testbed: fault-injection sweep over every protocol seam"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§8 robustness"
+    }
+
+    fn run(&self, ctx: &Ctx, out: &mut Output) {
+        self.run_with_obs(ctx, out, &mut Obs::disabled());
+    }
+}
+
+impl Observable for TestbedFault {
+    fn run_observed(&self, ctx: &Ctx, out: &mut Output, obs: &mut Obs) {
+        self.run_with_obs(ctx, out, obs);
     }
 }

@@ -20,9 +20,10 @@ use ssync_dsp::stats::median;
 use ssync_exp::scenario::emit_cdf;
 use ssync_exp::{Ctx, Output, Scenario};
 use ssync_mac::{DataFrame, MacFrame};
+use ssync_obs::{Obs, Observable};
 use ssync_phy::{OfdmParams, RateId};
 use ssync_sim::{ChannelModels, Network, NodeId};
-use ssync_testbed::{run_transfer, Modem, RoutingMode, TestbedConfig, TestbedOutcome};
+use ssync_testbed::{run_transfer_observed, Modem, RoutingMode, TestbedConfig, TestbedOutcome};
 
 /// The data-frame payload both testbed scenarios run (map overhead
 /// excluded; see `TestbedConfig::new`).
@@ -133,23 +134,24 @@ fn mode_name(mode: RoutingMode) -> &'static str {
     }
 }
 
+fn mode_slug(mode: RoutingMode) -> &'static str {
+    match mode {
+        RoutingMode::SinglePath => "single",
+        RoutingMode::Exor => "exor",
+        RoutingMode::ExorSourceSync => "exor+ss",
+    }
+}
+
 /// See the module docs.
 pub struct TestbedMultihop;
 
-impl Scenario for TestbedMultihop {
-    fn name(&self) -> &'static str {
-        "testbed_multihop"
-    }
-
-    fn title(&self) -> &'static str {
-        "Event-driven testbed: multi-hop throughput, single path vs ExOR vs ExOR+SourceSync"
-    }
-
-    fn paper_ref(&self) -> &'static str {
-        "§8.4 / Fig. 18"
-    }
-
-    fn run(&self, ctx: &Ctx, out: &mut Output) {
+impl TestbedMultihop {
+    /// One body for both the plain and observed paths, so the rendered
+    /// output cannot drift between them: each (topology, mode) run fills
+    /// its own per-trial recorder/registry via
+    /// [`run_transfer_observed`], folded into `obs` in trial-index order
+    /// as a `topology{t}/{mode}` track.
+    fn run_with_obs(&self, ctx: &Ctx, out: &mut Output, obs: &mut Obs) {
         let modes = [
             RoutingMode::SinglePath,
             RoutingMode::Exor,
@@ -162,7 +164,7 @@ impl Scenario for TestbedMultihop {
              over the waveform medium)",
         );
 
-        let results: Vec<Vec<TestbedOutcome>> = ctx.par_map(topologies, |t| {
+        let observed = ctx.par_map(topologies, |t| {
             let seed = 770_000 + t as u64;
             let mut net = draw_network(seed);
             modes
@@ -170,18 +172,33 @@ impl Scenario for TestbedMultihop {
                 .enumerate()
                 .map(|(m, &mode)| {
                     let mut rng = StdRng::seed_from_u64(seed ^ (0xA0 + m as u64));
-                    run_transfer(
+                    let mut rec = obs.trial_recorder();
+                    let mut reg = obs.trial_registry();
+                    let outcome = run_transfer_observed(
                         &mut net,
                         &mut rng,
                         0,
                         4,
                         &[1, 2, 3],
                         &TestbedConfig::new(RateId::R12, mode),
+                        &mut rec,
+                        &mut reg,
                     )
-                    .expect("diamond is routable")
+                    .expect("diamond is routable");
+                    (outcome, rec, reg)
                 })
-                .collect()
+                .collect::<Vec<_>>()
         });
+        let mut results: Vec<Vec<TestbedOutcome>> = Vec::with_capacity(observed.len());
+        for (t, per_mode) in observed.into_iter().enumerate() {
+            let mut outcomes = Vec::with_capacity(per_mode.len());
+            for ((outcome, rec, reg), &mode) in per_mode.into_iter().zip(&modes) {
+                obs.add_track(format!("topology{t}/{}", mode_slug(mode)), rec);
+                obs.merge_metrics(&reg);
+                outcomes.push(outcome);
+            }
+            results.push(outcomes);
+        }
 
         let mut medians = Vec::new();
         for (m, &mode) in modes.iter().enumerate() {
@@ -213,5 +230,29 @@ impl Scenario for TestbedMultihop {
             medians[2] / medians[1].max(1e-9),
             medians[2] / medians[0].max(1e-9),
         ));
+    }
+}
+
+impl Scenario for TestbedMultihop {
+    fn name(&self) -> &'static str {
+        "testbed_multihop"
+    }
+
+    fn title(&self) -> &'static str {
+        "Event-driven testbed: multi-hop throughput, single path vs ExOR vs ExOR+SourceSync"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§8.4 / Fig. 18"
+    }
+
+    fn run(&self, ctx: &Ctx, out: &mut Output) {
+        self.run_with_obs(ctx, out, &mut Obs::disabled());
+    }
+}
+
+impl Observable for TestbedMultihop {
+    fn run_observed(&self, ctx: &Ctx, out: &mut Output, obs: &mut Obs) {
+        self.run_with_obs(ctx, out, obs);
     }
 }

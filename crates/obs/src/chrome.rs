@@ -1,0 +1,175 @@
+//! Chrome trace-event JSON export, so a testbed run opens in Perfetto
+//! (<https://ui.perfetto.dev>) as a per-node timeline.
+//!
+//! Mapping: each [`TraceSet`] track (one trial/variant) becomes a
+//! Perfetto *process* (`pid` = track index, named by the track label);
+//! each node becomes a *thread* lane (`tid` = node id, named `node N`).
+//! Span events (`dur_fs > 0`, e.g. frames on the air) render as complete
+//! events (`"ph":"X"`); instantaneous events as thread-scoped instants
+//! (`"ph":"i","s":"t"`).
+//!
+//! Determinism: timestamps are microseconds, required by the format, but
+//! they are rendered by **exact integer arithmetic** on the femtosecond
+//! values (`fs / 10⁹` whole µs, `fs % 10⁹` as nine fixed fraction
+//! digits) — no float formatting anywhere, so the byte stream is a pure
+//! function of the recorded events.
+
+use ssync_exp::record::json_string;
+
+use crate::trace::{TraceEvent, TraceSet};
+
+/// Femtoseconds per microsecond.
+const FS_PER_US: u64 = 1_000_000_000;
+
+/// Renders a femtosecond instant as a decimal-microsecond literal with
+/// exactly nine fraction digits (`"12.000000345"`).
+fn us_literal(fs: u64) -> String {
+    format!("{}.{:09}", fs / FS_PER_US, fs % FS_PER_US)
+}
+
+fn event_json(pid: usize, e: &TraceEvent) -> String {
+    let mut args = String::new();
+    for (i, (key, value)) in e.kind.args().iter().enumerate() {
+        if i > 0 {
+            args.push_str(", ");
+        }
+        args.push_str(&json_string(key));
+        args.push_str(": ");
+        args.push_str(&value.render_json());
+    }
+    let phase = if e.dur_fs > 0 {
+        format!("\"ph\": \"X\", \"dur\": {}", us_literal(e.dur_fs))
+    } else {
+        "\"ph\": \"i\", \"s\": \"t\"".to_string()
+    };
+    format!(
+        "{{\"name\": {}, {}, \"pid\": {}, \"tid\": {}, \"ts\": {}, \"args\": {{{}}}}}",
+        json_string(e.kind.name()),
+        phase,
+        pid,
+        e.node,
+        us_literal(e.t_fs),
+        args
+    )
+}
+
+fn metadata_json(kind: &str, pid: usize, tid: u32, name: &str) -> String {
+    format!(
+        "{{\"name\": {}, \"ph\": \"M\", \"pid\": {}, \"tid\": {}, \"args\": {{\"name\": {}}}}}",
+        json_string(kind),
+        pid,
+        tid,
+        json_string(name)
+    )
+}
+
+/// Renders the whole set as a Chrome trace-event JSON object
+/// (`{"traceEvents": [...]}`) ending with a newline.
+///
+/// Metadata events name every track (process) and every node lane it
+/// touched (thread); data events follow in merged `(t_fs, seq)` order per
+/// track, tracks in insertion order — the same total order everywhere, so
+/// the output is byte-identical across thread counts and builds.
+pub fn chrome_trace_json(set: &TraceSet) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (pid, (label, recorder)) in set.tracks().iter().enumerate() {
+        events.push(metadata_json("process_name", pid, 0, label));
+        for node in 0..recorder.node_count() as u32 {
+            if !recorder.node_events(node).is_empty() {
+                events.push(metadata_json(
+                    "thread_name",
+                    pid,
+                    node,
+                    &format!("node {node}"),
+                ));
+            }
+        }
+        for e in recorder.merged() {
+            events.push(event_json(pid, &e));
+        }
+    }
+    format!("{{\"traceEvents\": [\n  {}\n]}}\n", events.join(",\n  "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FrameClass, TraceEventKind};
+    use crate::trace::TraceRecorder;
+
+    fn sample_set() -> TraceSet {
+        let mut rec = TraceRecorder::enabled();
+        rec.emit_span(
+            2_500_000_000,
+            1_000_000_000,
+            0,
+            TraceEventKind::FrameTx {
+                class: FrameClass::Data,
+                bytes: 700,
+                seq: 3,
+                dst: 2,
+            },
+        );
+        rec.emit(
+            123,
+            2,
+            TraceEventKind::DcfAttempt {
+                at_fs: 123,
+                retries: 0,
+            },
+        );
+        let mut set = TraceSet::new();
+        set.push("trial0/joint", rec);
+        set
+    }
+
+    #[test]
+    fn us_literal_is_exact_integer_arithmetic() {
+        assert_eq!(us_literal(0), "0.000000000");
+        assert_eq!(us_literal(1), "0.000000001");
+        assert_eq!(us_literal(FS_PER_US), "1.000000000");
+        assert_eq!(us_literal(2_500_000_123), "2.500000123");
+        assert_eq!(us_literal(u64::MAX), "18446744073.709551615");
+    }
+
+    #[test]
+    fn span_and_instant_phases() {
+        let json = chrome_trace_json(&sample_set());
+        assert!(json.starts_with("{\"traceEvents\": [\n"));
+        assert!(json.ends_with("]}\n"));
+        // Span: complete event with duration in µs.
+        assert!(json.contains("\"name\": \"frame_tx\", \"ph\": \"X\", \"dur\": 1.000000000"));
+        assert!(json.contains("\"ts\": 2.500000000"));
+        // Instant: thread-scoped.
+        assert!(json.contains("\"name\": \"dcf_attempt\", \"ph\": \"i\", \"s\": \"t\""));
+        assert!(json.contains("\"ts\": 0.000000123"));
+    }
+
+    #[test]
+    fn metadata_names_track_and_touched_lanes_only() {
+        let json = chrome_trace_json(&sample_set());
+        assert!(json.contains(
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+             \"args\": {\"name\": \"trial0/joint\"}}"
+        ));
+        assert!(json.contains("\"args\": {\"name\": \"node 0\"}"));
+        assert!(json.contains("\"args\": {\"name\": \"node 2\"}"));
+        // Node 1 never emitted: no lane metadata for it.
+        assert!(!json.contains("node 1"));
+    }
+
+    #[test]
+    fn event_args_render_as_json_object() {
+        let json = chrome_trace_json(&sample_set());
+        assert!(json
+            .contains("\"args\": {\"class\": \"data\", \"bytes\": 700, \"seq\": 3, \"dst\": 2}"));
+    }
+
+    #[test]
+    fn empty_set_is_valid_json() {
+        assert_eq!(
+            chrome_trace_json(&TraceSet::new()),
+            "{\"traceEvents\": [\n  \n]}\n"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! The [`ObsSnapshot`] trait: one serialisation seam for the stack's
+//! diagnostic structs.
+//!
+//! Before this crate, every layer grew its own diagnostics struct with
+//! its own ad-hoc printing (`RxDiagnostics`, `CombinerStats`,
+//! `FaultCounters`, `JoinStats`). `ObsSnapshot` gives them one contract:
+//! a stable kind label plus an ordered field list of
+//! [`ssync_exp::record::Value`]s — which means they all serialise through
+//! the same TSV/JSON sink machinery as the golden scenario outputs, with
+//! the same fixed-precision float rules.
+
+use ssync_exp::record::{Output, Value};
+
+/// A diagnostics struct that can be serialised through the shared sink.
+pub trait ObsSnapshot {
+    /// Stable lower-snake label for this snapshot kind
+    /// (`"rx_diagnostics"`, `"fault_counters"`, …).
+    fn obs_kind(&self) -> &'static str;
+
+    /// The fields in a fixed, documented order. Field names are stable
+    /// exporter-facing identifiers; values carry the same fixed-precision
+    /// rendering rules as scenario outputs.
+    fn obs_fields(&self) -> Vec<(&'static str, Value)>;
+}
+
+/// Renders any set of snapshots as one long-format table
+/// (`snapshot`/`field`/`value`), in argument order. Long format keeps
+/// heterogeneous snapshot kinds in a single table without a union of all
+/// their columns.
+pub fn snapshot_output(snapshots: &[&dyn ObsSnapshot]) -> Output {
+    let mut out = Output::new();
+    out.columns(&["snapshot", "field", "value"]);
+    for snap in snapshots {
+        for (field, value) in snap.obs_fields() {
+            out.row(vec![Value::s(snap.obs_kind()), Value::s(field), value]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssync_exp::sink::{render_json, render_tsv};
+
+    struct Demo;
+    impl ObsSnapshot for Demo {
+        fn obs_kind(&self) -> &'static str {
+            "demo"
+        }
+        fn obs_fields(&self) -> Vec<(&'static str, Value)> {
+            vec![
+                ("count", Value::Int(3)),
+                ("snr_db", Value::F(12.345, 2)),
+                ("mode", Value::s("joint")),
+            ]
+        }
+    }
+
+    #[test]
+    fn long_format_table_renders_through_both_sinks() {
+        let out = snapshot_output(&[&Demo, &Demo]);
+        let tsv = render_tsv(&out);
+        assert!(tsv.starts_with("# snapshot\tfield\tvalue\n"));
+        assert_eq!(tsv.matches("demo\tcount\t3\n").count(), 2);
+        assert!(tsv.contains("demo\tsnr_db\t12.35\n"));
+        let json = render_json("snap", &out);
+        assert!(json.contains("[\"demo\", \"mode\", \"joint\"]"));
+    }
+
+    #[test]
+    fn empty_snapshot_list_is_header_only() {
+        let out = snapshot_output(&[]);
+        assert_eq!(render_tsv(&out), "# snapshot\tfield\tvalue\n");
+    }
+}

@@ -1,0 +1,230 @@
+//! The structured trace recorder.
+//!
+//! A [`TraceRecorder`] is filled by exactly one engine (one trial): events
+//! go into per-node buffers stamped with femtosecond sim time and a
+//! recorder-global sequence number assigned in emission order. Because a
+//! single engine is single-threaded and deterministic, the stream of
+//! `(t_fs, seq)` pairs is a pure function of the scenario — host thread
+//! count never touches it. Parallel trials each fill their own recorder;
+//! [`TraceSet`] holds them labelled in trial order for the exporters.
+//!
+//! Disabled recorders are free in the sense that matters for the hot
+//! path: [`TraceRecorder::emit`] is one predictable branch, and callers
+//! gate any *work to produce an event* (cloning diagnostics, formatting)
+//! behind [`TraceRecorder::is_enabled`].
+
+use crate::event::TraceEventKind;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the event start, femtoseconds.
+    pub t_fs: u64,
+    /// Duration for span-like events (on-air time); 0 for instants.
+    pub dur_fs: u64,
+    /// Emission-order sequence number, unique within one recorder. Breaks
+    /// ties between events at the same femtosecond so the merged order is
+    /// total.
+    pub seq: u64,
+    /// The node the event belongs to (its Perfetto thread lane).
+    pub node: u32,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// A per-trial trace recorder with per-node buffers.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    enabled: bool,
+    next_seq: u64,
+    /// `buffers[node]` holds that node's events in emission order.
+    buffers: Vec<Vec<TraceEvent>>,
+}
+
+impl TraceRecorder {
+    /// A recorder that drops everything. This is the hot-path default:
+    /// `emit` on a disabled recorder is a single branch.
+    pub fn disabled() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// A recorder that keeps events.
+    pub fn enabled() -> Self {
+        TraceRecorder {
+            enabled: true,
+            ..TraceRecorder::default()
+        }
+    }
+
+    /// Whether events are being kept. Callers use this to skip the *cost
+    /// of building* an event (e.g. summarising receive diagnostics), not
+    /// just its storage.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an instantaneous event.
+    #[inline]
+    pub fn emit(&mut self, t_fs: u64, node: u32, kind: TraceEventKind) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t_fs, 0, node, kind);
+    }
+
+    /// Records a span (an event with on-air duration).
+    #[inline]
+    pub fn emit_span(&mut self, t_fs: u64, dur_fs: u64, node: u32, kind: TraceEventKind) {
+        if !self.enabled {
+            return;
+        }
+        self.push(t_fs, dur_fs, node, kind);
+    }
+
+    fn push(&mut self, t_fs: u64, dur_fs: u64, node: u32, kind: TraceEventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = node as usize;
+        if self.buffers.len() <= idx {
+            self.buffers.resize_with(idx + 1, Vec::new);
+        }
+        self.buffers[idx].push(TraceEvent {
+            t_fs,
+            dur_fs,
+            seq,
+            node,
+            kind,
+        });
+    }
+
+    /// Total number of recorded events.
+    pub fn len(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of node lanes touched (highest node id + 1).
+    pub fn node_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// One node's events in emission order (empty for untouched lanes).
+    pub fn node_events(&self, node: u32) -> &[TraceEvent] {
+        self.buffers
+            .get(node as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All events merged across nodes in event-queue order: ascending
+    /// `(t_fs, seq)`. Each per-node buffer is already in emission order
+    /// (so ascending `seq`), which makes the merge stable and total.
+    pub fn merged(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self.buffers.iter().flatten().cloned().collect();
+        all.sort_by_key(|e| (e.t_fs, e.seq));
+        all
+    }
+}
+
+/// A labelled collection of recorders — one per (trial, variant) track —
+/// in deterministic (trial-index) order. This is what the exporters
+/// consume: each track becomes a Perfetto process row.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    tracks: Vec<(String, TraceRecorder)>,
+}
+
+impl TraceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        TraceSet::default()
+    }
+
+    /// Appends a track. Callers must push in trial-index order — the set
+    /// preserves insertion order and the exporters render it verbatim.
+    pub fn push(&mut self, label: impl Into<String>, recorder: TraceRecorder) {
+        self.tracks.push((label.into(), recorder));
+    }
+
+    /// The tracks in insertion order.
+    pub fn tracks(&self) -> &[(String, TraceRecorder)] {
+        &self.tracks
+    }
+
+    /// Total events across all tracks.
+    pub fn len(&self) -> usize {
+        self.tracks.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// True when no track holds any event.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind;
+
+    fn marker(seq: u16) -> TraceEventKind {
+        TraceEventKind::PacketAbandoned { seq }
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let mut rec = TraceRecorder::disabled();
+        rec.emit(10, 0, marker(1));
+        rec.emit_span(20, 5, 1, marker(2));
+        assert!(rec.is_empty());
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.node_count(), 0);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_sequence() {
+        let mut rec = TraceRecorder::enabled();
+        // Node 2 emits first at t=100, node 0 later at the same t=100,
+        // node 1 at t=50.
+        rec.emit(100, 2, marker(0));
+        rec.emit(100, 0, marker(1));
+        rec.emit(50, 1, marker(2));
+        let merged = rec.merged();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].t_fs, 50);
+        // Same-femtosecond tie broken by emission order: node 2 before 0.
+        assert_eq!(merged[1].node, 2);
+        assert_eq!(merged[2].node, 0);
+        assert!(merged[1].seq < merged[2].seq);
+    }
+
+    #[test]
+    fn per_node_buffers_keep_emission_order() {
+        let mut rec = TraceRecorder::enabled();
+        rec.emit(30, 1, marker(0));
+        rec.emit(10, 1, marker(1));
+        assert_eq!(rec.node_events(1).len(), 2);
+        assert_eq!(rec.node_events(1)[0].t_fs, 30);
+        assert_eq!(rec.node_events(0), &[]);
+        assert_eq!(rec.node_events(9), &[]);
+        assert_eq!(rec.node_count(), 2);
+    }
+
+    #[test]
+    fn trace_set_preserves_insertion_order() {
+        let mut set = TraceSet::new();
+        let mut a = TraceRecorder::enabled();
+        a.emit(1, 0, marker(0));
+        set.push("trial0", a);
+        set.push("trial1", TraceRecorder::enabled());
+        assert_eq!(set.tracks().len(), 2);
+        assert_eq!(set.tracks()[0].0, "trial0");
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+    }
+}

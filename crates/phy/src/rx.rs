@@ -65,6 +65,48 @@ pub struct RxDiagnostics {
     pub timing_offset_samples: f64,
 }
 
+impl RxDiagnostics {
+    /// The compact trace-event form: the scalar measurements an rx trace
+    /// event carries (the full struct owns whole channel estimates, which
+    /// are too heavy to clone per event).
+    pub fn summary(&self) -> ssync_obs::RxDiagSummary {
+        ssync_obs::RxDiagSummary {
+            mean_snr_db: self.mean_snr_db,
+            evm_snr_db: self.evm_snr_db,
+            cfo_hz: self.detection.cfo_hz,
+            timing_offset_samples: self.timing_offset_samples,
+        }
+    }
+}
+
+impl From<&RxDiagnostics> for ssync_obs::RxDiagSummary {
+    fn from(diag: &RxDiagnostics) -> Self {
+        diag.summary()
+    }
+}
+
+impl ssync_obs::ObsSnapshot for RxDiagnostics {
+    fn obs_kind(&self) -> &'static str {
+        "rx_diagnostics"
+    }
+    fn obs_fields(&self) -> Vec<(&'static str, ssync_obs::Value)> {
+        use ssync_obs::Value;
+        vec![
+            ("detect_idx", Value::Int(self.detection.detect_idx as i64)),
+            ("lts_start", Value::Int(self.detection.lts_start as i64)),
+            ("cfo_hz", Value::F(self.detection.cfo_hz, 1)),
+            ("lts_quality", Value::F(self.detection.lts_quality, 4)),
+            (
+                "n_carriers",
+                Value::Int(self.per_carrier_snr_db.len() as i64),
+            ),
+            ("mean_snr_db", Value::F(self.mean_snr_db, 2)),
+            ("evm_snr_db", Value::F(self.evm_snr_db, 2)),
+            ("timing_samples", Value::F(self.timing_offset_samples, 3)),
+        ]
+    }
+}
+
 /// A successfully received frame.
 #[derive(Debug, Clone)]
 pub struct RxResult {
@@ -439,6 +481,25 @@ mod tests {
         let buf = on_air(&wave, 300, 30.0, 7);
         let got = rx.receive(&buf).expect("decode failed");
         assert_eq!(got.payload, payload);
+    }
+
+    #[test]
+    fn diagnostics_summarise_and_snapshot() {
+        use ssync_obs::{ObsSnapshot, Value};
+        let params = OfdmParams::dot11a();
+        let tx = Transmitter::new(params.clone());
+        let rx = Receiver::new(params);
+        let wave = tx.frame_waveform(&[0x11; 120], RateId::R12, 0);
+        let got = rx.receive(&on_air(&wave, 150, 30.0, 3)).expect("decode");
+        let sum = got.diag.summary();
+        assert_eq!(sum.mean_snr_db, got.diag.mean_snr_db);
+        assert_eq!(sum.cfo_hz, got.diag.detection.cfo_hz);
+        assert_eq!(sum, ssync_obs::RxDiagSummary::from(&got.diag));
+        assert_eq!(got.diag.obs_kind(), "rx_diagnostics");
+        let fields = got.diag.obs_fields();
+        assert_eq!(fields.len(), 8);
+        assert_eq!(fields[0].0, "detect_idx");
+        assert!(matches!(fields[5], ("mean_snr_db", Value::F(_, 2))));
     }
 
     #[test]

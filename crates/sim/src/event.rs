@@ -5,6 +5,7 @@
 //! protocol simulations reproducible run-to-run.
 
 use crate::time::Time;
+use ssync_obs::{ObsSnapshot, Value};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -17,12 +18,39 @@ pub struct Scheduled<E> {
     pub event: E,
 }
 
+/// Lifetime statistics of an [`EventQueue`] — how much scheduling work a
+/// run did and how deep the queue got. Kept as plain integers updated
+/// inline (no atomics: the queue is single-owner by design).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events ever popped.
+    pub popped: u64,
+    /// Maximum simultaneous pending events.
+    pub peak_len: u64,
+}
+
+impl ObsSnapshot for QueueStats {
+    fn obs_kind(&self) -> &'static str {
+        "event_queue"
+    }
+    fn obs_fields(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("scheduled", Value::Int(self.scheduled as i64)),
+            ("popped", Value::Int(self.popped as i64)),
+            ("peak_len", Value::Int(self.peak_len as i64)),
+        ]
+    }
+}
+
 /// Min-heap event queue with FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Time, u64, usize)>>,
     payloads: Vec<Option<E>>,
     seq: u64,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -38,6 +66,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             payloads: Vec::new(),
             seq: 0,
+            stats: QueueStats::default(),
         }
     }
 
@@ -47,12 +76,15 @@ impl<E> EventQueue<E> {
         self.payloads.push(Some(event));
         self.heap.push(Reverse((at, self.seq, slot)));
         self.seq += 1;
+        self.stats.scheduled += 1;
+        self.stats.peak_len = self.stats.peak_len.max(self.heap.len() as u64);
     }
 
     /// Pops the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         let Reverse((at, _, slot)) = self.heap.pop()?;
         let event = self.payloads[slot].take().expect("payload popped twice");
+        self.stats.popped += 1;
         Some(Scheduled { at, event })
     }
 
@@ -69,6 +101,11 @@ impl<E> EventQueue<E> {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Lifetime scheduling statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -110,6 +147,23 @@ mod tests {
         assert_eq!(q.pop().unwrap().event, "y");
         assert_eq!(q.pop().unwrap().event, "z");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stats_track_volume_and_peak() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(1), "a");
+        q.schedule(Time(2), "b");
+        q.pop();
+        q.schedule(Time(3), "c");
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.popped, 1);
+        assert_eq!(s.peak_len, 2);
+        assert_eq!(s.obs_kind(), "event_queue");
+        let fields = s.obs_fields();
+        assert_eq!(fields[0], ("scheduled", Value::Int(3)));
+        assert_eq!(fields[2], ("peak_len", Value::Int(2)));
     }
 
     #[test]

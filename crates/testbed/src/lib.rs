@@ -16,7 +16,13 @@
 //! * [`ssync_routing`] orders the ExOR forwarder set and the single-path
 //!   route;
 //! * [`ssync_core`] drives SourceSync joint frames role by role through
-//!   the staged [`JointSession`](ssync_core::JointSession).
+//!   the staged [`JointSession`](ssync_core::JointSession);
+//! * [`ssync_obs`] watches it all: [`runtime::run_transfer_observed`]
+//!   fills a [`TraceRecorder`](ssync_obs::TraceRecorder) with typed,
+//!   femtosecond-stamped events and a
+//!   [`MetricRegistry`](ssync_obs::MetricRegistry) with run metrics, at
+//!   zero protocol cost (outcomes are bit-identical to the unobserved
+//!   run).
 //!
 //! Modules:
 //!
@@ -35,6 +41,6 @@ pub mod runtime;
 pub use faults::{apply_classified, FaultCounters, FaultPlan, Faulted};
 pub use link::{Modem, BROADCAST, CAPTURE_MARGIN};
 pub use runtime::{
-    packet_payload, run_transfer, DelaySource, JoinStats, RoutingMode, TestbedConfig,
-    TestbedOutcome,
+    packet_payload, run_transfer, run_transfer_observed, DelaySource, JoinStats, RoutingMode,
+    TestbedConfig, TestbedOutcome,
 };

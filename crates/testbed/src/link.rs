@@ -11,6 +11,7 @@
 use rand::Rng;
 use ssync_dsp::Complex64;
 use ssync_mac::MacFrame;
+use ssync_obs::{Counter, RxDiagSummary};
 use ssync_phy::workspace::WorkspacePool;
 use ssync_phy::{crc, Params, RateId, Receiver, Transmitter};
 use ssync_sim::{Duration, Network, NodeId, Time};
@@ -35,6 +36,9 @@ pub struct Modem {
     pool: WorkspacePool,
     /// Worker threads for batched decodes (1 = decode inline).
     decode_threads: usize,
+    /// Counts [`Modem::exchange`] calls with an empty transmission set —
+    /// an upstream scheduling bug this layer used to zero out silently.
+    empty_tx_batches: Counter,
 }
 
 impl Modem {
@@ -46,6 +50,7 @@ impl Modem {
             pool: WorkspacePool::new(&params),
             params,
             decode_threads: 1,
+            empty_tx_batches: Counter::default(),
         }
     }
 
@@ -60,6 +65,18 @@ impl Modem {
     /// The numerology.
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// Rebinds the empty-transmission-set counter to a registry-owned
+    /// cell, so runs that carry a [`ssync_obs::MetricRegistry`] see the
+    /// anomaly in their snapshot instead of a private field.
+    pub fn set_empty_exchange_counter(&mut self, counter: Counter) {
+        self.empty_tx_batches = counter;
+    }
+
+    /// How many exchanges arrived with no transmitters at all.
+    pub fn empty_exchange_count(&self) -> u64 {
+        self.empty_tx_batches.get()
     }
 
     /// The shared receive-workspace pool.
@@ -95,13 +112,26 @@ impl Modem {
         &self,
         captures: &[C],
     ) -> Vec<Option<MacFrame>> {
+        self.decode_mac_batch_diag(captures)
+            .into_iter()
+            .map(|d| d.map(|(frame, _)| frame))
+            .collect()
+    }
+
+    /// [`Modem::decode_mac_batch`] keeping the receive-chain diagnostics
+    /// summary the chain measured alongside each recovered frame.
+    pub fn decode_mac_batch_diag<C: AsRef<[Complex64]> + Sync>(
+        &self,
+        captures: &[C],
+    ) -> Vec<Option<(MacFrame, RxDiagSummary)>> {
         self.rx
             .receive_batch(captures, &self.pool, self.decode_threads)
             .into_iter()
             .map(|res| {
                 let res = res.ok()?;
+                let diag = res.diag.summary();
                 let bytes = crc::check_crc(&res.payload)?;
-                MacFrame::from_bytes(bytes)
+                Some((MacFrame::from_bytes(bytes)?, diag))
             })
             .collect()
     }
@@ -119,13 +149,34 @@ impl Modem {
         transmissions: &[(NodeId, Vec<Complex64>)],
         listeners: &[NodeId],
     ) -> Vec<(NodeId, Option<MacFrame>)> {
+        self.exchange_with_diag(net, rng, transmissions, listeners)
+            .into_iter()
+            .map(|(l, d)| (l, d.map(|(frame, _)| frame)))
+            .collect()
+    }
+
+    /// [`Modem::exchange`] keeping each listener's receive diagnostics.
+    /// Captures, noise draws and decodes are identical to `exchange` —
+    /// only the diagnostics summary rides along.
+    pub fn exchange_with_diag<R: Rng + ?Sized>(
+        &self,
+        net: &mut Network,
+        rng: &mut R,
+        transmissions: &[(NodeId, Vec<Complex64>)],
+        listeners: &[NodeId],
+    ) -> Vec<(NodeId, Option<(MacFrame, RxDiagSummary)>)> {
         let period = self.params.sample_period_fs();
         let t0 = Time((CAPTURE_MARGIN as u64) * period);
-        let longest = transmissions
-            .iter()
-            .map(|(_, w)| w.len())
-            .max()
-            .unwrap_or(0);
+        let longest = match transmissions.iter().map(|(_, w)| w.len()).max() {
+            Some(longest) => longest,
+            None => {
+                // No transmitters: every capture below is pure noise. That
+                // is a legal (if suspicious) exchange, but it used to read
+                // as a zero-length frame — count it instead of hiding it.
+                self.empty_tx_batches.inc();
+                0
+            }
+        };
         net.medium.clear_transmissions();
         for (tx, wave) in transmissions {
             net.medium.transmit(*tx, t0, wave.clone());
@@ -141,7 +192,7 @@ impl Modem {
         listeners
             .iter()
             .copied()
-            .zip(self.decode_mac_batch(&captures))
+            .zip(self.decode_mac_batch_diag(&captures))
             .collect()
     }
 }
@@ -243,6 +294,32 @@ mod tests {
             &[NodeId(2)],
         );
         assert_eq!(out[0].1, None, "balanced collision should destroy both");
+    }
+
+    #[test]
+    fn exchange_with_diag_reports_link_quality() {
+        let mut n = net(7);
+        n.pin_snr_db(NodeId(0), NodeId(1), 25.0);
+        let modem = Modem::new(n.params.clone());
+        let frame = data_frame(0, 3);
+        let wave = modem.mac_waveform(&frame, RateId::R12);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = modem.exchange_with_diag(&mut n, &mut rng, &[(NodeId(0), wave)], &[NodeId(1)]);
+        let (got, diag) = out[0].1.as_ref().expect("clean link decodes");
+        assert_eq!(got, &frame);
+        assert!(diag.mean_snr_db > 10.0, "{diag:?}");
+        assert!(diag.evm_snr_db > 5.0, "{diag:?}");
+    }
+
+    #[test]
+    fn empty_transmission_set_is_counted_not_zeroed() {
+        let mut n = net(11);
+        let modem = Modem::new(n.params.clone());
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(modem.empty_exchange_count(), 0);
+        let out = modem.exchange(&mut n, &mut rng, &[], &[NodeId(0), NodeId(1)]);
+        assert_eq!(modem.empty_exchange_count(), 1);
+        assert!(out.iter().all(|(_, d)| d.is_none()));
     }
 
     #[test]

@@ -44,10 +44,14 @@ use crate::link::{Modem, BROADCAST};
 use rand::Rng;
 use ssync_core::session::JoinFailure;
 use ssync_core::{
-    CosenderPlan, DelayDatabase, JointConfig, JointSession, SessionWorkspace, SyncHeader,
+    CosenderPlan, DelayDatabase, JointConfig, JointSession, LeadFrame, SessionWorkspace, SyncHeader,
 };
 use ssync_dsp::Complex64;
 use ssync_mac::{ack_schedule, DataFrame, DcfContender, DcfTiming, MacFrame};
+use ssync_obs::{
+    FrameClass, Histogram, JoinResult, MetricRegistry, ObsSnapshot, Scope, TraceEventKind,
+    TraceRecorder, Value,
+};
 use ssync_phy::ber::PerTable;
 use ssync_phy::RateId;
 use ssync_routing::{best_path, forwarder_priority, MeshTopology};
@@ -164,6 +168,27 @@ impl JoinStats {
     }
 }
 
+impl ObsSnapshot for JoinStats {
+    fn obs_kind(&self) -> &'static str {
+        "join_stats"
+    }
+
+    fn obs_fields(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("attempted", Value::Int(self.attempted as i64)),
+            ("joined", Value::Int(self.joined as i64)),
+            ("no_detect", Value::Int(self.no_detect as i64)),
+            (
+                "not_joint_flagged",
+                Value::Int(self.not_joint_flagged as i64),
+            ),
+            ("malformed_header", Value::Int(self.malformed_header as i64)),
+            ("wrong_packet", Value::Int(self.wrong_packet as i64)),
+            ("missing_delay", Value::Int(self.missing_delay as i64)),
+        ]
+    }
+}
+
 /// What one testbed transfer produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TestbedOutcome {
@@ -204,7 +229,35 @@ pub fn run_transfer<R: Rng + ?Sized>(
     candidates: &[usize],
     cfg: &TestbedConfig,
 ) -> Option<TestbedOutcome> {
-    let mut engine = Engine::new(net, rng, src, dst, candidates, cfg)?;
+    run_transfer_observed(
+        net,
+        rng,
+        src,
+        dst,
+        candidates,
+        cfg,
+        &mut TraceRecorder::disabled(),
+        &mut MetricRegistry::new(),
+    )
+}
+
+/// [`run_transfer`] with observability attached: typed trace events go
+/// into `trace` (stamped with absolute femtosecond exchange times) and
+/// run metrics into `metrics`. The protocol outcome is bit-identical to
+/// [`run_transfer`] — every event and metric is computed from values the
+/// engine already produced, never from extra RNG draws.
+#[allow(clippy::too_many_arguments)]
+pub fn run_transfer_observed<R: Rng + ?Sized>(
+    net: &mut Network,
+    rng: &mut R,
+    src: usize,
+    dst: usize,
+    candidates: &[usize],
+    cfg: &TestbedConfig,
+    trace: &mut TraceRecorder,
+    metrics: &mut MetricRegistry,
+) -> Option<TestbedOutcome> {
+    let mut engine = Engine::new(net, rng, src, dst, candidates, cfg, trace, metrics)?;
     engine.run();
     Some(engine.finish())
 }
@@ -259,6 +312,13 @@ struct Engine<'a, R: Rng + ?Sized> {
     map_len: usize,
     timing: DcfTiming,
     out: TestbedOutcome,
+    trace: &'a mut TraceRecorder,
+    metrics: &'a mut MetricRegistry,
+    /// Data-frame SNR at each successful reception (observed runs get it
+    /// in their snapshot; unobserved runs feed a throwaway registry).
+    m_rx_snr_db: Histogram,
+    /// Combiner EVM SNR at each joint-frame decode attempt.
+    m_joint_evm_db: Histogram,
 }
 
 /// Deterministic user payload of packet `p`.
@@ -273,6 +333,7 @@ pub fn packet_payload(p: usize, len: usize) -> Vec<u8> {
 }
 
 impl<'a, R: Rng + ?Sized> Engine<'a, R> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         net: &'a mut Network,
         rng: &'a mut R,
@@ -280,6 +341,8 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
         dst: usize,
         candidates: &[usize],
         cfg: &TestbedConfig,
+        trace: &'a mut TraceRecorder,
+        metrics: &'a mut MetricRegistry,
     ) -> Option<Self> {
         let n = net.len();
         assert!(src < n && dst < n && src != dst, "bad endpoints");
@@ -351,9 +414,23 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                 queue: VecDeque::new(),
             })
             .collect();
+        // The run-global metrics are registered up front so they appear in
+        // the snapshot (at zero) even when nothing fires; per-node and
+        // per-link metrics register lazily at their first event.
+        let mut modem = Modem::new(params.clone());
+        modem.set_empty_exchange_counter(
+            metrics.counter("lookup_miss_exchange_empty", Scope::Global),
+        );
+        metrics.counter("lookup_miss_plain_empty", Scope::Global);
+        let m_rx_snr_db = metrics.histogram("rx_snr_db", Scope::Global);
+        let m_joint_evm_db = metrics.histogram("joint_evm_snr_db", Scope::Global);
         Some(Engine {
-            modem: Modem::new(params.clone()),
+            modem,
             ws: SessionWorkspace::new(params),
+            trace,
+            metrics,
+            m_rx_snr_db,
+            m_joint_evm_db,
             db,
             net,
             rng,
@@ -470,6 +547,14 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
     fn schedule_attempt(&mut self, v: usize, idle_from: Time) {
         let idle_from = idle_from.max(self.now).max(self.air_busy_until);
         let at = self.stations[v].dcf.attempt_at(self.rng, idle_from);
+        self.trace.emit(
+            at.0,
+            v as u32,
+            TraceEventKind::DcfAttempt {
+                at_fs: at.0,
+                retries: self.stations[v].dcf.retries(),
+            },
+        );
         self.stations[v].gen += 1;
         let gen = self.stations[v].gen;
         self.stations[v].scheduled = Some((at, gen));
@@ -488,6 +573,14 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
     fn defer_pending(&mut self, from: Time, until: Time) {
         for v in 0..self.n {
             if let Some((at, _)) = self.stations[v].scheduled.take() {
+                self.trace.emit(
+                    from.0,
+                    v as u32,
+                    TraceEventKind::DcfDefer {
+                        was_fs: at.0,
+                        busy_from_fs: from.0,
+                    },
+                );
                 self.stations[v].dcf.defer(at, from);
                 self.schedule_attempt(v, until);
             }
@@ -603,7 +696,7 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
     /// One or more plain DATA frames on the air simultaneously, then the
     /// SIFS-spaced replies (unicast ACK / destination batch map). Returns
     /// the total busy duration.
-    fn resolve_plain(&mut self, _at: Time, active: &[(usize, (usize, Vec<usize>))]) -> Duration {
+    fn resolve_plain(&mut self, at: Time, active: &[(usize, (usize, Vec<usize>))]) -> Duration {
         let single_path = self.cfg.mode == RoutingMode::SinglePath;
         let transmissions: Vec<(NodeId, Vec<Complex64>)> = active
             .iter()
@@ -625,9 +718,36 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
             })
             .collect();
         self.out.data_frames += active.len() as u64;
-        for &(v, (p, _)) in active {
+        for (i, &(v, (p, _))) in active.iter().enumerate() {
+            let dur = self.modem.samples_duration(transmissions[i].1.len());
+            self.trace.emit_span(
+                at.0,
+                dur.0,
+                v as u32,
+                TraceEventKind::FrameTx {
+                    class: FrameClass::Data,
+                    bytes: (self.map_len + self.cfg.payload_len) as u32,
+                    seq: p as u16,
+                    dst: if single_path {
+                        self.next_hop[v].expect("hop") as u16
+                    } else {
+                        BROADCAST
+                    },
+                },
+            );
+            self.metrics
+                .counter("frames_tx", Scope::Node(v as u32))
+                .inc();
             if !single_path {
                 self.tx_count[v][p] += 1;
+                self.trace.emit(
+                    at.0,
+                    v as u32,
+                    TraceEventKind::ExorForward {
+                        packet: p as u16,
+                        tx_count: self.tx_count[v][p],
+                    },
+                );
             }
         }
 
@@ -650,20 +770,37 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
         };
         let mut seen = vec![false; self.n];
         listeners.retain(|l| !std::mem::replace(&mut seen[l.0], true));
-        let longest = transmissions
-            .iter()
-            .map(|(_, w)| w.len())
-            .max()
-            .unwrap_or(0);
+        let longest = match transmissions.iter().map(|(_, w)| w.len()).max() {
+            Some(longest) => longest,
+            None => {
+                // `active` is non-empty here, so an empty transmission set
+                // means frame construction was skipped upstream — count it
+                // and trace it instead of treating it as a zero-length
+                // frame.
+                self.metrics
+                    .counter("lookup_miss_plain_empty", Scope::Global)
+                    .inc();
+                self.trace.emit(
+                    at.0,
+                    active[0].0 as u32,
+                    TraceEventKind::LookupMiss {
+                        what: "plain_longest",
+                    },
+                );
+                0
+            }
+        };
         let decoded = self
             .modem
-            .exchange(self.net, self.rng, &transmissions, &listeners);
-        let mut busy = self.modem.samples_duration(longest);
+            .exchange_with_diag(self.net, self.rng, &transmissions, &listeners);
+        let data_busy = self.modem.samples_duration(longest);
+        let t_rx = at.0 + data_busy.0;
+        let mut busy = data_busy;
 
         // Receptions through the DATA fault seam.
         let mut received: Vec<(usize, usize, usize)> = Vec::new(); // (rx, src, p)
-        for (l, frame) in &decoded {
-            let Some(MacFrame::Data(d)) = frame else {
+        for (l, got) in &decoded {
+            let Some((MacFrame::Data(d), diag)) = got else {
                 continue;
             };
             match apply_classified(&self.cfg.faults.data, self.rng, &d.payload) {
@@ -678,6 +815,20 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                 }
                 Faulted::Intact(_) => {}
             }
+            self.trace.emit(
+                t_rx,
+                l.0 as u32,
+                TraceEventKind::FrameRx {
+                    class: FrameClass::Data,
+                    src: d.src,
+                    seq: d.seq,
+                    diag: Some(*diag),
+                },
+            );
+            self.m_rx_snr_db.record(diag.mean_snr_db);
+            self.metrics
+                .counter("rx_ok", Scope::Link(d.src as u32, l.0 as u32))
+                .inc();
             received.push((l.0, d.src as usize, d.seq as usize));
             if !single_path {
                 self.merge_map(l.0, &d.payload[..self.map_len]);
@@ -685,9 +836,19 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
         }
 
         if single_path {
-            busy = busy + self.resolve_acks(active, &received);
+            busy = busy + self.resolve_acks(t_rx, active, &received);
         } else {
             for &(rx, src, p) in &received {
+                if rx == self.dst && !self.has[self.dst][p] {
+                    self.trace.emit(
+                        t_rx,
+                        rx as u32,
+                        TraceEventKind::Delivered {
+                            packet: p as u16,
+                            via: "opportunistic",
+                        },
+                    );
+                }
                 self.grant(rx, p);
                 self.know[rx][src][p] = true;
             }
@@ -696,21 +857,26 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
             }
             let fresh_at_dst = received.iter().any(|&(rx, _, _)| rx == self.dst);
             if fresh_at_dst {
-                busy = busy + self.destination_map_reply();
+                busy = busy + self.destination_map_reply(t_rx);
             }
         }
         busy
     }
 
     /// Unicast ACK turnarounds for every active single-path sender.
+    /// `reply_base_fs` is the absolute end of the DATA phase — each
+    /// sender's turnaround events land at that base plus the turnarounds
+    /// already resolved before it.
     fn resolve_acks(
         &mut self,
+        reply_base_fs: u64,
         active: &[(usize, (usize, Vec<usize>))],
         received: &[(usize, usize, usize)],
     ) -> Duration {
         let mut extra = Duration::ZERO;
         for &(v, (p, _)) in active {
             let hop = self.next_hop[v].expect("hop");
+            let t_fs = reply_base_fs + extra.0;
             let data_ok = received
                 .iter()
                 .any(|&(rx, src, seq)| rx == hop && src == v && seq == p);
@@ -723,11 +889,19 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                     misalign_feedback_s: vec![],
                 });
                 let wave = self.modem.mac_waveform(&ack, RateId::R6);
-                let sched = ack_schedule(
-                    &self.timing,
-                    Time::ZERO,
-                    self.modem.samples_duration(wave.len()),
+                let ack_dur = self.modem.samples_duration(wave.len());
+                self.trace.emit_span(
+                    t_fs + self.timing.sifs.0,
+                    ack_dur.0,
+                    hop as u32,
+                    TraceEventKind::FrameTx {
+                        class: FrameClass::Ack,
+                        bytes: 0,
+                        seq: p as u16,
+                        dst: v as u16,
+                    },
                 );
+                let sched = ack_schedule(&self.timing, Time::ZERO, ack_dur);
                 extra = extra + sched.timeout.saturating_since(Time::ZERO);
                 let out =
                     self.modem
@@ -741,7 +915,18 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                         }
                     }
                 }
-                if !ack_ok {
+                if ack_ok {
+                    self.trace.emit(
+                        t_fs + self.timing.sifs.0 + ack_dur.0,
+                        v as u32,
+                        TraceEventKind::FrameRx {
+                            class: FrameClass::Ack,
+                            src: hop as u16,
+                            seq: p as u16,
+                            diag: None,
+                        },
+                    );
+                } else {
                     self.out.acks_lost += 1;
                 }
             } else {
@@ -758,6 +943,14 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                     if !self.has[self.dst][p] {
                         self.has[self.dst][p] = true;
                         self.out.delivered += 1;
+                        self.trace.emit(
+                            t_fs,
+                            hop as u32,
+                            TraceEventKind::Delivered {
+                                packet: p as u16,
+                                via: "arq",
+                            },
+                        );
                     }
                 } else if !self.has[hop][p] {
                     self.has[hop][p] = true; // dedup marker for re-deliveries
@@ -769,12 +962,25 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                 self.stations[v].queue.pop_front();
             } else if self.stations[v].dcf.on_failure(self.cfg.retry_limit) {
                 self.out.arq_retries += 1;
+                self.trace.emit(
+                    t_fs,
+                    v as u32,
+                    TraceEventKind::ArqRetry {
+                        seq: p as u16,
+                        retries: self.stations[v].dcf.retries(),
+                    },
+                );
             } else {
                 self.stations[v].queue.pop_front();
                 // Only a packet the hop never decoded is actually lost;
                 // a delivered-but-unacknowledged one lives on downstream.
                 if !data_ok {
                     self.out.packets_abandoned += 1;
+                    self.trace.emit(
+                        t_fs,
+                        v as u32,
+                        TraceEventKind::PacketAbandoned { seq: p as u16 },
+                    );
                 }
             }
         }
@@ -782,9 +988,11 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
     }
 
     /// The destination's SIFS-spaced batch-map broadcast (robust rate),
-    /// through the ACK fault seam at every listener.
-    fn destination_map_reply(&mut self) -> Duration {
+    /// through the ACK fault seam at every listener. `t_fs` is the
+    /// absolute end of the exchange that triggered the reply.
+    fn destination_map_reply(&mut self, t_fs: u64) -> Duration {
         let map = self.encode_map(self.dst);
+        let map_bytes = map.len() as u32;
         let frame = MacFrame::Data(DataFrame {
             src: self.dst as u16,
             dst: BROADCAST,
@@ -794,6 +1002,17 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
         });
         let wave = self.modem.mac_waveform(&frame, RateId::R6);
         let dur = self.modem.samples_duration(wave.len());
+        self.trace.emit_span(
+            t_fs + self.timing.sifs.0,
+            dur.0,
+            self.dst as u32,
+            TraceEventKind::FrameTx {
+                class: FrameClass::BatchMap,
+                bytes: map_bytes,
+                seq: 0,
+                dst: BROADCAST,
+            },
+        );
         let listeners: Vec<NodeId> = (0..self.n).filter(|&v| v != self.dst).map(NodeId).collect();
         let decoded =
             self.modem
@@ -805,7 +1024,19 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
             match apply_classified(&self.cfg.faults.ack, self.rng, &d.payload) {
                 Faulted::Dropped => self.out.faults.acks_dropped += 1,
                 Faulted::Corrupted(_) => self.out.faults.acks_corrupted += 1,
-                Faulted::Intact(bytes) => self.merge_map(l.0, &bytes),
+                Faulted::Intact(bytes) => {
+                    self.trace.emit(
+                        t_fs + self.timing.sifs.0 + dur.0,
+                        l.0 as u32,
+                        TraceEventKind::FrameRx {
+                            class: FrameClass::BatchMap,
+                            src: self.dst as u16,
+                            seq: 0,
+                            diag: None,
+                        },
+                    );
+                    self.merge_map(l.0, &bytes)
+                }
             }
         }
         self.timing.sifs + dur
@@ -814,9 +1045,20 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
     /// One SourceSync joint frame: the lead announces, co-senders join
     /// through the staged session (detect → compensate → transmit), every
     /// listener decodes the superposed space-time-coded data.
-    fn resolve_joint(&mut self, _at: Time, lead: usize, p: usize, cos: &[usize]) -> Duration {
+    fn resolve_joint(&mut self, at: Time, lead: usize, p: usize, cos: &[usize]) -> Duration {
         self.out.joint_frames += 1;
         self.tx_count[lead][p] += 1;
+        self.trace.emit(
+            at.0,
+            lead as u32,
+            TraceEventKind::JointLead {
+                packet: p as u16,
+                cosenders: cos.len() as u8,
+            },
+        );
+        self.metrics
+            .counter("frames_tx", Scope::Node(lead as u32))
+            .inc();
 
         // Every sender of a joint frame must transmit *identical bits*,
         // so the payload is exactly what every holder of the packet can
@@ -856,7 +1098,9 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                 ..JointConfig::default()
             });
 
-        let frame = session.lead_tx().transmit_with(self.net, &mut self.ws);
+        let frame = session
+            .lead_tx()
+            .transmit_observed(self.net, &mut self.ws, self.trace, at.0);
 
         // Co-sender joins: a forwarder only attempts its slot when it
         // actually holds the packet (silent slots read as absent senders
@@ -872,17 +1116,25 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
             let join = match apply_classified(&self.cfg.faults.header, self.rng, &header_bytes) {
                 Faulted::Dropped => {
                     self.out.faults.headers_dropped += 1;
-                    Err(JoinFailure::NoDetect)
+                    let f = JoinFailure::NoDetect;
+                    self.emit_join_failure(at, c, &frame, &f);
+                    Err(f)
                 }
                 Faulted::Corrupted(bytes) => {
                     self.out.faults.headers_corrupted += 1;
                     match SyncHeader::from_bytes(&bytes) {
-                        None => Err(JoinFailure::MalformedHeader),
+                        None => {
+                            let f = JoinFailure::MalformedHeader;
+                            self.emit_join_failure(at, c, &frame, &f);
+                            Err(f)
+                        }
                         Some(h) if h.packet_id != frame.header.packet_id => {
-                            Err(JoinFailure::WrongPacket {
+                            let f = JoinFailure::WrongPacket {
                                 expected: frame.header.packet_id,
                                 heard: h.packet_id,
-                            })
+                            };
+                            self.emit_join_failure(at, c, &frame, &f);
+                            Err(f)
                         }
                         // Corruption in any other field the join arithmetic
                         // consumes (lead id, rate, length, CP extension,
@@ -891,20 +1143,28 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                         // correctly, and the mangled header reads as
                         // malformed. Only a flip the parser provably
                         // ignores leaves the join intact.
-                        Some(h) if h != frame.header => Err(JoinFailure::MalformedHeader),
-                        Some(_) => session.cosender_join(i, &frame).join_with(
+                        Some(h) if h != frame.header => {
+                            let f = JoinFailure::MalformedHeader;
+                            self.emit_join_failure(at, c, &frame, &f);
+                            Err(f)
+                        }
+                        Some(_) => session.cosender_join(i, &frame).join_observed(
                             self.net,
                             self.rng,
                             &self.db,
                             &mut self.ws,
+                            self.trace,
+                            at.0,
                         ),
                     }
                 }
-                Faulted::Intact(_) => session.cosender_join(i, &frame).join_with(
+                Faulted::Intact(_) => session.cosender_join(i, &frame).join_observed(
                     self.net,
                     self.rng,
                     &self.db,
                     &mut self.ws,
+                    self.trace,
+                    at.0,
                 ),
             };
             match join {
@@ -936,11 +1196,14 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
             if v == lead || joined.contains(&v) {
                 continue;
             }
-            let report = session.receiver_decode(NodeId(v), &frame).decode_with(
+            let report = session.receiver_decode(NodeId(v), &frame).decode_observed(
                 self.net,
                 self.rng,
                 &mut self.ws,
+                self.trace,
+                at.0,
             );
+            self.m_joint_evm_db.record(report.stats.evm_snr_db);
             let Some(bytes) = report.payload else {
                 continue;
             };
@@ -960,17 +1223,47 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
             }
             received.push((v, d.seq as usize));
         }
+        let data_busy = self.modem.samples_duration(frame.timeline.total_len());
         for &(rx, seq) in &received {
+            if rx == self.dst && !self.has[self.dst][seq] {
+                self.trace.emit(
+                    at.0 + data_busy.0,
+                    rx as u32,
+                    TraceEventKind::Delivered {
+                        packet: seq as u16,
+                        via: "joint",
+                    },
+                );
+            }
             self.grant(rx, seq);
             self.know[rx][lead][seq] = true;
         }
         self.stations[lead].dcf.on_success();
 
-        let mut busy = self.modem.samples_duration(frame.timeline.total_len());
+        let mut busy = data_busy;
         if received.iter().any(|&(rx, _)| rx == self.dst) {
-            busy = busy + self.destination_map_reply();
+            busy = busy + self.destination_map_reply(at.0 + data_busy.0);
         }
         busy
+    }
+
+    /// Stamps a [`TraceEventKind::JoinOutcome`] for a join the fault seam
+    /// short-circuited before the staged session ran — same instant
+    /// convention as `join_observed` (end of the sync header).
+    fn emit_join_failure(&mut self, at: Time, co: usize, frame: &LeadFrame, f: &JoinFailure) {
+        if self.trace.is_enabled() {
+            let period = self.modem.params().sample_period_fs();
+            let t = at.0 + frame.t0.0 + frame.timeline.header_len as u64 * period;
+            self.trace.emit(
+                t,
+                co as u32,
+                TraceEventKind::JoinOutcome {
+                    lead: frame.header.lead,
+                    packet: frame.header.packet_id,
+                    result: JoinResult::Failed(f.class()),
+                },
+            );
+        }
     }
 
     /// ExOR's traditional-routing tail: packets the opportunistic phase
@@ -1001,19 +1294,49 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                     .dcf
                     .attempt_at(self.rng, self.air_busy_until);
                 self.out.data_frames += 1;
-                let decoded = self.modem.exchange(
+                self.trace.emit_span(
+                    start.0,
+                    data_dur.0,
+                    holder as u32,
+                    TraceEventKind::FrameTx {
+                        class: FrameClass::Data,
+                        bytes: self.cfg.payload_len as u32,
+                        seq: p as u16,
+                        dst: self.dst as u16,
+                    },
+                );
+                self.metrics
+                    .counter("frames_tx", Scope::Node(holder as u32))
+                    .inc();
+                let decoded = self.modem.exchange_with_diag(
                     self.net,
                     self.rng,
                     &[(NodeId(holder), wave.clone())],
                     &[NodeId(self.dst)],
                 );
                 let mut got = false;
-                if let Some(MacFrame::Data(d)) = &decoded[0].1 {
+                if let Some((MacFrame::Data(d), diag)) = &decoded[0].1 {
                     if d.src == holder as u16 && d.seq == p as u16 {
                         match apply_classified(&self.cfg.faults.data, self.rng, &d.payload) {
                             Faulted::Dropped => self.out.faults.data_dropped += 1,
                             Faulted::Corrupted(_) => self.out.faults.data_corrupted += 1,
-                            Faulted::Intact(_) => got = true,
+                            Faulted::Intact(_) => {
+                                got = true;
+                                self.trace.emit(
+                                    start.0 + data_dur.0,
+                                    self.dst as u32,
+                                    TraceEventKind::FrameRx {
+                                        class: FrameClass::Data,
+                                        src: d.src,
+                                        seq: d.seq,
+                                        diag: Some(*diag),
+                                    },
+                                );
+                                self.m_rx_snr_db.record(diag.mean_snr_db);
+                                self.metrics
+                                    .counter("rx_ok", Scope::Link(holder as u32, self.dst as u32))
+                                    .inc();
+                            }
                         }
                     }
                 }
@@ -1066,12 +1389,33 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
                     self.stations[holder].dcf.on_success();
                     self.out.delivered += 1;
                     self.out.cleanup_deliveries += 1;
+                    self.trace.emit(
+                        self.air_busy_until.0,
+                        self.dst as u32,
+                        TraceEventKind::Delivered {
+                            packet: p as u16,
+                            via: "cleanup",
+                        },
+                    );
                     break;
                 }
                 if self.stations[holder].dcf.on_failure(self.cfg.retry_limit) {
                     self.out.arq_retries += 1;
+                    self.trace.emit(
+                        self.air_busy_until.0,
+                        holder as u32,
+                        TraceEventKind::ArqRetry {
+                            seq: p as u16,
+                            retries: self.stations[holder].dcf.retries(),
+                        },
+                    );
                 } else {
                     self.out.packets_abandoned += 1;
+                    self.trace.emit(
+                        self.air_busy_until.0,
+                        holder as u32,
+                        TraceEventKind::PacketAbandoned { seq: p as u16 },
+                    );
                     break;
                 }
             }
@@ -1089,6 +1433,40 @@ impl<'a, R: Rng + ?Sized> Engine<'a, R> {
         } else {
             0.0
         };
+        // Mirror the outcome ledger into the registry so an observed run's
+        // metrics snapshot is self-contained (counters sum across trials).
+        let g = Scope::Global;
+        self.metrics
+            .counter("delivered", g)
+            .add(self.out.delivered as u64);
+        self.metrics
+            .counter("data_frames", g)
+            .add(self.out.data_frames);
+        self.metrics
+            .counter("joint_frames", g)
+            .add(self.out.joint_frames);
+        self.metrics
+            .counter("collisions", g)
+            .add(self.out.collisions);
+        self.metrics
+            .counter("arq_retries", g)
+            .add(self.out.arq_retries);
+        self.metrics
+            .counter("packets_abandoned", g)
+            .add(self.out.packets_abandoned);
+        self.metrics.counter("acks_lost", g).add(self.out.acks_lost);
+        self.metrics
+            .counter("cleanup_deliveries", g)
+            .add(self.out.cleanup_deliveries);
+        self.metrics
+            .counter("joins_attempted", g)
+            .add(self.out.joins.attempted);
+        self.metrics
+            .counter("joins_joined", g)
+            .add(self.out.joins.joined);
+        self.metrics
+            .counter("faults_injected", g)
+            .add(self.out.faults.total());
         self.out
     }
 }
@@ -1212,6 +1590,109 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_traces() {
+        let run = |trace: &mut TraceRecorder, metrics: &mut MetricRegistry| {
+            let mut net = diamond(7, 18.0, 9.0);
+            let mut rng = StdRng::seed_from_u64(8);
+            run_transfer_observed(
+                &mut net,
+                &mut rng,
+                0,
+                3,
+                &[1, 2],
+                &small_cfg(RoutingMode::ExorSourceSync),
+                trace,
+                metrics,
+            )
+            .unwrap()
+        };
+        let plain = run(&mut TraceRecorder::disabled(), &mut MetricRegistry::new());
+        let mut trace = TraceRecorder::enabled();
+        let mut metrics = MetricRegistry::new();
+        let observed = run(&mut trace, &mut metrics);
+        assert_eq!(plain, observed, "observation must not perturb the run");
+
+        // The trace saw the protocol happen: contention, frames on the
+        // air, receptions, and the joint-frame stages.
+        assert!(!trace.is_empty());
+        let names: Vec<&str> = trace.merged().iter().map(|e| e.kind.name()).collect();
+        for expected in [
+            "dcf_attempt",
+            "frame_tx",
+            "frame_rx",
+            "joint_lead",
+            "join_outcome",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        // Events are stamped in nondecreasing merged order by construction.
+        let merged = trace.merged();
+        assert!(merged.windows(2).all(|w| w[0].t_fs <= w[1].t_fs));
+
+        // The registry mirrors the outcome ledger, and the lookup-miss
+        // counters stayed at their registered zero in a healthy run.
+        assert_eq!(
+            metrics.counter_value("delivered", Scope::Global),
+            Some(observed.delivered as u64)
+        );
+        assert_eq!(
+            metrics.counter_value("data_frames", Scope::Global),
+            Some(observed.data_frames)
+        );
+        assert_eq!(
+            metrics.counter_value("lookup_miss_exchange_empty", Scope::Global),
+            Some(0)
+        );
+        assert_eq!(
+            metrics.counter_value("lookup_miss_plain_empty", Scope::Global),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn observed_trace_repeats_byte_for_byte() {
+        let run = || {
+            let mut net = diamond(7, 18.0, 9.0);
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut trace = TraceRecorder::enabled();
+            let mut metrics = MetricRegistry::new();
+            run_transfer_observed(
+                &mut net,
+                &mut rng,
+                0,
+                3,
+                &[1, 2],
+                &small_cfg(RoutingMode::ExorSourceSync),
+                &mut trace,
+                &mut metrics,
+            )
+            .unwrap();
+            (trace.merged(), ssync_obs::render_tsv(&metrics.snapshot()))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn diagnostic_structs_share_the_snapshot_seam() {
+        let stats = JoinStats {
+            attempted: 4,
+            joined: 3,
+            missing_delay: 1,
+            ..JoinStats::default()
+        };
+        let faults = FaultCounters {
+            data_dropped: 2,
+            ..FaultCounters::default()
+        };
+        let out = ssync_obs::snapshot_output(&[&stats, &faults]);
+        let tsv = ssync_obs::render_tsv(&out);
+        assert!(tsv.contains("join_stats\tattempted\t4\n"));
+        assert!(tsv.contains("join_stats\tmissing_delay\t1\n"));
+        assert!(tsv.contains("fault_counters\tdata_dropped\t2\n"));
+        assert!(tsv.contains("fault_counters\ttotal\t2\n"));
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`lasthop`] — multi-AP last-hop diversity with SampleRate
 //! * [`exp`] — the declarative, parallel experiment harness behind the
 //!   `ssync-lab` runner and every figure binary
+//! * [`obs`] — deterministic observability: structured sim-time tracing,
+//!   the metric registry, and the Perfetto/Chrome trace exporter
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results for every evaluation figure.
@@ -34,6 +36,7 @@ pub use ssync_exp as exp;
 pub use ssync_lasthop as lasthop;
 pub use ssync_linprog as linprog;
 pub use ssync_mac as mac;
+pub use ssync_obs as obs;
 pub use ssync_phy as phy;
 pub use ssync_routing as routing;
 pub use ssync_sim as sim;
