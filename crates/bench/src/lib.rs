@@ -12,6 +12,11 @@
 //! executor, sweeps, aggregation, sinks) lives in `ssync_exp`; this crate
 //! contributes the physics.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod scenarios;
 
 use rand::rngs::StdRng;

@@ -18,6 +18,11 @@
 //! All randomness is drawn from caller-provided seeded RNGs; a placement's
 //! channels are a pure function of its seed.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod geometry;
 pub mod link;
 pub mod multipath;

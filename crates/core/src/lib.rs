@@ -27,6 +27,11 @@
 //! * [`joint`] — the protocol vocabulary plus the one-call
 //!   [`run_joint_transmission`] compatibility wrapper over the session.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod combiner;
 pub mod jce;
 pub mod joint;

@@ -21,7 +21,7 @@ use ssync_linprog::{MisalignmentProblem, WaitSolution};
 use ssync_phy::preamble::PreambleLayout;
 use ssync_phy::{Receiver, RxDiagnostics, RxResult, Transmitter};
 use ssync_sim::{Network, NodeId, Time};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Estimated ether time (seconds, fractional) at which a received packet's
 /// first sample arrived at the antenna, given the capture start time and
@@ -129,10 +129,11 @@ pub fn probe_pair<R: Rng + ?Sized>(
 /// probes (§4.3: co-senders need lead→co, lead→rx and co→rx delays).
 #[derive(Debug, Default, Clone)]
 pub struct DelayDatabase {
-    /// Estimated one-way delay per unordered pair, seconds.
-    delays_s: HashMap<(usize, usize), f64>,
+    /// Estimated one-way delay per unordered pair, seconds. BTreeMap for
+    /// canonical iteration order (determinism contract, `nondet-iteration`).
+    delays_s: BTreeMap<(usize, usize), f64>,
     /// Estimated CFO `f_x − f_y` per ordered pair, Hz.
-    cfo_hz: HashMap<(usize, usize), f64>,
+    cfo_hz: BTreeMap<(usize, usize), f64>,
 }
 
 impl DelayDatabase {

@@ -19,6 +19,11 @@
 //! Everything is pure, allocation-conscious, and deterministic; there is no
 //! interior mutability and no global state.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod correlate;
 pub mod delay;

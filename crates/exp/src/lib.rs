@@ -35,6 +35,11 @@
 //! `(scenario, RunConfig::trials_scale)`: thread count only changes how
 //! fast the answer arrives.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod agg;
 pub mod config;
 pub mod exec;

@@ -10,6 +10,11 @@
 //! The problems are tiny (≤ 5 senders and receivers in the paper), so
 //! clarity wins over sparse-matrix sophistication.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod minimax;
 pub mod simplex;
 

@@ -1,0 +1,461 @@
+//! A lightweight, lossless-enough Rust lexer.
+//!
+//! The rules in [`crate::rules`] only need to know *which identifiers
+//! appear in executable position* and *where the comments are* — they must
+//! never fire on the word `HashMap` inside a string literal or a doc
+//! comment. That is exactly the distinction this lexer draws: it
+//! classifies every byte of a source file into identifiers, numbers,
+//! punctuation, lifetimes, and the three "opaque" classes (comments,
+//! string literals, char literals), each tagged with its 1-based line.
+//!
+//! It is *not* a full Rust lexer — it does not need to distinguish
+//! keywords from identifiers or parse numeric suffixes — but it does
+//! handle the constructs that would otherwise cause misclassification:
+//! nested block comments, raw strings with arbitrary `#` fences, byte and
+//! raw-byte strings, raw identifiers (`r#match`), escapes inside string
+//! and char literals, and the lifetime-vs-char-literal ambiguity of `'`.
+
+/// The classification of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// A numeric literal (suffix included; never rule-matched).
+    Number,
+    /// A single punctuation byte (`.`, `#`, `[`, `;`, …).
+    Punct(char),
+    /// A comment; `doc` is true for `///`, `//!`, `/**`, `/*!` forms.
+    Comment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// A string literal of any flavour (plain, raw, byte, raw-byte).
+    Str,
+    /// A character or byte-character literal.
+    CharLit,
+    /// A lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+}
+
+/// One lexed token: kind, text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's source text (comments keep their delimiters).
+    pub text: String,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for identifier tokens with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True for this exact punctuation byte.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: bytes that fit no class
+/// become single-character [`TokenKind::Punct`] tokens, so malformed input
+/// degrades to harmless punctuation instead of aborting the scan.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line, String::new()),
+                '\'' => self.quote(line),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `///` and `//!` are doc comments; `////…` is a plain comment
+        // (rustdoc's own rule).
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.push(TokenKind::Comment { doc }, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        loop {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else if let Some(c) = self.bump() {
+                text.push(c);
+            } else {
+                break; // unterminated comment: swallow to EOF
+            }
+        }
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+            || text.starts_with("/*!");
+        self.push(TokenKind::Comment { doc }, text, line);
+    }
+
+    /// Plain (non-raw) string body, after the opening `"` is *not yet*
+    /// consumed. `prefix` carries any `b` already consumed.
+    fn string_literal(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`, `br##"…"##`), byte strings (`b"…"`),
+    /// byte chars (`b'x'`) and raw identifiers (`r#match`). Returns true
+    /// if it consumed anything.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0).unwrap_or(' ');
+        // Count the shape ahead without consuming.
+        let mut i = 1;
+        let mut prefix = c0.to_string();
+        if c0 == 'b' && self.peek(1) == Some('r') {
+            prefix.push('r');
+            i = 2;
+        }
+        let raw = prefix.ends_with('r') || c0 == 'r';
+        if raw {
+            // r / br : count fence hashes, then expect `"` (raw string) or,
+            // for `r#`, an identifier start (raw identifier).
+            let mut hashes = 0usize;
+            while self.peek(i) == Some('#') {
+                hashes += 1;
+                i += 1;
+            }
+            match self.peek(i) {
+                Some('"') => {
+                    // Consume prefix, fence hashes, and the opening quote.
+                    for _ in 0..=i {
+                        self.bump();
+                    }
+                    self.raw_string_body(line, prefix, hashes);
+                    return true;
+                }
+                Some(c) if hashes == 1 && (c == '_' || c.is_alphabetic()) => {
+                    // raw identifier `r#ident`: consume `r#` then lex the
+                    // identifier normally (text keeps the bare name so
+                    // rules match `r#fn` as `fn`… which cannot appear in
+                    // practice, but keeps the lexer total).
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                    return true;
+                }
+                _ => return false, // plain identifier starting with r/b
+            }
+        }
+        // b"…" byte string or b'…' byte char.
+        if c0 == 'b' {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump(); // the b
+                    self.string_literal(line, "b".to_string());
+                    return true;
+                }
+                Some('\'') => {
+                    self.bump(); // the b
+                    self.bump(); // opening quote
+                    self.char_literal_body(line, "b'".to_string());
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn raw_string_body(&mut self, line: u32, prefix: String, hashes: usize) {
+        let mut text = prefix;
+        text.push_str(&"#".repeat(hashes));
+        text.push('"');
+        let closer: Vec<char> = std::iter::once('"')
+            .chain("#".repeat(hashes).chars())
+            .collect();
+        while self.peek(0).is_some() {
+            if (0..closer.len()).all(|k| self.peek(k) == Some(closer[k])) {
+                for &c in &closer {
+                    text.push(c);
+                    self.bump();
+                }
+                break;
+            }
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// `'` — lifetime, loop label, or char literal.
+    fn quote(&mut self, line: u32) {
+        // Lifetime iff `'ident` NOT followed by a closing `'` (that form,
+        // like `'a'`, is a char literal).
+        if let Some(c1) = self.peek(1) {
+            if c1 == '_' || c1.is_alphabetic() {
+                let mut j = 2;
+                while matches!(self.peek(j), Some(c) if c == '_' || c.is_alphanumeric()) {
+                    j += 1;
+                }
+                if self.peek(j) != Some('\'') {
+                    let mut text = String::new();
+                    for _ in 0..j {
+                        text.push(self.bump().unwrap_or(' '));
+                    }
+                    self.push(TokenKind::Lifetime, text, line);
+                    return;
+                }
+            }
+        }
+        self.bump(); // opening quote
+        self.char_literal_body(line, "'".to_string());
+    }
+
+    /// Char-literal body after the opening quote has been consumed.
+    fn char_literal_body(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::CharLit, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+            text.push(self.bump().unwrap_or(' '));
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` stays one number; `0..n` leaves the dots to Punct.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("use std::collections::BTreeMap;");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["use", "std", "collections", "BTreeMap"]);
+    }
+
+    #[test]
+    fn words_inside_strings_are_opaque() {
+        let toks = lex(r#"let s = "HashMap in a string";"#);
+        assert!(toks.iter().all(|t| !t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn words_inside_raw_strings_are_opaque() {
+        let toks = lex(r##"let s = r#"use std::collections::HashMap;"#;"##);
+        assert!(toks.iter().all(|t| !t.is_ident("HashMap")));
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn line_and_doc_comments_classified() {
+        let toks = lex("// plain\n/// doc\n//! inner doc\n//// not doc\nfn x() {}");
+        let comments: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Comment { doc } => Some(doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(comments, [false, true, true, false]);
+    }
+
+    #[test]
+    fn nested_block_comment_swallowed_whole() {
+        let toks = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokenKind::Comment { .. }))
+                .count(),
+            1
+        );
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(toks.iter().all(|t| !t.is_ident("inner")));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::CharLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_quote_in_char_and_string() {
+        let toks = kinds(r#"let c = '\''; let s = "a\"b";"#);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::CharLit));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "\"a\\\"b\""));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"let b = b"HashMap"; let c = b'x';"#);
+        assert!(toks.iter().all(|t| !t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::CharLit));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("for i in 0..10 { let x = 1.5; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "10"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "1.5"));
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 2);
+    }
+}

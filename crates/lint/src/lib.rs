@@ -1,0 +1,84 @@
+//! `ssync_lint` — the workspace determinism linter.
+//!
+//! Every subsystem in this repository rests on one invariant: **the same
+//! inputs produce byte-identical output at any thread count and on any
+//! kernel tier**. That contract used to live in DESIGN.md prose plus a
+//! handful of pinned golden hashes that catch a violation only after it
+//! ships. This crate turns the contract into machine-checked source
+//! rules — a tiny comment/string-aware Rust lexer ([`lexer`]), a rule
+//! engine ([`rules`]) with one rule per hazard class that has actually
+//! appeared here, a central allowlist with mandatory written
+//! justifications ([`allowlist`]), and a deterministic, diff-stable
+//! report ([`report`]).
+//!
+//! Run it with `cargo run -p ssync_lint -- --check` (or
+//! `scripts/lint.sh`); CI runs it on both feature sets, and the
+//! `workspace_is_lint_clean` integration test keeps `cargo test` honest
+//! without a separate tool invocation.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use allowlist::{AllowEntry, Allowlist};
+pub use report::LintReport;
+pub use rules::{lint_source, Rule, Violation, ALL_RULES};
+
+use std::io;
+use std::path::Path;
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "lint.toml";
+
+/// Lints every `.rs` file under `root` against `root/lint.toml`.
+///
+/// A missing `lint.toml` is an empty allowlist (not an error); an
+/// unreadable or invalid one is reported through
+/// [`LintReport::config_errors`], never a panic. I/O errors on the walk
+/// itself (an unreadable directory) are returned as `Err` since no
+/// meaningful report exists.
+pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let allowlist = if allow_path.exists() {
+        match std::fs::read_to_string(&allow_path) {
+            Ok(text) => match allowlist::parse(&text) {
+                Ok(list) => list,
+                Err(errors) => return Ok(LintReport::from_config_errors(errors)),
+            },
+            Err(e) => {
+                return Ok(LintReport::from_config_errors(vec![format!(
+                    "cannot read {ALLOWLIST_FILE}: {e}"
+                )]))
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let files = walk::rust_files(root)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        violations.extend(rules::lint_source(rel, &src));
+    }
+    Ok(LintReport::assemble(violations, &allowlist, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_handles_missing_allowlist_dir() {
+        // A directory with no lint.toml and no .rs files: clean report.
+        let tmp = std::env::temp_dir().join("ssync_lint_empty_scan_test");
+        std::fs::create_dir_all(&tmp).unwrap();
+        let report = scan_workspace(&tmp).expect("scan");
+        assert!(report.is_clean());
+        assert_eq!(report.files_scanned, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The `ssync_lint` binary.
+//!
+//! ```text
+//! cargo run -p ssync_lint -- --check          # gate: exit 1 on any finding
+//! cargo run -p ssync_lint                     # informational report, exit 0
+//! cargo run -p ssync_lint -- --list-rules     # rule ids + descriptions
+//! cargo run -p ssync_lint -- --check --root X # lint another tree
+//! ```
+//!
+//! Exit codes: 0 clean (or informational mode), 1 findings under
+//! `--check`, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: ssync_lint [--check] [--list-rules] [--root DIR]\n\
+     \n\
+     --check       exit 1 on violations, stale allowlist entries, or\n\
+     \u{20}             lint.toml errors (CI / pre-merge mode)\n\
+     --list-rules  print every rule id with a one-line description\n\
+     --root DIR    workspace root to lint (default: this repository)\n"
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut list_rules = false;
+    // Default root: this crate lives at <workspace>/crates/lint.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in ssync_lint::ALL_RULES {
+            println!("{:<20} {}", rule.id(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match ssync_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ssync_lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    if check && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

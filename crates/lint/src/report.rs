@@ -1,0 +1,216 @@
+//! Deterministic, diff-stable report assembly.
+//!
+//! The report is itself an artifact under the bit-identity contract: for
+//! a given tree and `lint.toml` it renders byte-identically on every
+//! machine, every run. Nothing in it depends on scan order, wall time,
+//! absolute paths, or locale — violations are sorted by
+//! `(path, line, rule, message)` and counts are exact.
+
+use crate::allowlist::{AllowEntry, Allowlist};
+use crate::rules::Violation;
+
+/// The outcome of linting a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Violations not covered by the allowlist (sorted).
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by an allowlist entry (sorted).
+    pub allowlisted: Vec<Violation>,
+    /// Allowlist entries that matched nothing (each is a failure).
+    pub stale_entries: Vec<AllowEntry>,
+    /// `lint.toml` problems (parse errors, missing reasons).
+    pub config_errors: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Splits raw violations against the allowlist and flags stale
+    /// entries. `violations` may arrive in any order.
+    pub fn assemble(
+        mut violations: Vec<Violation>,
+        allowlist: &Allowlist,
+        files_scanned: usize,
+    ) -> LintReport {
+        violations.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+                b.path.as_str(),
+                b.line,
+                b.rule,
+                b.message.as_str(),
+            ))
+        });
+        let mut hits = vec![0usize; allowlist.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for v in violations {
+            match allowlist.entries.iter().position(|e| e.matches(&v)) {
+                Some(i) => {
+                    hits[i] += 1;
+                    suppressed.push(v);
+                }
+                None => kept.push(v),
+            }
+        }
+        let stale = allowlist
+            .entries
+            .iter()
+            .zip(&hits)
+            .filter(|(_, &h)| h == 0)
+            .map(|(e, _)| e.clone())
+            .collect();
+        LintReport {
+            violations: kept,
+            allowlisted: suppressed,
+            stale_entries: stale,
+            config_errors: Vec::new(),
+            files_scanned,
+        }
+    }
+
+    /// A report that only carries configuration errors.
+    pub fn from_config_errors(errors: Vec<String>) -> LintReport {
+        LintReport {
+            config_errors: errors,
+            ..LintReport::default()
+        }
+    }
+
+    /// True when `--check` should exit 0.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_entries.is_empty() && self.config_errors.is_empty()
+    }
+
+    /// Renders the canonical report text (always ends in one newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.config_errors {
+            out.push_str(&format!("config error: {e}\n"));
+        }
+        for v in &self.violations {
+            out.push_str(&v.render());
+            out.push('\n');
+        }
+        for e in &self.stale_entries {
+            out.push_str(&format!(
+                "lint.toml:{}: stale allowlist entry [{}] {} — matches no \
+                 current violation; delete it\n",
+                e.line,
+                e.rule.id(),
+                e.path
+            ));
+        }
+        if !self.allowlisted.is_empty() {
+            out.push_str(&format!("allowlisted ({}):\n", self.allowlisted.len()));
+            for v in &self.allowlisted {
+                out.push_str(&format!(
+                    "  {}:{}: [{}] (waived in lint.toml)\n",
+                    v.path,
+                    v.line,
+                    v.rule.id()
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "summary: {} files scanned, {} violation(s), {} allowlisted, \
+             {} stale allowlist entr{}, {} config error(s)\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowlisted.len(),
+            self.stale_entries.len(),
+            if self.stale_entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            self.config_errors.len(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allowlist::parse;
+    use crate::rules::{Rule, Violation};
+
+    fn v(path: &str, line: u32, rule: Rule) -> Violation {
+        Violation {
+            path: path.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn assemble_sorts_and_splits() {
+        let list = parse(concat!(
+            "[[allow]]\n",
+            "rule = \"wall-clock\"\n",
+            "path = \"b.rs\"\n",
+            "reason = \"test-only probe\"\n",
+        ))
+        .unwrap();
+        let report = LintReport::assemble(
+            vec![
+                v("b.rs", 9, Rule::WallClock),
+                v("a.rs", 3, Rule::NondetIteration),
+                v("a.rs", 1, Rule::NondetIteration),
+            ],
+            &list,
+            2,
+        );
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.violations[0].line, 1);
+        assert_eq!(report.allowlisted.len(), 1);
+        assert!(report.stale_entries.is_empty());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn stale_entry_is_not_clean() {
+        let list = parse(concat!(
+            "[[allow]]\n",
+            "rule = \"fma-contraction\"\n",
+            "path = \"never.rs\"\n",
+            "reason = \"obsolete\"\n",
+        ))
+        .unwrap();
+        let report = LintReport::assemble(Vec::new(), &list, 0);
+        assert_eq!(report.stale_entries.len(), 1);
+        assert!(!report.is_clean());
+        assert!(report.render().contains("stale allowlist entry"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let report = LintReport::assemble(
+            vec![
+                v("z.rs", 2, Rule::WallClock),
+                v("a.rs", 5, Rule::FmaContraction),
+            ],
+            &Allowlist::default(),
+            7,
+        );
+        let first = report.render();
+        assert_eq!(first, report.render());
+        assert!(first.ends_with('\n'));
+        let lines: Vec<&str> = first.lines().collect();
+        assert!(lines[0].starts_with("a.rs:5:"));
+        assert!(lines[1].starts_with("z.rs:2:"));
+        assert!(lines[2].starts_with("summary: 7 files scanned, 2 violation(s)"));
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let report = LintReport::assemble(Vec::new(), &Allowlist::default(), 3);
+        assert!(report.is_clean());
+        assert_eq!(
+            report.render(),
+            "summary: 3 files scanned, 0 violation(s), 0 allowlisted, \
+             0 stale allowlist entries, 0 config error(s)\n"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Workspace file discovery.
+//!
+//! Finds every `.rs` file under the workspace root in a deterministic
+//! (lexicographic, byte-order) sequence, skipping build products
+//! (`target/`), VCS metadata, and every other dot-directory. The walk is
+//! filesystem-order independent: directory entries are sorted before
+//! recursion, so the scan order — and with it the report — is identical
+//! on every machine.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+fn skipped_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.')
+}
+
+/// All `.rs` files under `root`, as workspace-relative paths with forward
+/// slashes, sorted bytewise.
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !skipped_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_sorted_and_skips_target() {
+        // CARGO_MANIFEST_DIR = crates/lint; two levels up is the workspace.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let files = rust_files(&root).expect("walk");
+        assert!(files.iter().any(|f| f == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|f| f == "src/lib.rs"));
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+        assert!(files.iter().all(|f| !f.contains("/.")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,113 @@
+//! The workspace must satisfy its own determinism contract.
+//!
+//! This is the in-tree twin of `cargo run -p ssync_lint -- --check`: a
+//! plain `cargo test` fails the moment anyone introduces a nondeterminism
+//! hazard (or an unjustified/stale allowlist entry) anywhere in the tree,
+//! no separate tool invocation required.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // This crate lives at <workspace>/crates/lint.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = ssync_lint::scan_workspace(workspace_root()).expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously small scan ({} files) — walker broke?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "determinism lint violations:\n{}",
+        report.render()
+    );
+    // The allowlist is in use, not vestigial: the waived sites (test-only
+    // HashSet dedup, ignored timing probes) are still suppressed through
+    // lint.toml rather than silently gone.
+    assert!(
+        !report.allowlisted.is_empty(),
+        "expected at least one allowlisted violation; lint.toml and the \
+         tree have drifted apart"
+    );
+}
+
+#[test]
+fn workspace_report_is_byte_reproducible() {
+    // The report is itself an artifact under the bit-identity contract:
+    // two scans of the same tree must render identical bytes.
+    let a = ssync_lint::scan_workspace(workspace_root()).expect("first scan");
+    let b = ssync_lint::scan_workspace(workspace_root()).expect("second scan");
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn every_allowlist_entry_carries_a_reason() {
+    // parse() already rejects empty reasons; this pins the stronger
+    // project convention that a justification is a sentence, not a token.
+    let toml = std::fs::read_to_string(workspace_root().join(ssync_lint::ALLOWLIST_FILE))
+        .expect("lint.toml exists at the workspace root");
+    let list = ssync_lint::allowlist::parse(&toml).expect("lint.toml parses");
+    assert!(!list.entries.is_empty());
+    for entry in &list.entries {
+        assert!(
+            entry.reason.split_whitespace().count() >= 5,
+            "lint.toml:{}: reason for [{}] {} is too thin to be a \
+             justification: {:?}",
+            entry.line,
+            entry.rule.id(),
+            entry.path,
+            entry.reason
+        );
+    }
+}
+
+#[test]
+fn seeded_violations_of_every_rule_are_caught() {
+    // One deliberately-bad snippet per rule, pushed through the same
+    // entry point the workspace scan uses — proves end to end that no
+    // rule has gone quietly dead.
+    let cases: [(&str, &str, ssync_lint::Rule); 6] = [
+        (
+            "crates/sim/src/bad.rs",
+            "use std::collections::HashMap;\n",
+            ssync_lint::Rule::NondetIteration,
+        ),
+        (
+            "crates/exp/src/bad.rs",
+            "fn f() { let _ = std::time::Instant::now(); }\n",
+            ssync_lint::Rule::WallClock,
+        ),
+        (
+            "crates/dsp/src/bad.rs",
+            "fn f(a: f64) -> f64 { a.mul_add(2.0, 1.0) }\n",
+            ssync_lint::Rule::FmaContraction,
+        ),
+        (
+            "crates/testbed/src/bad.rs",
+            "fn f(m: &std::collections::BTreeMap<u32, u64>) -> u64 {\n    m.get(&1).copied().unwrap_or(0)\n}\n",
+            ssync_lint::Rule::SilentFallback,
+        ),
+        (
+            "crates/phy/src/bad.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+            ssync_lint::Rule::UndocumentedUnsafe,
+        ),
+        (
+            "crates/mac/src/bad.rs",
+            "#[allow(dead_code)]\nfn f() {}\n",
+            ssync_lint::Rule::UnjustifiedAllow,
+        ),
+    ];
+    for (path, src, rule) in cases {
+        let violations = ssync_lint::lint_source(path, src);
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "seeded {} violation in {path} was not caught; got {violations:?}",
+            rule.id()
+        );
+    }
+}

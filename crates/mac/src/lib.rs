@@ -16,6 +16,11 @@
 //! * [`arq`] — stop-and-wait retransmission with medium-time accounting,
 //!   the building block of every throughput experiment.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod arq;
 pub mod csma;
 pub mod dcf;

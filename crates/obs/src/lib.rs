@@ -47,6 +47,11 @@
 //!    timestamps are rendered by exact integer arithmetic — no float
 //!    formatting ambiguity anywhere in a trace file.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod chrome;
 pub mod event;
 pub mod metrics;

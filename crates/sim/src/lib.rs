@@ -19,6 +19,11 @@
 //! The simulator is single-threaded and deterministic by design: a network
 //! plus a seed fully determines every experiment's output.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod fault;
 pub mod medium;

@@ -16,7 +16,7 @@ use crate::time::Time;
 use rand::Rng;
 use ssync_channel::{add_awgn, Link};
 use ssync_dsp::Complex64;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One transmission on the ether.
@@ -35,7 +35,10 @@ pub struct Transmission {
 pub struct WaveformMedium {
     /// Sample period, femtoseconds.
     pub sample_period_fs: u64,
-    links: HashMap<(NodeId, NodeId), Link>,
+    // BTreeMap (not HashMap) so link iteration order — should any future
+    // code iterate — is the canonical key order, per the determinism
+    // contract (ssync_lint `nondet-iteration`).
+    links: BTreeMap<(NodeId, NodeId), Link>,
     transmissions: Vec<Transmission>,
     /// Receiver noise power (unit convention: link gains already fold the
     /// power budget in, so this is 1.0 unless an experiment scales it).
@@ -47,7 +50,7 @@ impl WaveformMedium {
     pub fn new(sample_period_fs: u64) -> Self {
         WaveformMedium {
             sample_period_fs,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             transmissions: Vec::new(),
             noise_power: 1.0,
         }

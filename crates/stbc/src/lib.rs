@@ -11,6 +11,11 @@
 //! physically separate nodes*; the synchronization and per-sender channel
 //! tracking that make that possible live in `ssync-core`.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod alamouti;
 pub mod codebook;
 

@@ -34,6 +34,11 @@
 //! * [`runtime`] — the event loop: contention, ARQ, ExOR suppression,
 //!   joint frames, batch maps, and the [`TestbedOutcome`] ledger.
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 pub mod faults;
 pub mod link;
 pub mod runtime;

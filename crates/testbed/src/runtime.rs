@@ -246,7 +246,7 @@ pub fn run_transfer<R: Rng + ?Sized>(
 /// run metrics into `metrics`. The protocol outcome is bit-identical to
 /// [`run_transfer`] — every event and metric is computed from values the
 /// engine already produced, never from extra RNG draws.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // mirrors run_transfer + (trace, metrics)
 pub fn run_transfer_observed<R: Rng + ?Sized>(
     net: &mut Network,
     rng: &mut R,
@@ -333,7 +333,7 @@ pub fn packet_payload(p: usize, len: usize) -> Vec<u8> {
 }
 
 impl<'a, R: Rng + ?Sized> Engine<'a, R> {
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // private ctor; params mirror run_transfer's
     fn new(
         net: &'a mut Network,
         rng: &'a mut R,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The determinism-lint gate — the single invocation CI and local
+# development share, so the two can never drift apart.
+#
+# Runs `ssync_lint --check` over the whole workspace: the six determinism
+# rules (nondet-iteration, wall-clock, fma-contraction, silent-fallback,
+# undocumented-unsafe, unjustified-allow) against every .rs file, with
+# waivers taken from lint.toml (every entry needs a written reason; stale
+# entries fail). See the "Determinism contract" section of DESIGN.md.
+#
+# Usage: scripts/lint.sh [extra ssync_lint args]
+#        scripts/lint.sh --list-rules
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--list-rules" ]]; then
+    exec cargo run --quiet -p ssync_lint -- --list-rules
+fi
+exec cargo run --quiet -p ssync_lint -- --check "$@"

@@ -110,7 +110,7 @@ macro_rules! impl_tuple_strategy {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
 
-            #[allow(non_snake_case)]
+            #[allow(non_snake_case)] // macro binds tuple fields by their type params
             fn new_value(&self, rng: &mut StdRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.new_value(rng),)+)

@@ -12,6 +12,11 @@
 //! they are deterministic per seed, uniform, and statistically strong enough
 //! for the Monte-Carlo tests in this workspace (moment checks on 2e5 samples).
 
+// No unsafe anywhere in this crate: the determinism contract is easier
+// to audit when the only unsafe in the workspace is ssync_phy's fenced
+// AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of random 64-bit words.

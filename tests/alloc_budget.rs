@@ -44,22 +44,28 @@ fn bump() {
     let _ = ALLOC_EVENTS.try_with(|c| c.set(c.get() + 1));
 }
 
+// SAFETY: every method delegates verbatim to `System`, the allocator the
+// program would use anyway; the counter bump allocates nothing itself.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System.alloc` — forwarded unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
         System.alloc(layout)
     }
 
+    // SAFETY: same contract as `System.alloc_zeroed` — forwarded unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: same contract as `System.realloc` — forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: same contract as `System.dealloc` — forwarded unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
