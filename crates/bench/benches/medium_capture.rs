@@ -1,0 +1,92 @@
+//! `medium_capture` — the performance baseline of the medium's
+//! extent-checked capture path.
+//!
+//! The capture bugfix this pins: `WaveformMedium::capture` predicts each
+//! transmission's delivered extent from the link delay *before*
+//! propagating, so a transmission that cannot overlap the window costs an
+//! integer comparison instead of a full multipath/CFO/interpolation pass.
+//! The rows sweep the number of stale (non-overlapping) transmissions on
+//! the ether past a fixed one-live-frame capture: per-capture cost must
+//! stay flat as history grows, and `retire_before` must restore the
+//! zero-history baseline exactly.
+//!
+//! Committed baseline: `BENCH_medium_capture.json` at the repo root
+//! (regenerate with `SSYNC_BENCH_JSON=BENCH_medium_capture.json cargo
+//! bench -p ssync_bench --bench medium_capture`; see EXPERIMENTS.md).
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssync_channel::Position;
+use ssync_dsp::rng::ComplexGaussian;
+use ssync_phy::OfdmParams;
+use ssync_sim::{ChannelModels, Network, NodeId, Time};
+
+/// Samples per placement window: comfortably past the delivered extent of
+/// one waveform (length + multipath spill + interpolator tail), so
+/// transmissions in different windows never overlap.
+const WINDOW: u64 = 4096;
+
+/// Waveform length in samples (an R12 data frame is this order).
+const WAVE_LEN: usize = 1600;
+
+/// The placement window the live frame and the capture share; every stale
+/// window index is far below it.
+const LIVE_WINDOW: u64 = 5000;
+
+fn city_block_net() -> Network {
+    let params = OfdmParams::dot11a();
+    let positions = vec![
+        Position::new(0.0, 0.0),
+        Position::new(12.0, 5.0),
+        Position::new(25.0, 0.0),
+        Position::new(18.0, 14.0),
+    ];
+    let mut rng = StdRng::seed_from_u64(7);
+    Network::build(
+        &mut rng,
+        &params,
+        &positions,
+        &ChannelModels::testbed(&params),
+    )
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    let mut net = city_block_net();
+    let period = net.params.sample_period_fs();
+    let mut rng = StdRng::seed_from_u64(8);
+    let wave = ComplexGaussian::with_power(1.0).sample_vec(&mut rng, WAVE_LEN);
+    let from = Time(LIVE_WINDOW * WINDOW * period);
+
+    for stale in [0usize, 256, 4096] {
+        net.medium.clear_transmissions();
+        for w in 0..stale {
+            net.medium
+                .transmit(NodeId(1), Time(w as u64 * WINDOW * period), wave.clone());
+        }
+        net.medium.transmit(NodeId(1), from, wave.clone());
+        criterion.bench_function(&format!("capture_2048w_1live_{stale}stale"), |b| {
+            b.iter(|| net.medium.capture(&mut rng, NodeId(0), from, 2048))
+        });
+    }
+
+    // Retirement restores the zero-history baseline: after retiring the
+    // 4096 stale extents the capture row must match `0stale`.
+    net.medium
+        .retire_before(Time((4096 + 1) as u64 * WINDOW * period));
+    assert_eq!(net.medium.transmissions().len(), 1, "live frame retired");
+    criterion.bench_function("capture_2048w_1live_postretire", |b| {
+        b.iter(|| net.medium.capture(&mut rng, NodeId(0), from, 2048))
+    });
+
+    if let Ok(path) = std::env::var("SSYNC_BENCH_JSON") {
+        std::fs::write(&path, criterion.summary_json("medium_capture"))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

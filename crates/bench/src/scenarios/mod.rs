@@ -23,6 +23,7 @@ mod fig18_opportunistic;
 mod session_matrix;
 mod sweep_wait_residual;
 mod table_overhead;
+mod testbed_city;
 mod testbed_fault;
 mod testbed_multihop;
 
@@ -40,6 +41,7 @@ pub use fig18_opportunistic::Fig18Opportunistic;
 pub use session_matrix::SessionMatrix;
 pub use sweep_wait_residual::SweepWaitResidual;
 pub use table_overhead::TableOverhead;
+pub use testbed_city::TestbedCity;
 pub use testbed_fault::TestbedFault;
 pub use testbed_multihop::TestbedMultihop;
 
@@ -89,6 +91,7 @@ pub fn all() -> &'static [&'static dyn Scenario] {
         &SessionMatrix,
         &TestbedMultihop,
         &TestbedFault,
+        &TestbedCity,
     ]
 }
 
@@ -99,10 +102,10 @@ pub fn find(name: &str) -> Option<&'static dyn Scenario> {
 
 /// The scenarios that can additionally run with observability attached
 /// (`ssync-lab run <name> --trace/--metrics`): the event-driven testbed
-/// pair, whose engine threads an [`ssync_obs::TraceRecorder`] and
+/// family, whose engine threads an [`ssync_obs::TraceRecorder`] and
 /// [`ssync_obs::MetricRegistry`] through the whole protocol stack.
 pub fn observable() -> &'static [&'static dyn Observable] {
-    &[&TestbedMultihop, &TestbedFault]
+    &[&TestbedMultihop, &TestbedFault, &TestbedCity]
 }
 
 /// Looks an observable scenario up by its stable name.
@@ -121,7 +124,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
-        assert_eq!(all().len(), 16);
+        assert_eq!(all().len(), 17);
         for name in names {
             assert!(find(name).is_some());
             assert!(!find(name).unwrap().title().is_empty());
@@ -141,6 +144,7 @@ mod tests {
         }
         assert!(find_observable("testbed_multihop").is_some());
         assert!(find_observable("testbed_fault").is_some());
+        assert!(find_observable("testbed_city").is_some());
         assert!(find_observable("fig08_wait_lp").is_none());
     }
 }

@@ -88,6 +88,68 @@ impl FloorPlan {
     }
 }
 
+/// A city laid out as a rectangular grid of square blocks separated by
+/// streets: `blocks_x × blocks_y` blocks of `block_m` side, with `street_m`
+/// of dead space between adjacent blocks and `nodes_per_block` radios
+/// placed uniformly inside each block.
+///
+/// With streets wider than the interference range, each block is an
+/// interference-closed region by construction — the placement behind the
+/// city-scale testbed's spatial partitioning.
+#[derive(Debug, Clone, Copy)]
+pub struct CityPlan {
+    /// Blocks along x.
+    pub blocks_x: usize,
+    /// Blocks along y.
+    pub blocks_y: usize,
+    /// Block side, metres.
+    pub block_m: f64,
+    /// Street width between adjacent blocks, metres.
+    pub street_m: f64,
+    /// Radios per block.
+    pub nodes_per_block: usize,
+}
+
+impl CityPlan {
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.blocks_x * self.blocks_y * self.nodes_per_block
+    }
+
+    /// Block pitch (block + street), metres.
+    pub fn pitch_m(&self) -> f64 {
+        self.block_m + self.street_m
+    }
+
+    /// The centre of block `(bx, by)`.
+    pub fn block_centre(&self, bx: usize, by: usize) -> Position {
+        Position::new(
+            bx as f64 * self.pitch_m() + self.block_m / 2.0,
+            by as f64 * self.pitch_m() + self.block_m / 2.0,
+        )
+    }
+
+    /// Draws every node position, block-major (all of block (0,0) first,
+    /// then (1,0), … row by row), uniform inside each block. Node
+    /// `b·nodes_per_block + k` is the k-th radio of block `b`.
+    pub fn positions<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Position> {
+        let mut out = Vec::with_capacity(self.node_count());
+        for by in 0..self.blocks_y {
+            for bx in 0..self.blocks_x {
+                let x0 = bx as f64 * self.pitch_m();
+                let y0 = by as f64 * self.pitch_m();
+                for _ in 0..self.nodes_per_block {
+                    out.push(Position::new(
+                        x0 + rng.gen_range(0.0..self.block_m),
+                        y0 + rng.gen_range(0.0..self.block_m),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +200,42 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let p = plan.random_position_near(&mut rng, Position::new(0.5, 0.5), 10.0, 20.0);
         assert!(p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0);
+    }
+
+    #[test]
+    fn city_plan_places_nodes_inside_their_blocks() {
+        let plan = CityPlan {
+            blocks_x: 3,
+            blocks_y: 2,
+            block_m: 20.0,
+            street_m: 100.0,
+            nodes_per_block: 4,
+        };
+        assert_eq!(plan.node_count(), 24);
+        assert_eq!(plan.pitch_m(), 120.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let positions = plan.positions(&mut rng);
+        assert_eq!(positions.len(), 24);
+        for (i, p) in positions.iter().enumerate() {
+            let block = i / plan.nodes_per_block;
+            let (bx, by) = (block % plan.blocks_x, block / plan.blocks_x);
+            let (x0, y0) = (bx as f64 * plan.pitch_m(), by as f64 * plan.pitch_m());
+            assert!(
+                p.x >= x0 && p.x <= x0 + plan.block_m,
+                "node {i} x={} outside block {block}",
+                p.x
+            );
+            assert!(p.y >= y0 && p.y <= y0 + plan.block_m, "node {i} off-block");
+        }
+        // Any same-block pair is closer than any cross-block pair when
+        // streets dwarf blocks: the closure precondition.
+        let same = positions[0].distance_m(&positions[3]);
+        let cross = positions[0].distance_m(&positions[4]);
+        assert!(same < 20.0 * std::f64::consts::SQRT_2 + 1e-9);
+        assert!(cross > plan.street_m - 2.0 * plan.block_m);
+        // Block centres sit on the pitch grid.
+        let c = plan.block_centre(1, 1);
+        assert_eq!((c.x, c.y), (130.0, 130.0));
     }
 
     #[test]

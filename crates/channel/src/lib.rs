@@ -29,8 +29,8 @@ pub mod multipath;
 pub mod oscillator;
 pub mod pathloss;
 
-pub use geometry::{FloorPlan, Position};
-pub use link::{add_awgn, Link, LinkEnds};
+pub use geometry::{CityPlan, FloorPlan, Position};
+pub use link::{add_awgn, Link, LinkEnds, PropagationScratch};
 pub use multipath::{Multipath, MultipathProfile};
 pub use oscillator::Oscillator;
 pub use pathloss::{PathLossModel, PowerBudget};

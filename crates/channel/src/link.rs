@@ -10,7 +10,7 @@ use crate::multipath::{Multipath, MultipathProfile};
 use crate::oscillator::Oscillator;
 use crate::pathloss::{PathLossModel, PowerBudget};
 use rand::Rng;
-use ssync_dsp::delay::fractional_delay;
+use ssync_dsp::delay::{fractional_delay_into, DelayWorkspace, SINC_HALF_WIDTH};
 use ssync_dsp::mixer::apply_cfo_from;
 use ssync_dsp::rng::ComplexGaussian;
 use ssync_dsp::Complex64;
@@ -81,6 +81,34 @@ impl Link {
         )
     }
 
+    /// Predicts, without propagating, where a waveform's received copy
+    /// lands: the receiver sample index of its first sample and the exact
+    /// output length [`Link::propagate`] would produce. The length mirrors
+    /// the propagation pipeline — multipath convolution spill
+    /// (`taps − 1` samples) plus, when the arrival falls off the sample
+    /// grid, the fractional-delay interpolator's `SINC_HALF_WIDTH` tail.
+    ///
+    /// This is the extent check that lets a capture skip transmissions that
+    /// cannot overlap its window, and the retirement rule for transmissions
+    /// whose delivered extent has fully passed.
+    pub fn delivered_span(
+        &self,
+        waveform_len: usize,
+        tx_start_fs: u64,
+        sample_period_fs: u64,
+    ) -> (u64, usize) {
+        let arrival_fs = tx_start_fs + self.delay_fs;
+        let base_sample = arrival_fs / sample_period_fs;
+        let frac = (arrival_fs % sample_period_fs) as f64 / sample_period_fs as f64;
+        let mut out_len = waveform_len + self.multipath.taps.len() - 1;
+        if frac > 0.0 {
+            // fractional_delay with 0 < µ < 1: conv spill 2·W−1 minus the
+            // absorbed kernel latency W−1 leaves exactly W extra samples.
+            out_len += SINC_HALF_WIDTH;
+        }
+        (base_sample, out_len)
+    }
+
     /// Propagates a waveform through the link.
     ///
     /// `tx_start_fs` is the ether time of the waveform's first sample;
@@ -97,13 +125,33 @@ impl Link {
         tx_start_fs: u64,
         sample_period_fs: u64,
     ) -> (Vec<Complex64>, u64) {
+        let mut scratch = PropagationScratch::default();
+        let (out, base_sample) =
+            self.propagate_into(waveform, tx_start_fs, sample_period_fs, &mut scratch);
+        (out.to_vec(), base_sample)
+    }
+
+    /// [`Link::propagate`] through caller-owned scratch: the convolution,
+    /// interpolation kernel and delayed buffer live in `scratch`, so a
+    /// reused scratch makes the steady-state medium capture path
+    /// allocation-free. Returns a slice borrowed from `scratch` plus the
+    /// receiver sample index; output bits are identical to
+    /// [`Link::propagate`] (same operations in the same order).
+    pub fn propagate_into<'a>(
+        &self,
+        waveform: &[Complex64],
+        tx_start_fs: u64,
+        sample_period_fs: u64,
+        scratch: &'a mut PropagationScratch,
+    ) -> (&'a [Complex64], u64) {
         let arrival_fs = tx_start_fs + self.delay_fs;
         let base_sample = arrival_fs / sample_period_fs;
         let frac = (arrival_fs % sample_period_fs) as f64 / sample_period_fs as f64;
         // Multipath convolution at unit gain, then amplitude gain.
-        let mut out = self.multipath.apply(waveform);
+        let conv = &mut scratch.conv;
+        self.multipath.apply_into(waveform, conv);
         if (self.amplitude_gain - 1.0).abs() > 1e-15 {
-            for s in out.iter_mut() {
+            for s in conv.iter_mut() {
                 *s = s.scale(self.amplitude_gain);
             }
         }
@@ -111,16 +159,28 @@ impl Link {
         if self.cfo_hz != 0.0 {
             let sample_rate_hz = 1e15 / sample_period_fs as f64;
             let origin = base_sample as f64 + frac;
-            apply_cfo_from(&mut out, self.cfo_hz, sample_rate_hz, origin);
+            apply_cfo_from(conv, self.cfo_hz, sample_rate_hz, origin);
         }
         // Sub-sample arrival.
-        let out = if frac > 0.0 {
-            fractional_delay(&out, frac)
+        let out: &[Complex64] = if frac > 0.0 {
+            fractional_delay_into(conv, frac, &mut scratch.delay_ws, &mut scratch.delayed);
+            &scratch.delayed
         } else {
-            out
+            conv
         };
         (out, base_sample)
     }
+}
+
+/// Reusable scratch for [`Link::propagate_into`]: the multipath convolution
+/// buffer, the fractional-delay output, and the interpolation-kernel
+/// workspace. One scratch serves any number of links — buffers grow to the
+/// largest waveform seen and are then reused.
+#[derive(Debug, Clone, Default)]
+pub struct PropagationScratch {
+    conv: Vec<Complex64>,
+    delayed: Vec<Complex64>,
+    delay_ws: DelayWorkspace,
 }
 
 /// Adds unit-referenced AWGN of power `noise_power` to a buffer in place.
@@ -197,6 +257,61 @@ mod tests {
         // Ether sample 12 is out_a[12] and out_b[2]; both should carry the
         // same oscillator phase.
         assert!(out_a[12].dist(out_b[2]) < 1e-9);
+    }
+
+    #[test]
+    fn delivered_span_matches_propagate_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let profile = MultipathProfile::testbed(20e6);
+        let period = 50_000_000u64;
+        // On-grid, off-grid, multipath and flat: the predicted span must
+        // equal the propagated output in every combination.
+        for delay_fs in [0u64, 3 * period, period / 2, 7 * period + 12_345] {
+            for multitap in [false, true] {
+                let link = Link {
+                    amplitude_gain: 0.7,
+                    multipath: if multitap {
+                        profile.draw(&mut rng)
+                    } else {
+                        Multipath::identity()
+                    },
+                    delay_fs,
+                    cfo_hz: 40e3,
+                };
+                let wave = vec![Complex64::ONE; 48];
+                let (out, base) = link.propagate(&wave, 2 * period, period);
+                let (span_base, span_len) = link.delivered_span(wave.len(), 2 * period, period);
+                assert_eq!(span_base, base, "base for delay {delay_fs}");
+                assert_eq!(span_len, out.len(), "len for delay {delay_fs}");
+            }
+        }
+    }
+
+    #[test]
+    fn propagate_into_bit_identical_with_dirty_scratch() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let profile = MultipathProfile::testbed(20e6);
+        let period = 50_000_000u64;
+        let link = Link {
+            amplitude_gain: 0.31,
+            multipath: profile.draw(&mut rng),
+            delay_fs: 5 * period + 17_000_000,
+            cfo_hz: -12.5e3,
+        };
+        let wave: Vec<Complex64> = (0..96)
+            .map(|i| Complex64::new((0.3 * i as f64).cos(), (0.3 * i as f64).sin()))
+            .collect();
+        let (fresh, base_fresh) = link.propagate(&wave, 4 * period, period);
+        // Pre-dirty the scratch with a different link and waveform.
+        let mut scratch = PropagationScratch::default();
+        let _ = Link::ideal().propagate_into(&[Complex64::J; 300], 0, period, &mut scratch);
+        let (pooled, base_pooled) = link.propagate_into(&wave, 4 * period, period, &mut scratch);
+        assert_eq!(base_fresh, base_pooled);
+        assert_eq!(fresh.len(), pooled.len());
+        for (a, b) in fresh.iter().zip(pooled) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! * [`medium`] — the ether: waveform superposition through per-pair links
 //!   with propagation delay, multipath, CFO and AWGN,
 //! * [`network`] — topology builders drawing reciprocal channels from
-//!   seeded RNGs,
+//!   seeded RNGs, including the interference-range-cut city builder and
+//!   the region partitioning behind the parallel testbed,
 //! * [`fault`] — packet-level fault injection for protocol tests.
 //!
 //! The simulator is single-threaded and deterministic by design: a network

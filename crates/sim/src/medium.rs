@@ -14,7 +14,7 @@
 use crate::node::NodeId;
 use crate::time::Time;
 use rand::Rng;
-use ssync_channel::{add_awgn, Link};
+use ssync_channel::{add_awgn, Link, PropagationScratch};
 use ssync_dsp::Complex64;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -43,6 +43,15 @@ pub struct WaveformMedium {
     /// Receiver noise power (unit convention: link gains already fold the
     /// power budget in, so this is 1.0 unless an experiment scales it).
     pub noise_power: f64,
+    // Pooled propagation buffers: one scratch serves every link, so the
+    // steady-state capture path performs no per-transmission allocation.
+    scratch: PropagationScratch,
+    // Lifetime accounting: how many times a capture actually ran a link
+    // propagation (the regression hook proving non-overlapping
+    // transmissions are skipped), and how many transmissions have been
+    // retired by extent.
+    propagate_calls: u64,
+    retired: u64,
 }
 
 impl WaveformMedium {
@@ -53,6 +62,9 @@ impl WaveformMedium {
             links: BTreeMap::new(),
             transmissions: Vec::new(),
             noise_power: 1.0,
+            scratch: PropagationScratch::default(),
+            propagate_calls: 0,
+            retired: 0,
         }
     }
 
@@ -69,6 +81,13 @@ impl WaveformMedium {
     /// Mutable link access (experiments that perturb delays — mobility).
     pub fn link_mut(&mut self, tx: NodeId, rx: NodeId) -> Option<&mut Link> {
         self.links.get_mut(&(tx, rx))
+    }
+
+    /// All installed directed links, in canonical `(tx, rx)` key order
+    /// (the iteration the region-partitioning and subnetwork extraction
+    /// machinery is built on).
+    pub fn links(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Link)> {
+        self.links.iter()
     }
 
     /// Places a waveform on the ether.
@@ -99,11 +118,62 @@ impl WaveformMedium {
         &self.transmissions
     }
 
+    /// Retires every transmission whose delivered extent has fully ended
+    /// before `cutoff` on *all* of its outgoing links — once the last echo
+    /// (multipath spill and interpolator tail included) has passed every
+    /// receiver, no future capture can hear it, so the event loop can drop
+    /// it instead of letting the live set grow with trial history. A
+    /// transmission from a node with no outgoing links is inaudible and
+    /// retires immediately.
+    pub fn retire_before(&mut self, cutoff: Time) {
+        let WaveformMedium {
+            sample_period_fs,
+            links,
+            transmissions,
+            retired,
+            ..
+        } = self;
+        let period = *sample_period_fs;
+        transmissions.retain(|t| {
+            let audible = links
+                .range((t.tx, NodeId(0))..=(t.tx, NodeId(usize::MAX)))
+                .any(|(_, link)| {
+                    let (base, len) = link.delivered_span(t.waveform.len(), t.start.0, period);
+                    // Extent end in femtoseconds, one past the last sample.
+                    (base + len as u64).saturating_mul(period) > cutoff.0
+                });
+            if !audible {
+                *retired += 1;
+            }
+            audible
+        });
+    }
+
+    /// Number of transmissions retired by [`WaveformMedium::retire_before`]
+    /// over this medium's lifetime.
+    pub fn retired_count(&self) -> u64 {
+        self.retired
+    }
+
+    /// Lifetime count of actual link propagations run by captures. The
+    /// regression hook for the capture extent check: capturing a window no
+    /// transmission overlaps must leave this counter unchanged.
+    pub fn propagate_count(&self) -> u64 {
+        self.propagate_calls
+    }
+
     /// Captures `n_samples` at receiver `rx` starting at ether time `from`
     /// (which must lie on the sample grid): superposition of all
     /// transmissions with a `tx → rx` link, plus AWGN.
+    ///
+    /// Each transmission's delivered extent is predicted from the link
+    /// delay *before* propagating ([`Link::delivered_span`]), so
+    /// transmissions that cannot overlap the window cost an integer
+    /// comparison, not a full multipath/CFO/interpolation pass — a skipped
+    /// transmission contributed exactly zero samples under the old
+    /// propagate-then-clamp path, so output bits are unchanged.
     pub fn capture<R: Rng + ?Sized>(
-        &self,
+        &mut self,
         rng: &mut R,
         rx: NodeId,
         from: Time,
@@ -115,20 +185,36 @@ impl WaveformMedium {
             "capture start not on the sample grid"
         );
         let from_sample = (from.0 / self.sample_period_fs) as i64;
+        let end_sample = from_sample + n_samples as i64;
         let mut buf = vec![Complex64::ZERO; n_samples];
-        for t in &self.transmissions {
+        let WaveformMedium {
+            sample_period_fs,
+            links,
+            transmissions,
+            scratch,
+            propagate_calls,
+            ..
+        } = self;
+        for t in transmissions.iter() {
             if t.tx == rx {
                 continue; // half-duplex: a node does not hear itself
             }
-            let Some(link) = self.links.get(&(t.tx, rx)) else {
+            let Some(link) = links.get(&(t.tx, rx)) else {
                 continue;
             };
-            let (rx_wave, base_sample) =
-                link.propagate(&t.waveform, t.start.0, self.sample_period_fs);
+            let (base_sample, out_len) =
+                link.delivered_span(t.waveform.len(), t.start.0, *sample_period_fs);
             let base = base_sample as i64;
+            if base >= end_sample || base + out_len as i64 <= from_sample {
+                continue; // no overlap with [from_sample, end_sample)
+            }
+            *propagate_calls += 1;
+            let (rx_wave, _) =
+                link.propagate_into(&t.waveform, t.start.0, *sample_period_fs, scratch);
+            debug_assert_eq!(rx_wave.len(), out_len, "delivered_span mispredicted");
             // Overlap [base, base+len) with [from_sample, from_sample+n).
             let lo = base.max(from_sample);
-            let hi = (base + rx_wave.len() as i64).min(from_sample + n_samples as i64);
+            let hi = (base + rx_wave.len() as i64).min(end_sample);
             for s in lo..hi {
                 buf[(s - from_sample) as usize] += rx_wave[(s - base) as usize];
             }
@@ -263,6 +349,120 @@ mod tests {
     fn off_grid_transmit_rejected() {
         let mut m = quiet_medium();
         m.transmit(NodeId(0), Time(1), vec![Complex64::ONE]);
+    }
+
+    #[test]
+    fn capture_skips_non_overlapping_transmissions() {
+        // The regression for the propagate-everything bug: a capture whose
+        // window no transmission overlaps must not run a single link
+        // propagation, and the cost of a real capture must not grow with
+        // stale history outside its window.
+        let mut m = quiet_medium();
+        m.set_link(NodeId(0), NodeId(1), Link::ideal());
+        for k in 0..100 {
+            m.transmit(NodeId(0), Time(k * 10 * PERIOD), vec![Complex64::ONE; 4]);
+        }
+        assert_eq!(m.propagate_count(), 0);
+        // A window past all 100 transmissions: zero propagations.
+        let far = Time(5_000 * PERIOD);
+        let buf = m.capture(&mut StdRng::seed_from_u64(20), NodeId(1), far, 16);
+        assert_eq!(m.propagate_count(), 0, "non-overlapping propagated");
+        assert!(buf.iter().all(|s| s.abs() < 1e-12));
+        // A window covering exactly one transmission: exactly one.
+        let buf = m.capture(
+            &mut StdRng::seed_from_u64(21),
+            NodeId(1),
+            Time(10 * PERIOD),
+            4,
+        );
+        assert_eq!(m.propagate_count(), 1, "capture cost depends on history");
+        assert!(buf[0].dist(Complex64::ONE) < 1e-12);
+    }
+
+    #[test]
+    fn capture_bits_unchanged_by_stale_history() {
+        // Superposition output with non-overlapping history present must be
+        // bit-identical to the same capture on a fresh medium: the skipped
+        // transmissions contributed exactly zero before the fix.
+        let mk = |with_history: bool| {
+            let mut m = WaveformMedium::new(PERIOD);
+            let mut link = Link::ideal();
+            link.delay_fs = PERIOD / 3; // off-grid: exercises the interpolator
+            link.cfo_hz = 20e3;
+            m.set_link(NodeId(0), NodeId(1), link);
+            if with_history {
+                for k in 0..50 {
+                    m.transmit(NodeId(0), Time(k * 20 * PERIOD), vec![Complex64::J; 8]);
+                }
+            }
+            m.transmit(NodeId(0), Time(2_000 * PERIOD), vec![Complex64::ONE; 16]);
+            m.capture(
+                &mut StdRng::seed_from_u64(22),
+                NodeId(1),
+                Time(2_000 * PERIOD),
+                64,
+            )
+        };
+        let (fresh, stale) = (mk(false), mk(true));
+        for (a, b) in fresh.iter().zip(&stale) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn retire_before_drops_passed_extents_only() {
+        let mut m = quiet_medium();
+        let mut link = Link::ideal();
+        link.delay_fs = 2 * PERIOD;
+        m.set_link(NodeId(0), NodeId(1), link);
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE; 4]); // ends at sample 6
+        m.transmit(NodeId(0), Time(100 * PERIOD), vec![Complex64::ONE; 4]); // ends at 106
+                                                                            // Cutoff inside the first extent: nothing retires.
+        m.retire_before(Time(5 * PERIOD));
+        assert_eq!(m.transmissions().len(), 2);
+        assert_eq!(m.retired_count(), 0);
+        // Cutoff past the first extent (delay 2 + len 4 = sample 6).
+        m.retire_before(Time(6 * PERIOD));
+        assert_eq!(m.transmissions().len(), 1);
+        assert_eq!(m.retired_count(), 1);
+        assert_eq!(m.transmissions()[0].start, Time(100 * PERIOD));
+        // The survivor is still audible where it should be.
+        let buf = m.capture(
+            &mut StdRng::seed_from_u64(23),
+            NodeId(1),
+            Time(102 * PERIOD),
+            2,
+        );
+        assert!(buf[0].dist(Complex64::ONE) < 1e-12);
+    }
+
+    #[test]
+    fn retire_before_drops_linkless_transmissions() {
+        // A transmitter with no outgoing links is inaudible forever: its
+        // transmissions retire at any cutoff instead of pinning the live
+        // set.
+        let mut m = quiet_medium();
+        m.transmit(NodeId(7), Time(1_000 * PERIOD), vec![Complex64::ONE; 4]);
+        m.retire_before(Time::ZERO);
+        assert!(m.transmissions().is_empty());
+        assert_eq!(m.retired_count(), 1);
+    }
+
+    #[test]
+    fn retire_waits_for_slowest_receiver() {
+        // Two receivers at different delays: the transmission stays live
+        // until the *last* extent has passed.
+        let mut m = quiet_medium();
+        m.set_link(NodeId(0), NodeId(1), Link::ideal()); // ends at sample 2
+        let mut slow = Link::ideal();
+        slow.delay_fs = 10 * PERIOD; // ends at sample 12
+        m.set_link(NodeId(0), NodeId(2), slow);
+        m.transmit(NodeId(0), Time::ZERO, vec![Complex64::ONE; 2]);
+        m.retire_before(Time(5 * PERIOD));
+        assert_eq!(m.transmissions().len(), 1, "slow receiver still listening");
+        m.retire_before(Time(12 * PERIOD));
+        assert!(m.transmissions().is_empty());
     }
 
     #[test]

@@ -5,6 +5,40 @@ use crate::node::{NodeId, RadioNode};
 use rand::Rng;
 use ssync_channel::{Link, MultipathProfile, PathLossModel, Position, PowerBudget};
 use ssync_phy::Params;
+use std::collections::BTreeMap;
+
+/// Draws the reciprocal link pair `i ↔ j` and installs both directions.
+/// Shared by [`Network::build`] and [`Network::build_ranged`] so the two
+/// builders cannot drift in their per-pair RNG consumption (one shadowing
+/// draw, one multipath realisation, CFO antisymmetric from the oscillators).
+fn draw_link_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    nodes: &[RadioNode],
+    i: usize,
+    j: usize,
+    models: &ChannelModels,
+    medium: &mut WaveformMedium,
+) {
+    let d = nodes[i].position.distance_m(&nodes[j].position);
+    let loss_db = models.pathloss.sample_loss_db(rng, d);
+    let gain = models.budget.amplitude_gain(loss_db);
+    let mp = models.multipath.draw(rng);
+    let delay = nodes[i].position.propagation_delay_fs(&nodes[j].position);
+    let fwd = Link {
+        amplitude_gain: gain,
+        multipath: mp.clone(),
+        delay_fs: delay,
+        cfo_hz: nodes[i].oscillator.cfo_to_hz(&nodes[j].oscillator),
+    };
+    let rev = Link {
+        amplitude_gain: gain,
+        multipath: mp,
+        delay_fs: delay,
+        cfo_hz: nodes[j].oscillator.cfo_to_hz(&nodes[i].oscillator),
+    };
+    medium.set_link(nodes[i].id, nodes[j].id, fwd);
+    medium.set_link(nodes[j].id, nodes[i].id, rev);
+}
 
 /// The channel models a topology is drawn under.
 #[derive(Debug, Clone)]
@@ -71,25 +105,78 @@ impl Network {
         let mut medium = WaveformMedium::new(period);
         for i in 0..nodes.len() {
             for j in i + 1..nodes.len() {
-                let d = nodes[i].position.distance_m(&nodes[j].position);
-                let loss_db = models.pathloss.sample_loss_db(rng, d);
-                let gain = models.budget.amplitude_gain(loss_db);
-                let mp = models.multipath.draw(rng);
-                let delay = nodes[i].position.propagation_delay_fs(&nodes[j].position);
-                let fwd = Link {
-                    amplitude_gain: gain,
-                    multipath: mp.clone(),
-                    delay_fs: delay,
-                    cfo_hz: nodes[i].oscillator.cfo_to_hz(&nodes[j].oscillator),
-                };
-                let rev = Link {
-                    amplitude_gain: gain,
-                    multipath: mp,
-                    delay_fs: delay,
-                    cfo_hz: nodes[j].oscillator.cfo_to_hz(&nodes[i].oscillator),
-                };
-                medium.set_link(nodes[i].id, nodes[j].id, fwd);
-                medium.set_link(nodes[j].id, nodes[i].id, rev);
+                draw_link_pair(rng, &nodes, i, j, models, &mut medium);
+            }
+        }
+        Network {
+            params: params.clone(),
+            nodes,
+            medium,
+        }
+    }
+
+    /// [`Network::build`] with an interference-range cutoff: pairs farther
+    /// apart than `range_m` get *no* link — no shadowing or multipath draw,
+    /// no medium entry — so a city-scale draw costs O(N·neighbours) instead
+    /// of O(N²). Candidate pairs come from a uniform grid of `range_m`-sized
+    /// cells (an in-range pair is always in the same or an adjacent cell)
+    /// and are visited in the same `(i, j<i…)` ascending order as `build`,
+    /// so with a range covering every pair the RNG consumption — and hence
+    /// the network — is identical to `build`'s.
+    ///
+    /// Beyond the range the medium carries nothing at all: far-field
+    /// delivery, when an experiment wants it, is modelled analytically
+    /// (PER curves) by the layer above — the hybrid-fidelity boundary
+    /// documented in DESIGN.md.
+    pub fn build_ranged<R: Rng + ?Sized>(
+        rng: &mut R,
+        params: &Params,
+        positions: &[Position],
+        models: &ChannelModels,
+        range_m: f64,
+    ) -> Network {
+        assert!(
+            range_m > 0.0 && range_m.is_finite(),
+            "interference range must be finite and positive"
+        );
+        let period = params.sample_period_fs();
+        let nodes: Vec<RadioNode> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| RadioNode::draw(rng, NodeId(i), p, period))
+            .collect();
+        // Grid binning at cell = range: |Δx| ≤ range ⇒ cell indices differ
+        // by at most 1, so the 3×3 neighbourhood is a superset of the
+        // in-range candidates. BTreeMap keys keep every scan ordered.
+        let cell_of = |p: &Position| {
+            (
+                (p.x / range_m).floor() as i64,
+                (p.y / range_m).floor() as i64,
+            )
+        };
+        let mut bins: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            bins.entry(cell_of(&n.position)).or_default().push(i);
+        }
+        let mut medium = WaveformMedium::new(period);
+        let mut neighbours: Vec<usize> = Vec::new();
+        for i in 0..nodes.len() {
+            let (cx, cy) = cell_of(&nodes[i].position);
+            neighbours.clear();
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(members) = bins.get(&(cx + dx, cy + dy)) {
+                        neighbours.extend(members.iter().copied().filter(|&j| j > i));
+                    }
+                }
+            }
+            // Ascending j restores build's pair order within each i.
+            neighbours.sort_unstable();
+            for &j in &neighbours {
+                if nodes[i].position.distance_m(&nodes[j].position) > range_m {
+                    continue;
+                }
+                draw_link_pair(rng, &nodes, i, j, models, &mut medium);
             }
         }
         Network {
@@ -142,6 +229,81 @@ impl Network {
             .link(a, b)
             .map(|l| l.delay_fs as f64 * 1e-15)
             .unwrap_or(f64::INFINITY)
+    }
+
+    /// Partitions the nodes into *interference-closed regions*: the
+    /// connected components of the undirected "a link exists" graph. The
+    /// medium carries no link across a component boundary, so a capture
+    /// inside one region superposes only that region's transmissions — the
+    /// closure rule that makes per-region event execution exactly
+    /// independent (and therefore safe to run in parallel).
+    ///
+    /// Components are returned with members ascending, ordered by their
+    /// smallest member id, so the partition is a deterministic function of
+    /// the network alone.
+    pub fn interference_regions(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (&(a, b), _) in self.medium.links() {
+            adjacency[a.0].push(b.0);
+        }
+        let mut seen = vec![false; n];
+        let mut regions = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            let mut stack = vec![start];
+            let mut members = vec![start];
+            while let Some(u) = stack.pop() {
+                for &v in &adjacency[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        members.push(v);
+                        stack.push(v);
+                    }
+                }
+            }
+            members.sort_unstable();
+            regions.push(members);
+        }
+        regions
+    }
+
+    /// Extracts the self-contained sub-network over `members` (global node
+    /// indices, ascending): nodes are reindexed densely to `0..m` in the
+    /// given order and every link with both endpoints inside comes along
+    /// verbatim (same gains, multipath realisations, delays and CFOs). For
+    /// an interference-closed region the extraction loses nothing — no
+    /// dropped link existed — so running the region's protocol on the
+    /// sub-network is bit-equivalent to running it on the full medium.
+    pub fn subnetwork(&self, members: &[usize]) -> Network {
+        let mut local: BTreeMap<usize, usize> = BTreeMap::new();
+        for (k, &g) in members.iter().enumerate() {
+            local.insert(g, k);
+        }
+        let nodes: Vec<RadioNode> = members
+            .iter()
+            .enumerate()
+            .map(|(k, &g)| {
+                let mut node = self.nodes[g];
+                node.id = NodeId(k);
+                node
+            })
+            .collect();
+        let mut medium = WaveformMedium::new(self.medium.sample_period_fs);
+        medium.noise_power = self.medium.noise_power;
+        for (&(a, b), link) in self.medium.links() {
+            if let (Some(&la), Some(&lb)) = (local.get(&a.0), local.get(&b.0)) {
+                medium.set_link(NodeId(la), NodeId(lb), link.clone());
+            }
+        }
+        Network {
+            params: self.params.clone(),
+            nodes,
+            medium,
+        }
     }
 }
 
@@ -261,6 +423,135 @@ mod tests {
             b.snr_db(NodeId(0), NodeId(2)).to_bits()
         );
         assert_eq!(a.node(NodeId(1)).turnaround, b.node(NodeId(1)).turnaround);
+    }
+
+    #[test]
+    fn build_ranged_covering_range_is_bit_identical_to_build() {
+        // With a range no pair exceeds, the grid walk must consume the RNG
+        // in build's exact order: every node draw, shadowing draw, multipath
+        // realisation and turnaround comes out bit-identical.
+        let params = OfdmParams::dot11a();
+        let models = ChannelModels::testbed(&params);
+        let mut rng = StdRng::seed_from_u64(11);
+        let positions: Vec<Position> = (0..12)
+            .map(|_| {
+                Position::new(
+                    rand::Rng::gen_range(&mut rng, 0.0..60.0),
+                    rand::Rng::gen_range(&mut rng, 0.0..40.0),
+                )
+            })
+            .collect();
+        let full = Network::build(&mut StdRng::seed_from_u64(5), &params, &positions, &models);
+        let ranged = Network::build_ranged(
+            &mut StdRng::seed_from_u64(5),
+            &params,
+            &positions,
+            &models,
+            1e6,
+        );
+        assert_eq!(full.len(), ranged.len());
+        for i in 0..full.len() {
+            assert_eq!(
+                full.node(NodeId(i)).turnaround,
+                ranged.node(NodeId(i)).turnaround
+            );
+        }
+        for (key, link) in full.medium.links() {
+            let other = ranged.medium.link(key.0, key.1).expect("link missing");
+            assert_eq!(link.delay_fs, other.delay_fs);
+            assert_eq!(
+                link.amplitude_gain.to_bits(),
+                other.amplitude_gain.to_bits()
+            );
+            assert_eq!(link.cfo_hz.to_bits(), other.cfo_hz.to_bits());
+            assert_eq!(link.multipath, other.multipath);
+        }
+        assert_eq!(full.medium.links().count(), ranged.medium.links().count());
+    }
+
+    #[test]
+    fn build_ranged_cuts_far_pairs() {
+        let params = OfdmParams::dot11a();
+        let models = ChannelModels::clean(&params);
+        // Two clusters 100 m apart, 5 m wide.
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(5.0, 0.0),
+            Position::new(100.0, 0.0),
+            Position::new(105.0, 0.0),
+        ];
+        let net = Network::build_ranged(
+            &mut StdRng::seed_from_u64(6),
+            &params,
+            &positions,
+            &models,
+            20.0,
+        );
+        assert!(net.medium.link(NodeId(0), NodeId(1)).is_some());
+        assert!(net.medium.link(NodeId(2), NodeId(3)).is_some());
+        assert!(net.medium.link(NodeId(0), NodeId(2)).is_none());
+        assert!(net.medium.link(NodeId(1), NodeId(3)).is_none());
+        assert_eq!(net.medium.links().count(), 4); // 2 pairs × 2 directions
+    }
+
+    #[test]
+    fn interference_regions_are_components() {
+        let params = OfdmParams::dot11a();
+        let models = ChannelModels::clean(&params);
+        // Interleaved clusters: components are not contiguous id ranges.
+        let positions = vec![
+            Position::new(0.0, 0.0),    // 0: cluster A
+            Position::new(100.0, 0.0),  // 1: cluster B
+            Position::new(3.0, 0.0),    // 2: cluster A
+            Position::new(103.0, 0.0),  // 3: cluster B
+            Position::new(200.0, 50.0), // 4: isolated
+        ];
+        let net = Network::build_ranged(
+            &mut StdRng::seed_from_u64(7),
+            &params,
+            &positions,
+            &models,
+            10.0,
+        );
+        let regions = net.interference_regions();
+        assert_eq!(regions, vec![vec![0, 2], vec![1, 3], vec![4]]);
+    }
+
+    #[test]
+    fn subnetwork_preserves_links_and_hardware() {
+        let params = OfdmParams::dot11a();
+        let models = ChannelModels::testbed(&params);
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(100.0, 0.0),
+            Position::new(4.0, 3.0),
+            Position::new(104.0, 3.0),
+        ];
+        let net = Network::build_ranged(
+            &mut StdRng::seed_from_u64(8),
+            &params,
+            &positions,
+            &models,
+            15.0,
+        );
+        let sub = net.subnetwork(&[1, 3]);
+        assert_eq!(sub.len(), 2);
+        // Local ids are dense; hardware and channel come along verbatim.
+        assert_eq!(
+            sub.node(NodeId(0)).turnaround,
+            net.node(NodeId(1)).turnaround
+        );
+        assert_eq!(
+            sub.node(NodeId(1)).turnaround,
+            net.node(NodeId(3)).turnaround
+        );
+        let orig = net.medium.link(NodeId(1), NodeId(3)).unwrap();
+        let copy = sub.medium.link(NodeId(0), NodeId(1)).expect("link lost");
+        assert_eq!(orig.delay_fs, copy.delay_fs);
+        assert_eq!(orig.amplitude_gain.to_bits(), copy.amplitude_gain.to_bits());
+        assert_eq!(orig.multipath, copy.multipath);
+        assert_eq!(sub.medium.links().count(), 2);
+        assert_eq!(sub.medium.noise_power, net.medium.noise_power);
     }
 
     #[test]

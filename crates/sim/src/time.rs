@@ -60,7 +60,10 @@ impl Time {
     /// fractional target does to halve the worst-case quantisation error).
     pub fn round_to_sample(&self, sample_period_fs: u64) -> Time {
         let rem = self.0 % sample_period_fs;
-        if rem * 2 >= sample_period_fs {
+        // `rem >= period − rem` ⟺ `2·rem >= period`, but cannot overflow:
+        // `rem < period` guarantees the subtraction is in range, while the
+        // doubled form wraps for periods above 2⁶³ fs.
+        if rem >= sample_period_fs - rem {
             Time(self.0 - rem + sample_period_fs)
         } else {
             Time(self.0 - rem)
@@ -177,6 +180,33 @@ mod tests {
         assert_eq!(t.ceil_to_sample(period), Time(4 * period));
         // Already on the grid: unchanged.
         assert_eq!(Time(4 * period).ceil_to_sample(period), Time(4 * period));
+    }
+
+    #[test]
+    fn round_to_sample_picks_nearest_tick() {
+        let period = 50_000_000u64; // 20 Msps
+        assert_eq!(Time(0).round_to_sample(period), Time(0));
+        assert_eq!(Time(period).round_to_sample(period), Time(period));
+        // Just below the midpoint rounds down; at and above rounds up.
+        assert_eq!(Time(period / 2 - 1).round_to_sample(period), Time(0));
+        assert_eq!(Time(period / 2).round_to_sample(period), Time(period));
+        assert_eq!(Time(period / 2 + 1).round_to_sample(period), Time(period));
+    }
+
+    #[test]
+    fn round_to_sample_survives_giant_periods() {
+        // Sample periods above 2⁶³ fs used to overflow the doubled-remainder
+        // comparison (`rem * 2` wraps), silently rounding *down* past the
+        // midpoint. The largest representable period is the worst case.
+        let period = u64::MAX;
+        let above_mid = period / 2 + 5; // rem·2 wraps to 9 under the old code
+        assert_eq!(Time(above_mid).round_to_sample(period), Time(period));
+        let below_mid = period / 2; // rem·2 = period − 1: rounds down
+        assert_eq!(Time(below_mid).round_to_sample(period), Time(0));
+        // A period of exactly 2⁶³ fs sits on the overflow boundary.
+        let p63 = 1u64 << 63;
+        assert_eq!(Time(p63 / 2).round_to_sample(p63), Time(p63));
+        assert_eq!(Time(p63 / 2 - 1).round_to_sample(p63), Time(0));
     }
 
     #[test]

@@ -32,17 +32,23 @@
 //!   the protocol seams (DATA, ACK/batch-map, sync header) with typed
 //!   accounting;
 //! * [`runtime`] — the event loop: contention, ARQ, ExOR suppression,
-//!   joint frames, batch maps, and the [`TestbedOutcome`] ledger.
+//!   joint frames, batch maps, and the [`TestbedOutcome`] ledger;
+//! * [`city`] — the city-scale testbed: interference-closed regions over
+//!   the ranged network builder, executed in parallel on
+//!   [`ssync_exp::exec::par_map`] with an analytic far-field backhaul
+//!   (the hybrid-fidelity boundary).
 
 // No unsafe anywhere in this crate: the determinism contract is easier
 // to audit when the only unsafe in the workspace is ssync_phy's fenced
 // AVX2 tier (see DESIGN.md and ssync_lint's `undocumented-unsafe` rule).
 #![forbid(unsafe_code)]
 
+pub mod city;
 pub mod faults;
 pub mod link;
 pub mod runtime;
 
+pub use city::{run_city, run_city_observed, CityConfig, CityNetwork, CityOutcome, RegionReport};
 pub use faults::{apply_classified, FaultCounters, FaultPlan, Faulted};
 pub use link::{Modem, BROADCAST, CAPTURE_MARGIN};
 pub use runtime::{

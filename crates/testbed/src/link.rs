@@ -189,6 +189,16 @@ impl Modem {
             .iter()
             .map(|&l| net.medium.capture(rng, l, Time::ZERO, window))
             .collect();
+        // The exchange epoch is over: every extent (t0 + frame + multipath
+        // and interpolator spill) ends inside the capture window, so
+        // extent-based retirement empties the ether and the live set stays
+        // bounded by the epoch's concurrent senders instead of growing with
+        // trial history.
+        net.medium.retire_before(Time((window as u64) * period));
+        debug_assert!(
+            net.medium.transmissions().is_empty(),
+            "transmission extent outlived its exchange window"
+        );
         listeners
             .iter()
             .copied()

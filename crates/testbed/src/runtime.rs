@@ -1593,6 +1593,38 @@ mod tests {
     }
 
     #[test]
+    fn long_run_keeps_the_live_transmission_set_bounded() {
+        // The unbounded-growth regression: transmissions used to pile up
+        // on the medium between clear calls. A lossy multihop run pushes
+        // hundreds of frames; extent-based retirement must keep the live
+        // set at zero between exchanges and retire every frame it hears.
+        let mut net = diamond(11, 18.0, 8.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = TestbedConfig {
+            batch_size: 32,
+            payload_len: 64,
+            ..TestbedConfig::new(RateId::R12, RoutingMode::ExorSourceSync)
+        };
+        let o = run_transfer(&mut net, &mut rng, 0, 3, &[1, 2], &cfg).unwrap();
+        assert!(o.data_frames > 40, "not a long run: {o:?}");
+        assert!(
+            net.medium.transmissions().is_empty(),
+            "live set leaked {} transmissions",
+            net.medium.transmissions().len()
+        );
+        // Every frame the run put on the air was retired by extent, not
+        // blanket-cleared: the retirement counter accounts for them.
+        assert!(
+            net.medium.retired_count() >= o.data_frames,
+            "retired {} of {} data frames",
+            net.medium.retired_count(),
+            o.data_frames
+        );
+        // And the capture extent check was live throughout the run.
+        assert!(net.medium.propagate_count() > 0);
+    }
+
+    #[test]
     fn observed_run_is_bit_identical_and_traces() {
         let run = |trace: &mut TraceRecorder, metrics: &mut MetricRegistry| {
             let mut net = diamond(7, 18.0, 9.0);
