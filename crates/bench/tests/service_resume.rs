@@ -1,0 +1,157 @@
+//! Checkpoint/resume determinism for the city-scale testbed's service
+//! decomposition, on a debug-fast small city: a run killed at city *k*
+//! and resumed — at a different worker count — renders bytes identical
+//! to an uninterrupted run, and the service's observability artifacts
+//! are themselves worker-count-invariant.
+//!
+//! This drives the *production* decomposition (`CitySweep` is exactly
+//! what serves `testbed_city`), just on a 16-node plan; CI's service
+//! smoke job replays the same enqueue → kill → resume → golden-check
+//! cycle on the full 504-node avenue in release mode.
+
+use ssync_bench::scenarios::CitySweep;
+use ssync_exp::service::units::run_units_rendered;
+use ssync_exp::service::{process_job, JobOutcome, JobQueue, JobSpec, ServiceConfig};
+use ssync_exp::Format;
+use ssync_obs::ServiceObs;
+use ssync_phy::RateId;
+use ssync_testbed::{RoutingMode, TestbedConfig};
+
+/// A 2×2-block, 16-node city (the `city_determinism` test plan): four
+/// interference-closed regions per city, fast enough for the debug
+/// profile.
+fn small_sweep() -> CitySweep {
+    CitySweep::new(
+        ssync_channel::CityPlan {
+            blocks_x: 2,
+            blocks_y: 2,
+            block_m: 20.0,
+            street_m: 100.0,
+            nodes_per_block: 4,
+        },
+        40.0,
+        TestbedConfig {
+            batch_size: 4,
+            payload_len: 64,
+            ..TestbedConfig::new(RateId::R12, RoutingMode::ExorSourceSync)
+        },
+    )
+}
+
+fn spec(trials: usize, format: Format) -> JobSpec {
+    JobSpec {
+        scenario: "small_city".to_string(),
+        trials,
+        seed: 0,
+        format,
+    }
+}
+
+#[test]
+fn city_unit_decomposition_matches_the_serial_bytes() {
+    let sweep = small_sweep();
+    for format in [Format::Tsv, Format::Json] {
+        let serial = sweep.render_serial("small_city", &spec(2, format).run_config(1));
+        for threads in [1usize, 4] {
+            let cfg = spec(2, format).run_config(threads);
+            assert_eq!(
+                run_units_rendered(&sweep, "small_city", &cfg),
+                serial,
+                "threads={threads} format={format:?}"
+            );
+        }
+    }
+}
+
+/// Runs the small-city job in a fresh spool: optionally killed after
+/// `abort` fresh units, then resumed with `resume_workers`. Returns the
+/// final result bytes and the service observability artifacts.
+fn run_job(
+    first_workers: usize,
+    abort: Option<usize>,
+    resume_workers: usize,
+) -> (String, String, String) {
+    let tag = format!(
+        "city_resume_{first_workers}_{:?}_{resume_workers}_{}",
+        abort,
+        std::process::id()
+    );
+    let root = std::env::temp_dir().join(tag);
+    let _ = std::fs::remove_dir_all(&root);
+    let queue = JobQueue::open(&root).unwrap();
+    let the_spec = spec(2, Format::Tsv);
+    let id = queue.enqueue(&the_spec).unwrap();
+    let (claimed, _) = queue.claim_next().unwrap().unwrap();
+    assert_eq!(claimed, id);
+
+    let mut obs = ServiceObs::new();
+    let sweep = small_sweep();
+    let svc = ServiceConfig {
+        workers: first_workers,
+        abort_after_units: abort,
+    };
+    let outcome = process_job(&queue, &id, &the_spec, &sweep, &svc, &mut obs).unwrap();
+    if let Some(k) = abort {
+        assert_eq!(outcome, JobOutcome::Interrupted { done: k, total: 2 });
+        // The "crash": drop every in-memory handle; only the spool
+        // survives into the resumed process state.
+        drop(queue);
+        let queue = JobQueue::open(&root).unwrap();
+        let outcome = process_job(
+            &queue,
+            &id,
+            &the_spec,
+            &sweep,
+            &ServiceConfig::new(resume_workers),
+            &mut obs,
+        )
+        .unwrap();
+        assert_eq!(
+            outcome,
+            JobOutcome::Completed {
+                units: 2,
+                from_checkpoint: k
+            }
+        );
+    }
+    let queue = JobQueue::open(&root).unwrap();
+    let bytes = std::fs::read_to_string(queue.result_path(&id, Format::Tsv)).unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+    (
+        bytes,
+        obs.chrome_trace_json(),
+        ssync_exp::sink::render_tsv(&obs.metrics_snapshot()),
+    )
+}
+
+#[test]
+fn killed_then_resumed_city_run_is_indistinguishable_from_uninterrupted() {
+    let (uninterrupted, _, _) = run_job(1, None, 1);
+    // Sanity: the uninterrupted service bytes equal the serial render.
+    assert_eq!(
+        uninterrupted,
+        small_sweep().render_serial("small_city", &spec(2, Format::Tsv).run_config(1))
+    );
+    for kill_at in [0usize, 1] {
+        for (first, resumed) in [(1usize, 8usize), (8, 1)] {
+            let (bytes, _, _) = run_job(first, Some(kill_at), resumed);
+            assert_eq!(
+                bytes, uninterrupted,
+                "kill_at={kill_at} workers={first}->{resumed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn service_observability_is_worker_count_invariant() {
+    // The same kill/resume pattern at different worker counts must
+    // produce byte-identical trace JSON and metric snapshots — service
+    // events run on logical time, never completion order or wall-clock.
+    let (_, trace_1, metrics_1) = run_job(1, Some(1), 1);
+    let (_, trace_8, metrics_8) = run_job(8, Some(1), 8);
+    assert_eq!(trace_1, trace_8);
+    assert_eq!(metrics_1, metrics_8);
+    assert!(trace_1.contains("\"name\": \"service_checkpoint\""));
+    assert!(metrics_1.contains("service/units_restored"));
+}

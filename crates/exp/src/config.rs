@@ -56,6 +56,34 @@ pub fn parse_threads(value: Option<&str>) -> usize {
     value.and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
+/// Resolves the effective trial multiplier from a `--trials` flag and the
+/// `SSYNC_TRIALS` environment value, enforcing the precedence contract:
+///
+/// **The command line wins.** When `cli` is present it must be a positive
+/// integer — anything else is a hard error (a typed flag deserves a loud
+/// failure, and silently falling back to the environment here is exactly
+/// how an enqueue-time and a run-time trial count would diverge). Only
+/// when no flag was given does the forgiving [`parse_trials`] reading of
+/// the environment apply.
+///
+/// `ssync-lab run` and `ssync-lab enqueue` both resolve through this
+/// function, and `enqueue` bakes the result into the job spec — the
+/// service executes the spec's count verbatim and never consults the
+/// environment, so the trials a job was enqueued with are the trials it
+/// runs with.
+pub fn resolve_trials(cli: Option<&str>, env: Option<&str>) -> Result<usize, String> {
+    match cli {
+        Some(flag) => match flag.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "--trials {flag}: expected a positive integer (the flag overrides \
+                 SSYNC_TRIALS, so it is never silently ignored)"
+            )),
+        },
+        None => Ok(parse_trials(env)),
+    }
+}
+
 /// Everything a scenario run needs besides the scenario itself.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -114,6 +142,27 @@ mod tests {
         assert_eq!(parse_trials(Some("-3")), 1);
         assert_eq!(parse_trials(Some("1")), 1);
         assert_eq!(parse_trials(Some("16")), 16);
+    }
+
+    #[test]
+    fn resolve_trials_cli_beats_env() {
+        // Flag present: it wins regardless of the environment.
+        assert_eq!(resolve_trials(Some("4"), Some("9")), Ok(4));
+        assert_eq!(resolve_trials(Some("1"), None), Ok(1));
+        // No flag: the forgiving environment reading applies.
+        assert_eq!(resolve_trials(None, Some("9")), Ok(9));
+        assert_eq!(resolve_trials(None, Some("junk")), Ok(1));
+        assert_eq!(resolve_trials(None, None), Ok(1));
+    }
+
+    #[test]
+    fn resolve_trials_rejects_bad_flags_loudly() {
+        // A typed flag must never fall back to the environment — that is
+        // the divergence the service contract forbids.
+        for bad in ["0", "-2", "many", ""] {
+            let err = resolve_trials(Some(bad), Some("9")).unwrap_err();
+            assert!(err.contains("positive integer"), "flag {bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! The result cache: content-hashed rendered results keyed by job spec.
+//!
+//! One file per entry, named by the spec's FNV-1a cache key. An entry
+//! embeds the full canonical spec (so a key collision can never serve a
+//! different job's bytes), the payload length, and the payload's own
+//! FNV-1a hash. [`ResultCache::lookup`] verifies all three; **any**
+//! mismatch — truncation, bit rot, a stale format — is a miss that falls
+//! back to recompute, never an error and never bad bytes. Storage is
+//! write-to-temp-then-rename so a killed store leaves either the old
+//! entry or the new one, not a torn file.
+
+use std::path::{Path, PathBuf};
+
+use crate::service::{fnv1a, JobSpec};
+
+const MAGIC: &str = "ssync-cache v1";
+
+/// A directory of verified result entries.
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+/// One entry as reported by [`ResultCache::entries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The spec cache key (also the file stem).
+    pub key: u64,
+    /// Scenario name from the embedded spec.
+    pub scenario: String,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+impl ResultCache {
+    /// Opens (creating) the cache directory.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The entry file for a key.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.entry"))
+    }
+
+    fn encode(spec: &JobSpec, payload: &str) -> String {
+        format!(
+            "{MAGIC}\npayload_len={}\npayload_fnv={:016x}\nspec:\n{}payload:\n{payload}",
+            payload.len(),
+            fnv1a(payload.as_bytes()),
+            spec.canonical(),
+        )
+    }
+
+    /// The cached payload for `spec`, fully verified — or `None` for
+    /// missing, foreign, truncated, or corrupted entries alike.
+    pub fn lookup(&self, spec: &JobSpec) -> Option<String> {
+        let text = std::fs::read_to_string(self.entry_path(spec.cache_key())).ok()?;
+        let rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+        let (len_line, rest) = rest.split_once('\n')?;
+        let len: usize = len_line.strip_prefix("payload_len=")?.parse().ok()?;
+        let (fnv_line, rest) = rest.split_once('\n')?;
+        let fnv = u64::from_str_radix(fnv_line.strip_prefix("payload_fnv=")?, 16).ok()?;
+        let rest = rest.strip_prefix("spec:\n")?;
+        // The embedded spec must match byte for byte — a hash collision
+        // or a hand-edited entry must miss, not masquerade.
+        let rest = rest.strip_prefix(spec.canonical().as_str())?;
+        let payload = rest.strip_prefix("payload:\n")?;
+        if payload.len() != len || fnv1a(payload.as_bytes()) != fnv {
+            return None;
+        }
+        Some(payload.to_string())
+    }
+
+    /// Stores `payload` under `spec`'s key (atomically, via a temp file
+    /// in the same directory).
+    pub fn store(&self, spec: &JobSpec, payload: &str) -> std::io::Result<()> {
+        let final_path = self.entry_path(spec.cache_key());
+        let tmp_path = final_path.with_extension("entry.tmp");
+        std::fs::write(&tmp_path, Self::encode(spec, payload))?;
+        std::fs::rename(&tmp_path, &final_path)
+    }
+
+    /// Every parseable entry, sorted by key.
+    pub fn entries(&self) -> std::io::Result<Vec<CacheEntry>> {
+        let mut out = Vec::new();
+        // DETERMINISM: read_dir yields entries in filesystem order; the
+        // sort below (by key) makes the listing reproducible.
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let path = dirent?.path();
+            let Some(stem) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_suffix(".entry"))
+            else {
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let scenario = text
+                .lines()
+                .find_map(|l| l.strip_prefix("scenario="))
+                .unwrap_or("?")
+                .to_string();
+            let bytes = text
+                .lines()
+                .find_map(|l| l.strip_prefix("payload_len="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            out.push(CacheEntry {
+                key,
+                scenario,
+                bytes,
+            });
+        }
+        out.sort_by_key(|e| e.key);
+        Ok(out)
+    }
+
+    /// Deletes every entry; returns how many were removed.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        // DETERMINISM: deletion order does not matter; only the count is
+        // observable, and every entry goes.
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let path = dirent?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("entry") {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpcache(tag: &str) -> (PathBuf, ResultCache) {
+        let dir = std::env::temp_dir().join(format!("ssync_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (dir.clone(), ResultCache::open(&dir).unwrap())
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::new("testbed_city")
+    }
+
+    #[test]
+    fn hit_on_identical_spec_miss_on_any_perturbation() {
+        let (dir, cache) = tmpcache("hitmiss");
+        let payload = "# city\n0\t1\t2\n";
+        cache.store(&spec(), payload).unwrap();
+        assert_eq!(cache.lookup(&spec()).as_deref(), Some(payload));
+        // Perturb each keyed field: all misses.
+        let mut p = spec();
+        p.trials = 2;
+        assert_eq!(cache.lookup(&p), None);
+        let mut p = spec();
+        p.seed = 1;
+        assert_eq!(cache.lookup(&p), None);
+        let mut p = spec();
+        p.format = crate::Format::Json;
+        assert_eq!(cache.lookup(&p), None);
+        let mut p = spec();
+        p.scenario = "testbed_fault".to_string();
+        assert_eq!(cache.lookup(&p), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_and_truncated_entries_miss_instead_of_serving_bad_bytes() {
+        let (dir, cache) = tmpcache("corrupt");
+        let payload = "# golden bytes here\n1\t2\t3\n";
+        cache.store(&spec(), payload).unwrap();
+        let path = cache.entry_path(spec().cache_key());
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Flip one payload byte: content hash catches it.
+        let mut bytes = pristine.clone();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.lookup(&spec()), None);
+
+        // Truncate at every length: never a hit, never a panic.
+        for cut in 0..pristine.len() {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            assert_eq!(cache.lookup(&spec()), None, "cut={cut}");
+        }
+
+        // Restore the exact bytes: hit again (the payload round-trips).
+        std::fs::write(&path, &pristine).unwrap();
+        assert_eq!(cache.lookup(&spec()).as_deref(), Some(payload));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_overwrites_and_entries_lists_sorted() {
+        let (dir, cache) = tmpcache("list");
+        cache.store(&spec(), "v1").unwrap();
+        cache.store(&spec(), "v2").unwrap();
+        assert_eq!(cache.lookup(&spec()).as_deref(), Some("v2"));
+        let mut other = spec();
+        other.seed = 9;
+        cache.store(&other, "other").unwrap();
+        let entries = cache.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.windows(2).all(|w| w[0].key < w[1].key));
+        assert!(entries.iter().all(|e| e.scenario == "testbed_city"));
+        assert_eq!(cache.clear().unwrap(), 2);
+        assert_eq!(cache.lookup(&spec()), None);
+        assert!(cache.entries().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_with_trailing_structure_roundtrips_exactly() {
+        // JSON payloads contain the words "payload:" etc. — the
+        // length-and-hash check must key on bytes, not on markers.
+        let (dir, cache) = tmpcache("tricky");
+        let payload = "payload:\nspec:\nssync-cache v1\n\n# tricky";
+        cache.store(&spec(), payload).unwrap();
+        assert_eq!(cache.lookup(&spec()).as_deref(), Some(payload));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

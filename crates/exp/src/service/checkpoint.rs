@@ -1,0 +1,238 @@
+//! Append-only per-unit checkpoints with a truncation-tolerant loader.
+//!
+//! Layout: a three-line header binding the file to a job spec (its cache
+//! key) and a unit count, then one length-prefixed, content-hashed record
+//! per completed unit:
+//!
+//! ```text
+//! ssync-ckpt v1
+//! key=<cache key, 16 hex digits>
+//! units=<total unit count>
+//! unit=<index>,<payload byte length>,<payload FNV-1a, 16 hex digits>
+//! <payload bytes>
+//! ⋮
+//! ```
+//!
+//! Records are appended and flushed as units complete — in **completion
+//! order**, which is the one deliberately nondeterministic artifact in
+//! the service (the loader reorders by index; nothing downstream ever
+//! observes file order). A process killed mid-write leaves at worst a
+//! torn final record: [`load`] verifies each record's length and hash
+//! and stops at the first bad one, surrendering only the torn tail.
+//! A header that names a different spec key or unit count invalidates
+//! the whole file (`None`) — a stale checkpoint must never leak units
+//! into a different job.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::service::fnv1a;
+
+const MAGIC: &str = "ssync-ckpt v1";
+
+/// Appends checkpoint records; see the module docs for the format.
+pub struct CheckpointWriter {
+    file: std::fs::File,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a checkpoint with a fresh header.
+    pub fn create(path: &Path, key: u64, units: usize) -> std::io::Result<CheckpointWriter> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(format!("{MAGIC}\nkey={key:016x}\nunits={units}\n").as_bytes())?;
+        file.sync_data()?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Opens an existing checkpoint for appending. The caller is
+    /// responsible for the file ending on a record boundary (i.e. only
+    /// after a [`load`] that reported a clean tail).
+    pub fn append_existing(path: &Path) -> std::io::Result<CheckpointWriter> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Appends one completed unit and flushes it to disk, so a kill
+    /// immediately after loses nothing.
+    pub fn append_unit(&mut self, index: usize, payload: &str) -> std::io::Result<()> {
+        let record = format!(
+            "unit={index},{},{:016x}\n{payload}\n",
+            payload.len(),
+            fnv1a(payload.as_bytes()),
+        );
+        self.file.write_all(record.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// What [`load`] recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedCheckpoint {
+    /// Verified unit payloads by unit index.
+    pub units: BTreeMap<usize, String>,
+    /// True if a torn/corrupt tail (or any invalid record) was discarded.
+    pub dropped_tail: bool,
+}
+
+/// Loads a checkpoint, verifying it belongs to `(expected_key,
+/// expected_units)` and dropping everything from the first invalid
+/// record on. Returns `None` for a missing file or a foreign/unreadable
+/// header — both mean "start from scratch".
+pub fn load(
+    path: &Path,
+    expected_key: u64,
+    expected_units: usize,
+) -> std::io::Result<Option<LoadedCheckpoint>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let header = format!("{MAGIC}\nkey={expected_key:016x}\nunits={expected_units}\n");
+    let Some(mut rest) = text.strip_prefix(header.as_str()) else {
+        return Ok(None);
+    };
+
+    let mut units = BTreeMap::new();
+    let mut dropped_tail = false;
+    while !rest.is_empty() {
+        // Parse `unit=<index>,<len>,<hash>`; any shape violation is a
+        // torn tail.
+        let Some((line, after_line)) = rest.split_once('\n') else {
+            dropped_tail = true;
+            break;
+        };
+        let parsed = (|| {
+            let body = line.strip_prefix("unit=")?;
+            let mut parts = body.splitn(3, ',');
+            let index: usize = parts.next()?.parse().ok()?;
+            let len: usize = parts.next()?.parse().ok()?;
+            let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+            Some((index, len, hash))
+        })();
+        let Some((index, len, hash)) = parsed else {
+            dropped_tail = true;
+            break;
+        };
+        // The payload is length-delimited (it contains newlines) and
+        // followed by one separator newline.
+        if after_line.len() < len + 1 || !after_line.is_char_boundary(len) {
+            dropped_tail = true;
+            break;
+        }
+        let payload = &after_line[..len];
+        if after_line.as_bytes()[len] != b'\n' || fnv1a(payload.as_bytes()) != hash {
+            dropped_tail = true;
+            break;
+        }
+        units.insert(index, payload.to_string());
+        rest = &after_line[len + 1..];
+    }
+    Ok(Some(LoadedCheckpoint {
+        units,
+        dropped_tail,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssync_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_in_any_append_order() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("c.v1");
+        let mut w = CheckpointWriter::create(&path, 0xabc, 5).unwrap();
+        // Completion order is arbitrary — indices land as they finish.
+        for (i, payload) in [
+            (3, "S\nC\tthird\n"),
+            (0, "S\t3ff0000000000000\nB\n"),
+            (4, "S\n"),
+        ] {
+            w.append_unit(i, payload).unwrap();
+        }
+        drop(w);
+        let loaded = load(&path, 0xabc, 5).unwrap().unwrap();
+        assert!(!loaded.dropped_tail);
+        assert_eq!(
+            loaded.units.keys().copied().collect::<Vec<_>>(),
+            vec![0, 3, 4]
+        );
+        assert_eq!(loaded.units[&3], "S\nC\tthird\n");
+
+        // Appending to a cleanly loaded file keeps earlier records.
+        let mut w = CheckpointWriter::append_existing(&path).unwrap();
+        w.append_unit(1, "S\nC\tsecond\n").unwrap();
+        drop(w);
+        let loaded = load(&path, 0xabc, 5).unwrap().unwrap();
+        assert_eq!(loaded.units.len(), 4);
+        assert_eq!(loaded.units[&1], "S\nC\tsecond\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_and_foreign_headers_mean_start_fresh() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("c.v1");
+        assert_eq!(load(&path, 1, 2).unwrap(), None);
+        let mut w = CheckpointWriter::create(&path, 1, 2).unwrap();
+        w.append_unit(0, "S\n").unwrap();
+        drop(w);
+        // Wrong key or unit count: the whole file is foreign.
+        assert_eq!(load(&path, 2, 2).unwrap(), None);
+        assert_eq!(load(&path, 1, 3).unwrap(), None);
+        assert!(load(&path, 1, 2).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_surrenders_only_the_tail() {
+        let dir = tmpdir("torn");
+        let path = dir.join("c.v1");
+        let mut w = CheckpointWriter::create(&path, 7, 4).unwrap();
+        w.append_unit(0, "S\nC\tzero\n").unwrap();
+        w.append_unit(2, "S\nC\ttwo\n").unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        assert_eq!(load(&path, 7, 4).unwrap().unwrap().units.len(), 2);
+        // Truncate the second record at every possible byte boundary:
+        // unit 0 must always survive, and loading must never error or
+        // invent a unit 2.
+        let text = String::from_utf8(full.clone()).unwrap();
+        let second_record = text.match_indices("unit=").nth(1).unwrap().0;
+        for cut in (second_record + 1)..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let loaded = load(&path, 7, 4).unwrap().unwrap();
+            assert_eq!(loaded.units[&0], "S\nC\tzero\n", "cut={cut}");
+            assert!(loaded.dropped_tail, "cut={cut}");
+            assert!(!loaded.units.contains_key(&2), "cut={cut}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_is_dropped_by_the_content_hash() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("c.v1");
+        let mut w = CheckpointWriter::create(&path, 9, 2).unwrap();
+        w.append_unit(0, "S\nC\tgood\n").unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte ('g' of "good") without touching lengths.
+        let pos = bytes.len() - 3;
+        bytes[pos] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load(&path, 9, 2).unwrap().unwrap();
+        assert!(loaded.units.is_empty());
+        assert!(loaded.dropped_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

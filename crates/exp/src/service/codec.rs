@@ -1,0 +1,336 @@
+//! An exact, line-oriented codec for checkpointed output fragments.
+//!
+//! Checkpoint/resume is only sound if a fragment survives the disk round
+//! trip **bit for bit** — a resumed run must assemble the same bytes an
+//! uninterrupted run renders. Rendering formats are lossy (TSV prints
+//! floats at fixed precision), so fragments are persisted in this codec
+//! instead: every [`Value::F`] is stored as its IEEE-754 bit pattern in
+//! hex, strings are backslash-escaped, and each [`Record`] is one tagged
+//! line. `decode(encode(x)) == x` exactly, for every representable
+//! `Output` — including NaNs, infinities, and `-0.0`.
+//!
+//! Line grammar (fields tab-separated):
+//!
+//! ```text
+//! C<TAB><escaped text>          comment
+//! H<TAB>n<name>…                visible columns (one n-tagged field each)
+//! h<TAB>n<name>…                hidden columns
+//! R<TAB><cell>…                 row; cell = i<dec> | f<bits-hex>:<prec> | s<escaped>
+//! B                             blank
+//! ```
+//!
+//! A unit fragment ([`encode_unit`]) prefixes one `S` line carrying the
+//! unit's per-stat values, bit-hex again.
+
+use crate::record::{Output, Record, Value};
+use crate::service::units::UnitOutput;
+
+/// Escapes tabs, newlines, carriage returns, and backslashes so any
+/// string fits in one tab-separated field.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; errors on a dangling or unknown escape.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(c) => return Err(format!("unknown escape \\{c}")),
+            None => return Err("dangling backslash".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+fn encode_cell(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i{i}"),
+        Value::F(f, prec) => format!("f{:016x}:{prec}", f.to_bits()),
+        Value::Str(s) => format!("s{}", escape(s)),
+    }
+}
+
+fn decode_cell(field: &str) -> Result<Value, String> {
+    let Some(tag) = field.chars().next() else {
+        return Err("empty cell".to_string());
+    };
+    let rest = &field[1..];
+    match tag {
+        'i' => rest
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| format!("bad int cell {rest:?}: {e}")),
+        'f' => {
+            let (bits, prec) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad float cell {rest:?}"))?;
+            let bits = u64::from_str_radix(bits, 16).map_err(|e| format!("bad float bits: {e}"))?;
+            let prec = prec
+                .parse::<u8>()
+                .map_err(|e| format!("bad float precision: {e}"))?;
+            Ok(Value::F(f64::from_bits(bits), prec))
+        }
+        's' => unescape(rest).map(Value::Str),
+        _ => Err(format!("unknown cell tag {tag:?}")),
+    }
+}
+
+fn encode_record(r: &Record) -> String {
+    match r {
+        Record::Comment(text) => format!("C\t{}", escape(text)),
+        Record::Columns { names, visible } => {
+            let tag = if *visible { "H" } else { "h" };
+            let mut line = tag.to_string();
+            for name in names {
+                line.push_str("\tn");
+                line.push_str(&escape(name));
+            }
+            line
+        }
+        Record::Row(cells) => {
+            let mut line = "R".to_string();
+            for cell in cells {
+                line.push('\t');
+                line.push_str(&encode_cell(cell));
+            }
+            line
+        }
+        Record::Blank => "B".to_string(),
+    }
+}
+
+fn decode_record(line: &str) -> Result<Record, String> {
+    let mut fields = line.split('\t');
+    let tag = fields.next().unwrap_or("");
+    match tag {
+        "C" => {
+            let text = fields.next().ok_or("comment without text field")?;
+            if fields.next().is_some() {
+                return Err("comment with extra fields".to_string());
+            }
+            Ok(Record::Comment(unescape(text)?))
+        }
+        "H" | "h" => {
+            let mut names = Vec::new();
+            for f in fields {
+                let name = f
+                    .strip_prefix('n')
+                    .ok_or_else(|| format!("column field {f:?} missing n tag"))?;
+                names.push(unescape(name)?);
+            }
+            Ok(Record::Columns {
+                names,
+                visible: tag == "H",
+            })
+        }
+        "R" => {
+            let cells: Result<Vec<Value>, String> = fields.map(decode_cell).collect();
+            Ok(Record::Row(cells?))
+        }
+        "B" => {
+            if line != "B" {
+                return Err("blank record with extra fields".to_string());
+            }
+            Ok(Record::Blank)
+        }
+        _ => Err(format!("unknown record tag {tag:?}")),
+    }
+}
+
+/// Encodes an output buffer, one record per line, trailing newline.
+pub fn encode_output(out: &Output) -> String {
+    let mut text = String::new();
+    for r in out.records() {
+        text.push_str(&encode_record(r));
+        text.push('\n');
+    }
+    text
+}
+
+/// Exact inverse of [`encode_output`].
+pub fn decode_output(text: &str) -> Result<Output, String> {
+    let mut out = Output::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let record = decode_record(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match record {
+            Record::Comment(text) => out.comment(text),
+            Record::Columns { names, visible } => {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                if visible {
+                    out.columns(&refs);
+                } else {
+                    out.columns_hidden(&refs);
+                }
+            }
+            Record::Row(cells) => out.row(cells),
+            Record::Blank => out.blank(),
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes one completed unit: an `S` line of bit-hex stats, then the
+/// fragment's records.
+pub fn encode_unit(unit: &UnitOutput) -> String {
+    let mut text = "S".to_string();
+    for v in &unit.stats {
+        text.push_str(&format!("\t{:016x}", v.to_bits()));
+    }
+    text.push('\n');
+    text.push_str(&encode_output(&unit.output));
+    text
+}
+
+/// Exact inverse of [`encode_unit`].
+pub fn decode_unit(text: &str) -> Result<UnitOutput, String> {
+    let (first, rest) = text
+        .split_once('\n')
+        .ok_or("unit payload missing stats line")?;
+    let mut fields = first.split('\t');
+    if fields.next() != Some("S") {
+        return Err(format!("unit payload does not start with S: {first:?}"));
+    }
+    let stats: Result<Vec<f64>, String> = fields
+        .map(|f| {
+            u64::from_str_radix(f, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format!("bad stat bits {f:?}: {e}"))
+        })
+        .collect();
+    Ok(UnitOutput {
+        output: decode_output(rest)?,
+        stats: stats?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(out: &Output) -> Vec<String> {
+        // Debug formatting shows NaN payloads poorly; compare via encode
+        // (bit-exact by construction) plus PartialEq where it is sound.
+        out.records().iter().map(encode_record).collect()
+    }
+
+    fn thorny_output() -> Output {
+        let mut out = Output::new();
+        out.comment("tabs\tand\nnewlines \\ backslashes");
+        out.columns(&["a", "weird name\t"]);
+        out.row(vec![
+            Value::Int(-42),
+            Value::F(-0.0, 3),
+            Value::F(f64::NAN, 6),
+            Value::F(f64::NEG_INFINITY, 0),
+            Value::F(1.0 / 3.0, 12),
+            Value::s("cell with\ttab"),
+            Value::s(""),
+        ]);
+        out.columns_hidden(&["value", "fraction"]);
+        out.blank();
+        out.row(vec![]);
+        out
+    }
+
+    #[test]
+    fn output_roundtrip_is_bit_exact() {
+        let out = thorny_output();
+        let decoded = decode_output(&encode_output(&out)).unwrap();
+        // Encoded forms compare bit patterns, so NaN != NaN cannot hide a
+        // mismatch the way PartialEq on Output would.
+        assert_eq!(bits(&out), bits(&decoded));
+        assert_eq!(out.records().len(), decoded.records().len());
+    }
+
+    #[test]
+    fn unit_roundtrip_preserves_stats_bits() {
+        let unit = UnitOutput {
+            output: thorny_output(),
+            stats: vec![0.1, -0.0, f64::NAN, f64::INFINITY, 1e-300],
+        };
+        let decoded = decode_unit(&encode_unit(&unit)).unwrap();
+        assert_eq!(
+            unit.stats.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            decoded
+                .stats
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(bits(&unit.output), bits(&decoded.output));
+    }
+
+    #[test]
+    fn empty_unit_roundtrips() {
+        let unit = UnitOutput {
+            output: Output::new(),
+            stats: vec![],
+        };
+        let decoded = decode_unit(&encode_unit(&unit)).unwrap();
+        assert!(decoded.stats.is_empty());
+        assert!(decoded.output.records().is_empty());
+    }
+
+    #[test]
+    fn escape_roundtrip_and_rejects_garbage() {
+        for s in ["", "plain", "a\tb", "a\nb\r\\c", "\\\\", "\\t literal"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Ok(s), "{s:?}");
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        for bad in [
+            "X\tnope\n",
+            "R\tq5\n",
+            "R\tf123\n",
+            "R\tfzz:2\n",
+            "R\ti4.5\n",
+            "B\textra\n",
+            "H\tmissing_tag\n",
+            "C\n",
+        ] {
+            assert!(decode_output(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(decode_unit("no stats line").is_err());
+        assert!(decode_unit("X\n").is_err());
+        assert!(decode_unit("S\tnothex\n").is_err());
+    }
+
+    #[test]
+    fn signed_zero_and_nan_survive_where_partial_eq_would_lie() {
+        let mut out = Output::new();
+        out.row(vec![Value::F(0.0, 2), Value::F(-0.0, 2)]);
+        let decoded = decode_output(&encode_output(&out)).unwrap();
+        let Record::Row(cells) = &decoded.records()[0] else {
+            panic!("expected row");
+        };
+        let Value::F(a, _) = cells[0] else { panic!() };
+        let Value::F(b, _) = cells[1] else { panic!() };
+        assert_eq!(a.to_bits(), 0.0f64.to_bits());
+        assert_eq!(b.to_bits(), (-0.0f64).to_bits());
+        assert_ne!(a.to_bits(), b.to_bits());
+    }
+}

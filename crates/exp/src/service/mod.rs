@@ -1,0 +1,487 @@
+//! The resident experiment service: job queue, result cache,
+//! checkpoint/resume — the ROADMAP's "ssync-lab as a long-running
+//! experiment service" item.
+//!
+//! A service run is a directory (the *spool*), not a network endpoint:
+//! `ssync-lab enqueue` drops a [`spec::JobSpec`] into `queue/`,
+//! `ssync-lab serve` claims jobs in sequence order and executes them with
+//! sharded workers over [`crate::exec::par_map_streamed`], and every
+//! artifact — spec, checkpoint, result, cache entry — is a file a human
+//! can read and a test can corrupt on purpose. The pieces:
+//!
+//! * [`spec`] — the job description `(scenario, params, seed)` with a
+//!   canonical text form; its FNV-1a hash keys the result cache.
+//! * [`units`] — the decomposition seam: a [`units::UnitScenario`] splits
+//!   a run into independent *units* (e.g. one city per unit for
+//!   `testbed_city`); any plain [`crate::Scenario`] runs as a single unit
+//!   through [`units::WholeJob`].
+//! * [`codec`] — an exact `Output` ⇄ bytes codec (floats as bit-pattern
+//!   hex) so checkpointed fragments survive the round trip bit-for-bit.
+//! * [`checkpoint`] — an append-only per-unit log, flushed as each unit
+//!   completes; loading tolerates a truncated tail and recomputes only
+//!   what was lost.
+//! * [`cache`] — content-hashed result entries keyed by the job spec; a
+//!   corrupted entry is a miss, never bad bytes.
+//! * [`queue`] — the spool directory: sequence-numbered pending jobs,
+//!   per-job directories, status files.
+//!
+//! ## Determinism contract, extended
+//!
+//! The byte-identity contract survives the service: a job's result file
+//! is a pure function of its spec — identical at any worker count, on
+//! simd and scalar builds, and across kill/resume boundaries. The
+//! mechanics: units are seeded by unit index, completion order is folded
+//! back to index order through [`crate::stream::ReorderBuffer`] before
+//! anything order-sensitive sees it, checkpoints store exact bit-pattern
+//! fragments, and [`ServiceEvent`]s are emitted in index order (logical
+//! time), never completion order. The checkpoint file itself is the one
+//! deliberately order-free artifact: records land in completion order,
+//! and only the reordered *load* is observable.
+
+pub mod cache;
+pub mod checkpoint;
+pub mod codec;
+pub mod queue;
+pub mod spec;
+pub mod units;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::scenario::Ctx;
+use crate::stream::{OnlineSketch, ReorderBuffer};
+use crate::Format;
+
+pub use cache::ResultCache;
+pub use checkpoint::CheckpointWriter;
+pub use queue::JobQueue;
+pub use spec::JobSpec;
+pub use units::{UnitOutput, UnitRegistry, UnitScenario, WholeJob};
+
+/// FNV-1a over a byte string — the same pinned constants as the
+/// workspace's golden-hash tests, so cache keys and content hashes are
+/// stable across builds and platforms.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A lifecycle event of the service, emitted in deterministic (logical,
+/// index-ordered) time — see the module docs. The observability layer
+/// turns these into trace events and per-job metric scopes; the service
+/// itself has no obs dependency (the dependency arrow points the other
+/// way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// A job was claimed from the queue and is about to run.
+    JobStarted {
+        /// Job id (`j000001`, …).
+        job: String,
+        /// Scenario name from the spec.
+        scenario: String,
+        /// Total unit count for this run.
+        units: usize,
+    },
+    /// The result cache already held this spec's bytes; no compute runs.
+    CacheHit {
+        /// Job id.
+        job: String,
+        /// The spec's cache key.
+        key: u64,
+    },
+    /// The result cache had no (valid) entry; the job computes.
+    CacheMiss {
+        /// Job id.
+        job: String,
+        /// The spec's cache key.
+        key: u64,
+    },
+    /// A checkpoint restored previously completed units.
+    CheckpointLoaded {
+        /// Job id.
+        job: String,
+        /// Units restored.
+        units: usize,
+        /// True if a corrupt/truncated tail was discarded.
+        dropped_tail: bool,
+    },
+    /// One unit finished (restored units replay through this too), in
+    /// index order.
+    UnitFinished {
+        /// Job id.
+        job: String,
+        /// Unit index.
+        unit: usize,
+        /// Units done so far (including this one).
+        done: usize,
+        /// Total units.
+        total: usize,
+        /// True if this unit came from the checkpoint, not fresh compute.
+        from_checkpoint: bool,
+    },
+    /// The finished result was written into the cache.
+    CacheStored {
+        /// Job id.
+        job: String,
+        /// The spec's cache key.
+        key: u64,
+        /// Rendered result size.
+        bytes: usize,
+    },
+    /// The job ran to completion and its result file exists.
+    JobCompleted {
+        /// Job id.
+        job: String,
+        /// Total units.
+        units: usize,
+        /// How many were restored rather than computed.
+        from_checkpoint: usize,
+    },
+    /// The job stopped early (unit budget exhausted); resume later.
+    JobInterrupted {
+        /// Job id.
+        job: String,
+        /// Units completed (checkpointed).
+        done: usize,
+        /// Total units.
+        total: usize,
+    },
+}
+
+/// Receives [`ServiceEvent`]s. `Send` because unit completions surface
+/// from worker threads (always behind the executor's lock, and always in
+/// index order).
+pub trait ServiceObserver: Send {
+    /// Called once per event.
+    fn on_event(&mut self, event: &ServiceEvent);
+}
+
+/// Discards every event.
+pub struct NullObserver;
+
+impl ServiceObserver for NullObserver {
+    fn on_event(&mut self, _event: &ServiceEvent) {}
+}
+
+/// An observer that just collects events (test helper).
+#[derive(Default)]
+pub struct CollectingObserver {
+    /// Everything observed, in emission order.
+    pub events: Vec<ServiceEvent>,
+}
+
+impl ServiceObserver for CollectingObserver {
+    fn on_event(&mut self, event: &ServiceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// How the service executes jobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads per job (also the `Ctx` thread budget units see).
+    pub workers: usize,
+    /// Deterministic kill switch: stop after computing this many fresh
+    /// units (checkpoint flushed), leaving the job resumable. `None`
+    /// runs to completion. This is how tests and the CI smoke job "kill"
+    /// a run mid-flight without racing a real signal.
+    pub abort_after_units: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// `workers` workers, no abort.
+    pub fn new(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            abort_after_units: None,
+        }
+    }
+}
+
+/// What happened to a processed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Result served from the cache; nothing computed.
+    CacheHit,
+    /// Ran (possibly resumed) to completion.
+    Completed {
+        /// Total units in the job.
+        units: usize,
+        /// Units restored from a checkpoint rather than computed.
+        from_checkpoint: usize,
+    },
+    /// Stopped at the unit budget; checkpoint holds `done` units.
+    Interrupted {
+        /// Units completed so far.
+        done: usize,
+        /// Total units.
+        total: usize,
+    },
+}
+
+fn invalid_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Executes one claimed job end to end: cache lookup, checkpoint load,
+/// remaining units over the streaming executor (checkpointing each as it
+/// completes), index-ordered fold and assembly, result + cache write.
+///
+/// Determinism: the result bytes depend only on `spec` — not on
+/// `svc.workers`, not on completion order, and not on how many times the
+/// job was interrupted and resumed in between.
+pub fn process_job(
+    queue: &JobQueue,
+    id: &str,
+    spec: &JobSpec,
+    units: &dyn UnitScenario,
+    svc: &ServiceConfig,
+    observer: &mut dyn ServiceObserver,
+) -> std::io::Result<JobOutcome> {
+    let key = spec.cache_key();
+    let cache = ResultCache::open(&queue.cache_dir())?;
+    let cfg = spec.run_config(svc.workers.max(1));
+    let ctx = Ctx::new(cfg.clone());
+    let total = units.unit_count(&ctx);
+    observer.on_event(&ServiceEvent::JobStarted {
+        job: id.to_string(),
+        scenario: spec.scenario.clone(),
+        units: total,
+    });
+
+    if let Some(payload) = cache.lookup(spec) {
+        observer.on_event(&ServiceEvent::CacheHit {
+            job: id.to_string(),
+            key,
+        });
+        std::fs::write(queue.result_path(id, spec.format), &payload)?;
+        queue.write_status(id, "done cache")?;
+        return Ok(JobOutcome::CacheHit);
+    }
+    observer.on_event(&ServiceEvent::CacheMiss {
+        job: id.to_string(),
+        key,
+    });
+
+    // Restore whatever a previous (interrupted) attempt checkpointed.
+    let ckpt_path = queue.checkpoint_path(id);
+    let mut completed: BTreeMap<usize, UnitOutput> = BTreeMap::new();
+    let mut dropped_tail = false;
+    if let Some(loaded) = checkpoint::load(&ckpt_path, key, total)? {
+        dropped_tail = loaded.dropped_tail;
+        for (i, payload) in &loaded.units {
+            match codec::decode_unit(payload) {
+                Ok(unit) if *i < total => {
+                    completed.insert(*i, unit);
+                }
+                // A record that hashes clean but does not decode (or
+                // indexes out of range) is treated like a corrupt tail:
+                // drop it and recompute that unit.
+                _ => dropped_tail = true,
+            }
+        }
+        observer.on_event(&ServiceEvent::CheckpointLoaded {
+            job: id.to_string(),
+            units: completed.len(),
+            dropped_tail,
+        });
+    }
+    let restored: BTreeSet<usize> = completed.keys().copied().collect();
+    let from_checkpoint = restored.len();
+
+    // The checkpoint file must end on a record boundary before we append:
+    // rewrite it whenever anything was dropped (or nothing valid exists).
+    let mut writer = if completed.is_empty() || dropped_tail {
+        let mut w = CheckpointWriter::create(&ckpt_path, key, total)?;
+        for (i, unit) in &completed {
+            w.append_unit(*i, &codec::encode_unit(unit))?;
+        }
+        w
+    } else {
+        CheckpointWriter::append_existing(&ckpt_path)?
+    };
+
+    let remaining: Vec<usize> = (0..total).filter(|i| !restored.contains(i)).collect();
+    let budget = svc
+        .abort_after_units
+        .unwrap_or(remaining.len())
+        .min(remaining.len());
+    let batch = &remaining[..budget];
+
+    // Streamed fold state: completions (and restored units) feed the
+    // reorder buffer, which releases them in index order into the
+    // per-stat sketches and the observer.
+    let mut reorder: ReorderBuffer<Vec<f64>> = ReorderBuffer::new();
+    let mut fold: Vec<OnlineSketch> = Vec::new();
+    let mut done = 0usize;
+    let mut io_err: Option<std::io::Error> = None;
+    {
+        let feed = |reorder: &mut ReorderBuffer<Vec<f64>>,
+                    fold: &mut Vec<OnlineSketch>,
+                    done: &mut usize,
+                    observer: &mut dyn ServiceObserver,
+                    index: usize,
+                    stats: Vec<f64>| {
+            reorder.push(index, stats, |i, stats| {
+                if fold.len() < stats.len() {
+                    fold.resize_with(stats.len(), OnlineSketch::new);
+                }
+                for (sketch, &v) in fold.iter_mut().zip(&stats) {
+                    sketch.push(v);
+                }
+                *done += 1;
+                observer.on_event(&ServiceEvent::UnitFinished {
+                    job: id.to_string(),
+                    unit: i,
+                    done: *done,
+                    total,
+                    from_checkpoint: restored.contains(&i),
+                });
+            });
+        };
+        for (i, unit) in &completed {
+            feed(
+                &mut reorder,
+                &mut fold,
+                &mut done,
+                observer,
+                *i,
+                unit.stats.clone(),
+            );
+        }
+        let live = crate::exec::par_map_streamed(
+            svc.workers.max(1),
+            batch.len(),
+            |bi| units.run_unit(&ctx, batch[bi]),
+            |bi, unit: &UnitOutput| {
+                // Checkpoint first (completion order, flushed), then fold
+                // (index order via the reorder buffer).
+                if io_err.is_none() {
+                    if let Err(e) = writer.append_unit(batch[bi], &codec::encode_unit(unit)) {
+                        io_err = Some(e);
+                    }
+                }
+                feed(
+                    &mut reorder,
+                    &mut fold,
+                    &mut done,
+                    observer,
+                    batch[bi],
+                    unit.stats.clone(),
+                );
+            },
+        );
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        for (bi, unit) in live.into_iter().enumerate() {
+            completed.insert(batch[bi], unit);
+        }
+    }
+
+    if completed.len() < total {
+        queue.write_status(id, &format!("interrupted {} {total}", completed.len()))?;
+        observer.on_event(&ServiceEvent::JobInterrupted {
+            job: id.to_string(),
+            done: completed.len(),
+            total,
+        });
+        return Ok(JobOutcome::Interrupted {
+            done: completed.len(),
+            total,
+        });
+    }
+    debug_assert!(reorder.is_drained());
+
+    // Assemble in index order: prologue, every fragment, epilogue over
+    // the streamed fold — exactly the sequence a serial run emits.
+    let mut out = crate::record::Output::new();
+    units.prologue(&ctx, &mut out);
+    for unit in completed.values() {
+        out.append(unit.output.clone());
+    }
+    units.epilogue(&ctx, &fold, &mut out);
+    let rendered = match cfg.format {
+        Format::Tsv => crate::sink::render_tsv(&out),
+        Format::Json => crate::sink::render_json(&spec.scenario, &out),
+    };
+    std::fs::write(queue.result_path(id, spec.format), &rendered)?;
+    cache.store(spec, &rendered)?;
+    observer.on_event(&ServiceEvent::CacheStored {
+        job: id.to_string(),
+        key,
+        bytes: rendered.len(),
+    });
+    queue.write_status(id, "done")?;
+    observer.on_event(&ServiceEvent::JobCompleted {
+        job: id.to_string(),
+        units: total,
+        from_checkpoint,
+    });
+    Ok(JobOutcome::Completed {
+        units: total,
+        from_checkpoint,
+    })
+}
+
+/// Claims the lowest-sequence pending job and processes it. Returns
+/// `None` when the queue is empty.
+pub fn process_next(
+    queue: &JobQueue,
+    registry: &dyn UnitRegistry,
+    svc: &ServiceConfig,
+    observer: &mut dyn ServiceObserver,
+) -> std::io::Result<Option<(String, JobOutcome)>> {
+    let Some((id, spec)) = queue.claim_next()? else {
+        return Ok(None);
+    };
+    let Some(units) = registry.resolve(&spec.scenario) else {
+        queue.write_status(&id, &format!("failed unknown scenario {}", spec.scenario))?;
+        return Err(invalid_data(format!(
+            "job {id}: unknown scenario {:?}",
+            spec.scenario
+        )));
+    };
+    let outcome = process_job(queue, &id, &spec, units, svc, observer)?;
+    Ok(Some((id, outcome)))
+}
+
+/// Resumes (or re-runs) a previously claimed job by id: re-reads its
+/// spec from the job directory and processes it again — the checkpoint
+/// and cache make that idempotent.
+pub fn resume_job(
+    queue: &JobQueue,
+    id: &str,
+    registry: &dyn UnitRegistry,
+    svc: &ServiceConfig,
+    observer: &mut dyn ServiceObserver,
+) -> std::io::Result<JobOutcome> {
+    let spec = queue.job_spec(id)?;
+    let Some(units) = registry.resolve(&spec.scenario) else {
+        return Err(invalid_data(format!(
+            "job {id}: unknown scenario {:?}",
+            spec.scenario
+        )));
+    };
+    process_job(queue, id, &spec, units, svc, observer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_the_workspace_pinned_constants() {
+        // Empty input hashes to the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        // A one-byte vector computed by hand:
+        // (basis ^ 0x61) * prime.
+        let expect = (0xcbf29ce484222325u64 ^ 0x61).wrapping_mul(0x100000001b3);
+        assert_eq!(fnv1a(b"a"), expect);
+        // Order-sensitive.
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The spool directory: pending jobs, per-job directories, status files.
+//!
+//! ```text
+//! <root>/
+//!   queue/j000001.job       pending specs, claimed lowest-sequence first
+//!   jobs/j000001/spec.job   the claimed spec (moved from queue/)
+//!   jobs/j000001/checkpoint.v1
+//!   jobs/j000001/result.tsv | result.json
+//!   jobs/j000001/status     "done" | "done cache" | "interrupted k n"
+//!   cache/<key>.entry       the result cache (crate::service::cache)
+//! ```
+//!
+//! Job ids are `j` + a six-digit sequence number assigned at enqueue
+//! time; the sequence is the claim order, so a spool replayed on another
+//! machine processes jobs identically. Claiming is a rename, so a job is
+//! in `queue/` or in `jobs/`, never both.
+
+use std::path::{Path, PathBuf};
+
+use crate::service::JobSpec;
+use crate::Format;
+
+/// A spool directory handle.
+pub struct JobQueue {
+    root: PathBuf,
+}
+
+fn invalid_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Parses a job id (`j000017`) into its sequence number.
+fn seq_of(id: &str) -> Option<u64> {
+    let digits = id.strip_prefix('j')?;
+    if digits.len() != 6 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+impl JobQueue {
+    /// Opens (creating) a spool rooted at `root`.
+    pub fn open(root: &Path) -> std::io::Result<JobQueue> {
+        std::fs::create_dir_all(root.join("queue"))?;
+        std::fs::create_dir_all(root.join("jobs"))?;
+        Ok(JobQueue {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The spool root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Where the result cache lives.
+    pub fn cache_dir(&self) -> PathBuf {
+        self.root.join("cache")
+    }
+
+    /// A claimed job's directory.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.root.join("jobs").join(id)
+    }
+
+    /// A claimed job's checkpoint file.
+    pub fn checkpoint_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("checkpoint.v1")
+    }
+
+    /// A claimed job's rendered result file.
+    pub fn result_path(&self, id: &str, format: Format) -> PathBuf {
+        let name = match format {
+            Format::Tsv => "result.tsv",
+            Format::Json => "result.json",
+        };
+        self.job_dir(id).join(name)
+    }
+
+    /// Job ids found under `dir` (either spool side), unsorted.
+    fn ids_in(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        // DETERMINISM: read_dir yields filesystem order; callers sort by
+        // sequence number before anything observable happens.
+        for dirent in std::fs::read_dir(dir)? {
+            let name = dirent?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stem = name.strip_suffix(".job").unwrap_or(name);
+            if seq_of(stem).is_some() {
+                ids.push(stem.to_string());
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Appends `spec` to the queue under a fresh sequence number,
+    /// returning the new job id.
+    pub fn enqueue(&self, spec: &JobSpec) -> std::io::Result<String> {
+        spec.validate().map_err(invalid_data)?;
+        let mut max_seq = 0u64;
+        for id in self
+            .ids_in(&self.root.join("queue"))?
+            .into_iter()
+            .chain(self.ids_in(&self.root.join("jobs"))?)
+        {
+            max_seq = max_seq.max(seq_of(&id).unwrap_or(0));
+        }
+        let id = format!("j{:06}", max_seq + 1);
+        std::fs::write(
+            self.root.join("queue").join(format!("{id}.job")),
+            spec.canonical(),
+        )?;
+        Ok(id)
+    }
+
+    /// Pending jobs in claim (sequence) order.
+    pub fn pending(&self) -> std::io::Result<Vec<(String, JobSpec)>> {
+        let mut ids = self.ids_in(&self.root.join("queue"))?;
+        ids.sort();
+        let mut out = Vec::new();
+        for id in ids {
+            let text = std::fs::read_to_string(self.root.join("queue").join(format!("{id}.job")))?;
+            let spec =
+                JobSpec::parse(&text).map_err(|e| invalid_data(format!("queued job {id}: {e}")))?;
+            out.push((id, spec));
+        }
+        Ok(out)
+    }
+
+    /// Claims the lowest-sequence pending job: moves its spec into the
+    /// job directory and returns it. `None` when the queue is empty.
+    pub fn claim_next(&self) -> std::io::Result<Option<(String, JobSpec)>> {
+        let mut ids = self.ids_in(&self.root.join("queue"))?;
+        ids.sort();
+        let Some(id) = ids.into_iter().next() else {
+            return Ok(None);
+        };
+        let queued = self.root.join("queue").join(format!("{id}.job"));
+        let text = std::fs::read_to_string(&queued)?;
+        let spec =
+            JobSpec::parse(&text).map_err(|e| invalid_data(format!("queued job {id}: {e}")))?;
+        std::fs::create_dir_all(self.job_dir(&id))?;
+        std::fs::rename(&queued, self.job_dir(&id).join("spec.job"))?;
+        self.write_status(&id, "claimed")?;
+        Ok(Some((id, spec)))
+    }
+
+    /// A claimed job's spec (for `resume`).
+    pub fn job_spec(&self, id: &str) -> std::io::Result<JobSpec> {
+        let text = std::fs::read_to_string(self.job_dir(id).join("spec.job"))?;
+        JobSpec::parse(&text).map_err(|e| invalid_data(format!("job {id}: {e}")))
+    }
+
+    /// Claimed job ids in sequence order.
+    pub fn claimed(&self) -> std::io::Result<Vec<String>> {
+        let mut ids = self.ids_in(&self.root.join("jobs"))?;
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Overwrites a job's one-line status file.
+    pub fn write_status(&self, id: &str, status: &str) -> std::io::Result<()> {
+        std::fs::write(self.job_dir(id).join("status"), format!("{status}\n"))
+    }
+
+    /// A job's status line (without the newline).
+    pub fn read_status(&self, id: &str) -> std::io::Result<String> {
+        let text = std::fs::read_to_string(self.job_dir(id).join("status"))?;
+        Ok(text.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpqueue(tag: &str) -> (PathBuf, JobQueue) {
+        let dir = std::env::temp_dir().join(format!("ssync_queue_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (dir.clone(), JobQueue::open(&dir).unwrap())
+    }
+
+    #[test]
+    fn enqueue_assigns_sequential_ids_and_claims_in_order() {
+        let (dir, q) = tmpqueue("order");
+        let a = q.enqueue(&JobSpec::new("fig12_sync_error")).unwrap();
+        let b = q.enqueue(&JobSpec::new("testbed_city")).unwrap();
+        assert_eq!((a.as_str(), b.as_str()), ("j000001", "j000002"));
+        assert_eq!(
+            q.pending()
+                .unwrap()
+                .iter()
+                .map(|(id, s)| (id.clone(), s.scenario.clone()))
+                .collect::<Vec<_>>(),
+            vec![
+                ("j000001".to_string(), "fig12_sync_error".to_string()),
+                ("j000002".to_string(), "testbed_city".to_string()),
+            ]
+        );
+        let (id, spec) = q.claim_next().unwrap().unwrap();
+        assert_eq!(id, "j000001");
+        assert_eq!(spec.scenario, "fig12_sync_error");
+        // Claimed jobs leave the queue but keep their sequence slot: the
+        // next enqueue does not reuse j000001.
+        assert_eq!(q.pending().unwrap().len(), 1);
+        let c = q.enqueue(&JobSpec::new("testbed_fault")).unwrap();
+        assert_eq!(c, "j000003");
+        assert_eq!(q.job_spec("j000001").unwrap().scenario, "fig12_sync_error");
+        assert_eq!(q.read_status("j000001").unwrap(), "claimed");
+        assert_eq!(q.claimed().unwrap(), vec!["j000001".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claim_on_empty_queue_is_none() {
+        let (dir, q) = tmpqueue("empty");
+        assert!(q.claim_next().unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enqueue_rejects_invalid_specs_and_ignores_foreign_files() {
+        let (dir, q) = tmpqueue("foreign");
+        assert!(q.enqueue(&JobSpec::new("Not A Name")).is_err());
+        std::fs::write(dir.join("queue").join("README.txt"), "not a job").unwrap();
+        assert!(q.pending().unwrap().is_empty());
+        assert!(q.claim_next().unwrap().is_none());
+        let id = q.enqueue(&JobSpec::new("testbed_city")).unwrap();
+        assert_eq!(id, "j000001");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_queued_spec_is_a_loud_error_not_a_skip() {
+        let (dir, q) = tmpqueue("malformed");
+        std::fs::write(dir.join("queue").join("j000005.job"), "scenario=\n").unwrap();
+        assert!(q.claim_next().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        let (dir, q) = tmpqueue("status");
+        let id = q.enqueue(&JobSpec::new("testbed_city")).unwrap();
+        let (claimed, _) = q.claim_next().unwrap().unwrap();
+        assert_eq!(claimed, id);
+        q.write_status(&id, "interrupted 3 72").unwrap();
+        assert_eq!(q.read_status(&id).unwrap(), "interrupted 3 72");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

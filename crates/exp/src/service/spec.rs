@@ -1,0 +1,213 @@
+//! The job specification: what the cache key and the queue files are
+//! made of.
+//!
+//! A [`JobSpec`] pins everything the result bytes depend on — scenario
+//! name, trial multiplier, seed perturbation, output format — and
+//! nothing they don't: the worker count is deliberately absent, because
+//! the determinism contract makes output thread-invariant, so one cache
+//! entry serves every worker count. [`JobSpec::canonical`] is the single
+//! serialization (queue files, cache entry headers, the FNV-1a cache
+//! key), and [`JobSpec::parse`] is its strict inverse — round-tripping
+//! is exact or loudly fails.
+
+use crate::config::{Format, RunConfig};
+use crate::service::fnv1a;
+
+/// A fully resolved experiment job: `(scenario, params, seed)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Registered scenario name (`fig12_sync_error`, `testbed_city`, …).
+    pub scenario: String,
+    /// Trial multiplier, resolved at enqueue time (see
+    /// [`crate::config::resolve_trials`]) — the service never re-reads
+    /// `SSYNC_TRIALS`, so enqueue-time and run-time counts cannot
+    /// diverge.
+    pub trials: usize,
+    /// Seed perturbation, part of the cache key. The stock scenarios pin
+    /// their own base seeds (that is what makes them golden-checkable),
+    /// so today only `0` reproduces the goldens; the field exists so
+    /// seed-sweep jobs are distinct cache entries, not collisions.
+    pub seed: u64,
+    /// Output serialization format.
+    pub format: Format,
+}
+
+fn format_str(format: Format) -> &'static str {
+    match format {
+        Format::Tsv => "tsv",
+        Format::Json => "json",
+    }
+}
+
+impl JobSpec {
+    /// A spec with the defaults: 1× trials, seed 0, TSV.
+    pub fn new(scenario: impl Into<String>) -> JobSpec {
+        JobSpec {
+            scenario: scenario.into(),
+            trials: 1,
+            seed: 0,
+            format: Format::Tsv,
+        }
+    }
+
+    /// Validates the scenario name: non-empty `[a-z0-9_]` only, the same
+    /// shape every registered scenario uses. Keeping the alphabet tight
+    /// is what makes [`JobSpec::canonical`] injective (no name can smuggle
+    /// a `\n` or a `=` into the key material).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scenario.is_empty() {
+            return Err("empty scenario name".to_string());
+        }
+        if let Some(c) = self
+            .scenario
+            .chars()
+            .find(|c| !c.is_ascii_lowercase() && !c.is_ascii_digit() && *c != '_')
+        {
+            return Err(format!(
+                "scenario name {:?} contains {c:?}; expected [a-z0-9_]",
+                self.scenario
+            ));
+        }
+        if self.trials < 1 {
+            return Err("trials must be >= 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// The canonical text form — queue files, cache headers, and the
+    /// cache-key material.
+    pub fn canonical(&self) -> String {
+        format!(
+            "scenario={}\ntrials={}\nseed={}\nformat={}\n",
+            self.scenario,
+            self.trials,
+            self.seed,
+            format_str(self.format),
+        )
+    }
+
+    /// Strict inverse of [`JobSpec::canonical`]: exactly the four
+    /// `key=value` lines, in order, valid values — anything else errors.
+    pub fn parse(text: &str) -> Result<JobSpec, String> {
+        let mut lines = text.lines();
+        let mut field = |key: &str| -> Result<String, String> {
+            let line = lines.next().ok_or_else(|| format!("missing {key}= line"))?;
+            line.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix('='))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected {key}=..., got {line:?}"))
+        };
+        let scenario = field("scenario")?;
+        let trials = field("trials")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad trials: {e}"))?;
+        let seed = field("seed")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad seed: {e}"))?;
+        let format = field("format").and_then(|f| {
+            Format::parse(&f).ok_or_else(|| format!("bad format {f:?}: expected tsv|json"))
+        })?;
+        if let Some(extra) = lines.next() {
+            return Err(format!("trailing content {extra:?}"));
+        }
+        let spec = JobSpec {
+            scenario,
+            trials,
+            seed,
+            format,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// The result-cache key: FNV-1a of the canonical form. Two specs
+    /// share a key iff they share every field the output depends on.
+    pub fn cache_key(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+
+    /// The run configuration this spec executes under, given a worker
+    /// count (workers come from the service, never from the spec — they
+    /// cannot change the bytes).
+    pub fn run_config(&self, workers: usize) -> RunConfig {
+        RunConfig {
+            threads: workers,
+            trials_scale: self.trials,
+            format: self.format,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobSpec {
+        JobSpec {
+            scenario: "testbed_city".to_string(),
+            trials: 3,
+            seed: 7,
+            format: Format::Json,
+        }
+    }
+
+    #[test]
+    fn canonical_roundtrips_exactly() {
+        let spec = sample();
+        assert_eq!(
+            spec.canonical(),
+            "scenario=testbed_city\ntrials=3\nseed=7\nformat=json\n"
+        );
+        assert_eq!(JobSpec::parse(&spec.canonical()), Ok(spec));
+        let default = JobSpec::new("fig12_sync_error");
+        assert_eq!(JobSpec::parse(&default.canonical()), Ok(default));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "scenario=x\n",
+            "scenario=x\ntrials=0\nseed=0\nformat=tsv\n",
+            "scenario=x\ntrials=two\nseed=0\nformat=tsv\n",
+            "scenario=x\ntrials=1\nseed=0\nformat=csv\n",
+            "scenario=\ntrials=1\nseed=0\nformat=tsv\n",
+            "scenario=Bad Name\ntrials=1\nseed=0\nformat=tsv\n",
+            "trials=1\nscenario=x\nseed=0\nformat=tsv\n",
+            "scenario=x\ntrials=1\nseed=0\nformat=tsv\nextra=1\n",
+        ] {
+            assert!(JobSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn cache_key_separates_every_field_and_ignores_workers() {
+        let base = sample();
+        let mut other = base.clone();
+        other.trials = 4;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = base.clone();
+        other.seed = 8;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = base.clone();
+        other.format = Format::Tsv;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = base.clone();
+        other.scenario = "testbed_fault".to_string();
+        assert_ne!(base.cache_key(), other.cache_key());
+        // Workers live outside the spec: same key whatever the service
+        // runs with.
+        assert_eq!(base.run_config(1).trials_scale, 3);
+        assert_eq!(base.run_config(8).trials_scale, 3);
+        assert_eq!(base.cache_key(), sample().cache_key());
+    }
+
+    #[test]
+    fn validate_enforces_the_name_alphabet() {
+        assert!(JobSpec::new("testbed_city").validate().is_ok());
+        assert!(JobSpec::new("fig05_phase_slope").validate().is_ok());
+        for bad in ["", "Has Caps", "dash-ed", "dot.ted", "new\nline"] {
+            assert!(JobSpec::new(bad).validate().is_err(), "accepted {bad:?}");
+        }
+    }
+}

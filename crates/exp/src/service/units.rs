@@ -1,0 +1,229 @@
+//! The unit decomposition seam: how a scenario becomes checkpointable.
+//!
+//! A [`UnitScenario`] splits one run into `unit_count` independent
+//! *units* — the checkpoint granularity. Each unit produces a
+//! self-contained output fragment plus a vector of per-unit statistics;
+//! the service persists the fragment the moment the unit completes and
+//! folds the statistics through [`crate::stream::OnlineSketch`]es in
+//! index order. The decomposition contract is byte-level:
+//!
+//! ```text
+//! prologue ++ fragment(0) ++ … ++ fragment(n-1) ++ epilogue
+//!     ==  the records a plain serial run would emit
+//! ```
+//!
+//! so a resumed job, a fresh job, and a never-serviced `ssync-lab run`
+//! all render identical bytes. [`run_units_rendered`] executes exactly
+//! that assembly without any persistence — it is how conformance tests
+//! pin a unit decomposition against the scenario's [`crate::Scenario`]
+//! implementation.
+//!
+//! Any scenario runs through the service unmodified via [`WholeJob`]:
+//! one unit, the whole run. It checkpoints all-or-nothing, but caches,
+//! queues, and streams like everything else.
+
+use crate::record::Output;
+use crate::scenario::{Ctx, Scenario};
+use crate::stream::OnlineSketch;
+
+/// What one completed unit yields.
+#[derive(Debug, Clone, Default)]
+pub struct UnitOutput {
+    /// The unit's self-contained output fragment.
+    pub output: Output,
+    /// Per-unit statistics, folded into the service's streaming sketches
+    /// in index order (one sketch per position).
+    pub stats: Vec<f64>,
+}
+
+/// A scenario decomposed into independently runnable, checkpointable
+/// units. `Sync` because units execute on worker threads.
+pub trait UnitScenario: Sync {
+    /// How many units this run has (may depend on `ctx.trials`).
+    fn unit_count(&self, ctx: &Ctx) -> usize;
+
+    /// Records emitted before any unit fragment (headers, captions).
+    fn prologue(&self, ctx: &Ctx, out: &mut Output);
+
+    /// Runs unit `unit` (0-based). Must be a pure function of
+    /// `(ctx, unit)` — no shared mutable state, no completion-order
+    /// dependence — or checkpoint/resume byte-identity is forfeit.
+    fn run_unit(&self, ctx: &Ctx, unit: usize) -> UnitOutput;
+
+    /// Records emitted after the last fragment, with the index-ordered
+    /// streamed fold of every unit's statistics available.
+    fn epilogue(&self, ctx: &Ctx, fold: &[OnlineSketch], out: &mut Output) {
+        let _ = (ctx, fold, out);
+    }
+}
+
+/// Runs any plain [`Scenario`] as a single service unit.
+pub struct WholeJob<'a>(pub &'a dyn Scenario);
+
+impl UnitScenario for WholeJob<'_> {
+    fn unit_count(&self, _ctx: &Ctx) -> usize {
+        1
+    }
+
+    fn prologue(&self, _ctx: &Ctx, _out: &mut Output) {}
+
+    fn run_unit(&self, ctx: &Ctx, unit: usize) -> UnitOutput {
+        debug_assert_eq!(unit, 0, "WholeJob has exactly one unit");
+        let mut output = Output::new();
+        self.0.run(ctx, &mut output);
+        UnitOutput {
+            output,
+            stats: Vec::new(),
+        }
+    }
+}
+
+/// Resolves a scenario name to its service runner. The bench crate
+/// implements this over its scenario registry, preferring a real unit
+/// decomposition where one exists and falling back to [`WholeJob`].
+pub trait UnitRegistry: Sync {
+    /// The runner for `name`, or `None` if unknown.
+    fn resolve(&self, name: &str) -> Option<&dyn UnitScenario>;
+}
+
+/// Executes the full unit pipeline in memory — prologue, all units over
+/// the configured thread budget, index-ordered streamed fold, epilogue —
+/// and renders it. No queue, cache, or checkpoint: this is the
+/// conformance reference for "the service path equals the plain path",
+/// used by tests and by nothing else.
+pub fn run_units_rendered(units: &dyn UnitScenario, name: &str, cfg: &crate::RunConfig) -> String {
+    let ctx = Ctx::new(cfg.clone());
+    let n = units.unit_count(&ctx);
+    let results = crate::exec::par_map(cfg.effective_threads(), n, |i| units.run_unit(&ctx, i));
+    let mut fold: Vec<OnlineSketch> = Vec::new();
+    let mut out = Output::new();
+    units.prologue(&ctx, &mut out);
+    for unit in &results {
+        if fold.len() < unit.stats.len() {
+            fold.resize_with(unit.stats.len(), OnlineSketch::new);
+        }
+        for (sketch, &v) in fold.iter_mut().zip(&unit.stats) {
+            sketch.push(v);
+        }
+    }
+    for unit in results {
+        out.append(unit.output);
+    }
+    units.epilogue(&ctx, &fold, &mut out);
+    match cfg.format {
+        crate::Format::Tsv => crate::sink::render_tsv(&out),
+        crate::Format::Json => crate::sink::render_json(name, &out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Value;
+    use crate::{run_rendered, RunConfig};
+
+    struct Counting;
+    impl Scenario for Counting {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn title(&self) -> &'static str {
+            "emits one row per trial"
+        }
+        fn paper_ref(&self) -> &'static str {
+            ""
+        }
+        fn run(&self, ctx: &Ctx, out: &mut Output) {
+            out.comment("counting demo");
+            out.columns(&["i", "sq"]);
+            for i in 0..ctx.trials(4) {
+                out.row(vec![Value::Int(i as i64), Value::Int((i * i) as i64)]);
+            }
+        }
+    }
+
+    #[test]
+    fn whole_job_matches_run_rendered_exactly() {
+        for format in [crate::Format::Tsv, crate::Format::Json] {
+            let cfg = RunConfig {
+                threads: 2,
+                trials_scale: 3,
+                format,
+            };
+            assert_eq!(
+                run_units_rendered(&WholeJob(&Counting), "counting", &cfg),
+                run_rendered(&Counting, &cfg),
+            );
+        }
+    }
+
+    /// A unit-decomposed mirror of [`Counting`]: prologue carries the
+    /// header records, each unit one row.
+    struct CountingUnits;
+    impl UnitScenario for CountingUnits {
+        fn unit_count(&self, ctx: &Ctx) -> usize {
+            ctx.trials(4)
+        }
+        fn prologue(&self, _ctx: &Ctx, out: &mut Output) {
+            out.comment("counting demo");
+            out.columns(&["i", "sq"]);
+        }
+        fn run_unit(&self, _ctx: &Ctx, unit: usize) -> UnitOutput {
+            let mut output = Output::new();
+            output.row(vec![
+                Value::Int(unit as i64),
+                Value::Int((unit * unit) as i64),
+            ]);
+            UnitOutput {
+                output,
+                stats: vec![(unit * unit) as f64],
+            }
+        }
+    }
+
+    #[test]
+    fn unit_decomposition_matches_the_serial_scenario_at_any_thread_count() {
+        for threads in [1, 2, 8] {
+            let cfg = RunConfig {
+                threads,
+                trials_scale: 5,
+                format: crate::Format::Tsv,
+            };
+            assert_eq!(
+                run_units_rendered(&CountingUnits, "counting", &cfg),
+                run_rendered(&Counting, &cfg),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn epilogue_sees_the_index_ordered_fold() {
+        struct WithEpilogue;
+        impl UnitScenario for WithEpilogue {
+            fn unit_count(&self, _ctx: &Ctx) -> usize {
+                6
+            }
+            fn prologue(&self, _ctx: &Ctx, _out: &mut Output) {}
+            fn run_unit(&self, _ctx: &Ctx, unit: usize) -> UnitOutput {
+                UnitOutput {
+                    output: Output::new(),
+                    stats: vec![unit as f64],
+                }
+            }
+            fn epilogue(&self, _ctx: &Ctx, fold: &[OnlineSketch], out: &mut Output) {
+                let s = fold[0].summary();
+                out.comment(format!("n={} mean={} max={}", s.n, s.mean, s.max));
+            }
+        }
+        let cfg = RunConfig {
+            threads: 4,
+            trials_scale: 1,
+            format: crate::Format::Tsv,
+        };
+        assert_eq!(
+            run_units_rendered(&WithEpilogue, "with_epilogue", &cfg),
+            "# n=6 mean=2.5 max=5\n"
+        );
+    }
+}

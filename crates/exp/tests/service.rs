@@ -1,0 +1,429 @@
+//! End-to-end tests of the experiment service against a toy
+//! unit-decomposed scenario: result bytes are a pure function of the job
+//! spec — identical at any worker count, across kill/resume boundaries at
+//! every possible interruption point, and after cache corruption — and
+//! the observer's event stream is itself deterministic.
+
+use std::path::PathBuf;
+
+use ssync_exp::record::{Output, Value};
+use ssync_exp::scenario::Ctx;
+use ssync_exp::service::{
+    process_job, process_next, resume_job, CollectingObserver, JobOutcome, JobQueue, JobSpec,
+    NullObserver, ResultCache, ServiceConfig, ServiceEvent, UnitOutput, UnitRegistry, UnitScenario,
+};
+use ssync_exp::stream::OnlineSketch;
+use ssync_exp::{splitmix64, Format};
+
+/// A miniature city sweep: `trials(3)` units, each emitting a
+/// self-contained block with floats thorny enough (signed zero included)
+/// to catch a lossy checkpoint codec, plus per-unit stats folded into an
+/// epilogue summary line.
+struct ToyCities;
+
+impl UnitScenario for ToyCities {
+    fn unit_count(&self, ctx: &Ctx) -> usize {
+        ctx.trials(3)
+    }
+
+    fn prologue(&self, ctx: &Ctx, out: &mut Output) {
+        out.comment(format!("toy city sweep ({} cities)", self.unit_count(ctx)));
+        out.columns(&["city", "delivered", "airtime"]);
+    }
+
+    fn run_unit(&self, _ctx: &Ctx, unit: usize) -> UnitOutput {
+        let mut output = Output::new();
+        let h = splitmix64(unit as u64 + 1);
+        let delivered = (h % 97) as i64;
+        let airtime = if unit == 1 {
+            -0.0 // exercise the bit-exact fragment round trip
+        } else {
+            (h % 1000) as f64 / 7.0
+        };
+        output.row(vec![
+            Value::Int(unit as i64),
+            Value::Int(delivered),
+            Value::F(airtime, 6),
+        ]);
+        UnitOutput {
+            output,
+            stats: vec![delivered as f64, airtime],
+        }
+    }
+
+    fn epilogue(&self, _ctx: &Ctx, fold: &[OnlineSketch], out: &mut Output) {
+        let d = fold[0].summary();
+        out.comment(format!(
+            "totals: n={} mean_delivered={:.3} max_airtime={:.3}",
+            d.n,
+            d.mean,
+            fold[1].summary().max
+        ));
+    }
+}
+
+struct ToyRegistry;
+
+impl UnitRegistry for ToyRegistry {
+    fn resolve(&self, name: &str) -> Option<&dyn UnitScenario> {
+        (name == "toy_cities").then_some(&ToyCities as &dyn UnitScenario)
+    }
+}
+
+fn tmproot(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssync_service_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(trials: usize, format: Format) -> JobSpec {
+    JobSpec {
+        scenario: "toy_cities".to_string(),
+        trials,
+        seed: 0,
+        format,
+    }
+}
+
+/// The in-memory reference bytes for a spec (serial, no persistence).
+fn reference(spec: &JobSpec) -> String {
+    ssync_exp::service::units::run_units_rendered(&ToyCities, &spec.scenario, &spec.run_config(1))
+}
+
+fn result_bytes(queue: &JobQueue, id: &str, format: Format) -> String {
+    std::fs::read_to_string(queue.result_path(id, format)).unwrap()
+}
+
+#[test]
+fn service_result_matches_the_plain_run_at_any_worker_count() {
+    for format in [Format::Tsv, Format::Json] {
+        for workers in [1usize, 2, 8] {
+            let root = tmproot(&format!("match_{workers}_{format:?}"));
+            let queue = JobQueue::open(&root).unwrap();
+            let id = queue.enqueue(&spec(2, format)).unwrap();
+            let (claimed, outcome) = process_next(
+                &queue,
+                &ToyRegistry,
+                &ServiceConfig::new(workers),
+                &mut NullObserver,
+            )
+            .unwrap()
+            .unwrap();
+            assert_eq!(claimed, id);
+            assert_eq!(
+                outcome,
+                JobOutcome::Completed {
+                    units: 6,
+                    from_checkpoint: 0
+                }
+            );
+            assert_eq!(
+                result_bytes(&queue, &id, format),
+                reference(&spec(2, format)),
+                "workers={workers} format={format:?}"
+            );
+            assert_eq!(queue.read_status(&id).unwrap(), "done");
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+}
+
+#[test]
+fn second_job_with_the_same_spec_is_a_cache_hit_with_identical_bytes() {
+    let root = tmproot("cachehit");
+    let queue = JobQueue::open(&root).unwrap();
+    let the_spec = spec(1, Format::Tsv);
+    queue.enqueue(&the_spec).unwrap();
+    queue.enqueue(&the_spec).unwrap();
+    let svc = ServiceConfig::new(2);
+    let (a, first) = process_next(&queue, &ToyRegistry, &svc, &mut NullObserver)
+        .unwrap()
+        .unwrap();
+    let mut obs = CollectingObserver::default();
+    let (b, second) = process_next(&queue, &ToyRegistry, &svc, &mut obs)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(first, JobOutcome::Completed { .. }));
+    assert_eq!(second, JobOutcome::CacheHit);
+    assert_eq!(
+        result_bytes(&queue, &a, Format::Tsv),
+        result_bytes(&queue, &b, Format::Tsv)
+    );
+    assert_eq!(queue.read_status(&b).unwrap(), "done cache");
+    assert!(obs
+        .events
+        .iter()
+        .any(|e| matches!(e, ServiceEvent::CacheHit { .. })));
+    // A cache hit never computes a unit.
+    assert!(!obs
+        .events
+        .iter()
+        .any(|e| matches!(e, ServiceEvent::UnitFinished { .. })));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupted_cache_entry_falls_back_to_recompute_with_correct_bytes() {
+    let root = tmproot("cachefall");
+    let queue = JobQueue::open(&root).unwrap();
+    let the_spec = spec(1, Format::Tsv);
+    queue.enqueue(&the_spec).unwrap();
+    queue.enqueue(&the_spec).unwrap();
+    let svc = ServiceConfig::new(2);
+    process_next(&queue, &ToyRegistry, &svc, &mut NullObserver).unwrap();
+
+    // Flip a payload byte in the stored entry.
+    let cache = ResultCache::open(&queue.cache_dir()).unwrap();
+    let entry = cache.entry_path(the_spec.cache_key());
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let n = bytes.len();
+    bytes[n - 2] ^= 0x01;
+    std::fs::write(&entry, &bytes).unwrap();
+
+    let mut obs = CollectingObserver::default();
+    let (id, outcome) = process_next(&queue, &ToyRegistry, &svc, &mut obs)
+        .unwrap()
+        .unwrap();
+    assert!(matches!(outcome, JobOutcome::Completed { .. }));
+    assert!(obs
+        .events
+        .iter()
+        .any(|e| matches!(e, ServiceEvent::CacheMiss { .. })));
+    assert_eq!(result_bytes(&queue, &id, Format::Tsv), reference(&the_spec));
+    // The recompute repaired the entry: a third job hits again.
+    assert!(cache.lookup(&the_spec).is_some());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn kill_at_every_unit_count_then_resume_reproduces_the_uninterrupted_bytes() {
+    let the_spec = spec(2, Format::Tsv); // 6 units
+    let want = reference(&the_spec);
+    for kill_after in 0..6usize {
+        for (first_workers, resume_workers) in [(1, 8), (8, 1), (2, 2)] {
+            let root = tmproot(&format!(
+                "kill{kill_after}_{first_workers}_{resume_workers}"
+            ));
+            let queue = JobQueue::open(&root).unwrap();
+            let id = queue.enqueue(&the_spec).unwrap();
+            let mut svc = ServiceConfig::new(first_workers);
+            svc.abort_after_units = Some(kill_after);
+            let (_, outcome) = process_next(&queue, &ToyRegistry, &svc, &mut NullObserver)
+                .unwrap()
+                .unwrap();
+            assert_eq!(
+                outcome,
+                JobOutcome::Interrupted {
+                    done: kill_after,
+                    total: 6
+                }
+            );
+            assert_eq!(
+                queue.read_status(&id).unwrap(),
+                format!("interrupted {kill_after} 6")
+            );
+            // No result file yet — an interrupted job publishes nothing.
+            assert!(!queue.result_path(&id, Format::Tsv).exists());
+
+            // "Drop process state": everything now lives on disk only.
+            drop(queue);
+            let queue = JobQueue::open(&root).unwrap();
+            let outcome = resume_job(
+                &queue,
+                &id,
+                &ToyRegistry,
+                &ServiceConfig::new(resume_workers),
+                &mut NullObserver,
+            )
+            .unwrap();
+            assert_eq!(
+                outcome,
+                JobOutcome::Completed {
+                    units: 6,
+                    from_checkpoint: kill_after
+                }
+            );
+            assert_eq!(
+                result_bytes(&queue, &id, Format::Tsv),
+                want,
+                "kill_after={kill_after} workers={first_workers}->{resume_workers}"
+            );
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+}
+
+#[test]
+fn double_interruption_then_resume_still_matches() {
+    let the_spec = spec(2, Format::Json); // 6 units, JSON this time
+    let want = reference(&the_spec);
+    let root = tmproot("twokills");
+    let queue = JobQueue::open(&root).unwrap();
+    let id = queue.enqueue(&the_spec).unwrap();
+    let mut svc = ServiceConfig::new(4);
+    svc.abort_after_units = Some(2);
+    let (_, first) = process_next(&queue, &ToyRegistry, &svc, &mut NullObserver)
+        .unwrap()
+        .unwrap();
+    assert_eq!(first, JobOutcome::Interrupted { done: 2, total: 6 });
+    let second = resume_job(&queue, &id, &ToyRegistry, &svc, &mut NullObserver).unwrap();
+    assert_eq!(second, JobOutcome::Interrupted { done: 4, total: 6 });
+    let third = resume_job(
+        &queue,
+        &id,
+        &ToyRegistry,
+        &ServiceConfig::new(1),
+        &mut NullObserver,
+    )
+    .unwrap();
+    assert_eq!(
+        third,
+        JobOutcome::Completed {
+            units: 6,
+            from_checkpoint: 4
+        }
+    );
+    assert_eq!(result_bytes(&queue, &id, Format::Json), want);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn truncated_checkpoint_tail_is_recomputed_not_trusted() {
+    let the_spec = spec(2, Format::Tsv);
+    let want = reference(&the_spec);
+    let root = tmproot("torntail");
+    let queue = JobQueue::open(&root).unwrap();
+    let id = queue.enqueue(&the_spec).unwrap();
+    let mut svc = ServiceConfig::new(2);
+    svc.abort_after_units = Some(4);
+    process_next(&queue, &ToyRegistry, &svc, &mut NullObserver).unwrap();
+
+    // Tear the checkpoint mid-record, as a real kill during a write would.
+    let ckpt = queue.checkpoint_path(&id);
+    let bytes = std::fs::read(&ckpt).unwrap();
+    std::fs::write(&ckpt, &bytes[..bytes.len() - 3]).unwrap();
+
+    let mut obs = CollectingObserver::default();
+    let outcome = resume_job(&queue, &id, &ToyRegistry, &ServiceConfig::new(2), &mut obs).unwrap();
+    // One unit's record was torn: 3 restored, 3 recomputed.
+    assert_eq!(
+        outcome,
+        JobOutcome::Completed {
+            units: 6,
+            from_checkpoint: 3
+        }
+    );
+    assert!(obs.events.iter().any(|e| matches!(
+        e,
+        ServiceEvent::CheckpointLoaded {
+            units: 3,
+            dropped_tail: true,
+            ..
+        }
+    )));
+    assert_eq!(result_bytes(&queue, &id, Format::Tsv), want);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn observer_event_stream_is_identical_at_every_worker_count() {
+    let the_spec = spec(2, Format::Tsv);
+    let mut streams = Vec::new();
+    for workers in [1usize, 3, 8] {
+        let root = tmproot(&format!("events_{workers}"));
+        let queue = JobQueue::open(&root).unwrap();
+        queue.enqueue(&the_spec).unwrap();
+        let mut obs = CollectingObserver::default();
+        process_next(&queue, &ToyRegistry, &ServiceConfig::new(workers), &mut obs)
+            .unwrap()
+            .unwrap();
+        streams.push(obs.events);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    assert_eq!(streams[0], streams[1]);
+    assert_eq!(streams[0], streams[2]);
+    // And the stream is index-ordered: unit i finishes as the i-th unit.
+    let finished: Vec<(usize, usize, bool)> = streams[0]
+        .iter()
+        .filter_map(|e| match e {
+            ServiceEvent::UnitFinished {
+                unit,
+                done,
+                from_checkpoint,
+                ..
+            } => Some((*unit, *done, *from_checkpoint)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        finished,
+        (0..6).map(|i| (i, i + 1, false)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn unknown_scenario_fails_loudly_and_records_status() {
+    let root = tmproot("unknown");
+    let queue = JobQueue::open(&root).unwrap();
+    let id = queue.enqueue(&JobSpec::new("no_such_scenario")).unwrap();
+    let err = process_next(
+        &queue,
+        &ToyRegistry,
+        &ServiceConfig::new(1),
+        &mut NullObserver,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("no_such_scenario"));
+    assert_eq!(
+        queue.read_status(&id).unwrap(),
+        "failed unknown scenario no_such_scenario"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn jobs_drain_in_sequence_order() {
+    let root = tmproot("drain");
+    let queue = JobQueue::open(&root).unwrap();
+    let a = queue.enqueue(&spec(1, Format::Tsv)).unwrap();
+    let b = queue.enqueue(&spec(3, Format::Tsv)).unwrap();
+    let svc = ServiceConfig::new(2);
+    let mut order = Vec::new();
+    while let Some((id, _)) = process_next(&queue, &ToyRegistry, &svc, &mut NullObserver).unwrap() {
+        order.push(id);
+    }
+    assert_eq!(order, vec![a.clone(), b.clone()]);
+    assert_eq!(
+        result_bytes(&queue, &a, Format::Tsv),
+        reference(&spec(1, Format::Tsv))
+    );
+    assert_eq!(
+        result_bytes(&queue, &b, Format::Tsv),
+        reference(&spec(3, Format::Tsv))
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn process_job_is_worker_invariant_even_mid_resume_chain() {
+    // Interleave worker counts across a 3-step resume chain and compare
+    // against the one-shot serial run — the strongest version of the
+    // "indistinguishable from uninterrupted" acceptance criterion.
+    let the_spec = spec(4, Format::Tsv); // 12 units
+    let want = reference(&the_spec);
+    let root = tmproot("chain");
+    let queue = JobQueue::open(&root).unwrap();
+    let id = queue.enqueue(&the_spec).unwrap();
+    let (claimed, spec_back) = queue.claim_next().unwrap().unwrap();
+    assert_eq!(claimed, id);
+    for (workers, abort) in [(8, Some(5)), (1, Some(3)), (3, None)] {
+        let svc = ServiceConfig {
+            workers,
+            abort_after_units: abort,
+        };
+        process_job(&queue, &id, &spec_back, &ToyCities, &svc, &mut NullObserver).unwrap();
+    }
+    assert_eq!(result_bytes(&queue, &id, Format::Tsv), want);
+    assert_eq!(queue.read_status(&id).unwrap(), "done");
+    let _ = std::fs::remove_dir_all(&root);
+}

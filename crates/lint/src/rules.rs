@@ -13,6 +13,9 @@ use crate::lexer::{lex, Token, TokenKind};
 pub enum Rule {
     /// `HashMap`/`HashSet`: iteration order varies run to run.
     NondetIteration,
+    /// `read_dir`: filesystem order varies by machine; needs a
+    /// `// DETERMINISM:` comment explaining how order is neutralised.
+    NondetFsWalk,
     /// `Instant`/`SystemTime`: wall-clock reads in deterministic code.
     WallClock,
     /// `mul_add`/`fma`: fused multiply-add breaks scalar/SIMD bit-identity.
@@ -26,8 +29,9 @@ pub enum Rule {
 }
 
 /// Every rule, in the order reports and `--list-rules` use.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 7] = [
     Rule::NondetIteration,
+    Rule::NondetFsWalk,
     Rule::WallClock,
     Rule::FmaContraction,
     Rule::SilentFallback,
@@ -40,6 +44,7 @@ impl Rule {
     pub fn id(self) -> &'static str {
         match self {
             Rule::NondetIteration => "nondet-iteration",
+            Rule::NondetFsWalk => "nondet-fs-walk",
             Rule::WallClock => "wall-clock",
             Rule::FmaContraction => "fma-contraction",
             Rule::SilentFallback => "silent-fallback",
@@ -59,6 +64,11 @@ impl Rule {
             Rule::NondetIteration => {
                 "HashMap/HashSet have nondeterministic iteration order; \
                  use BTreeMap/BTreeSet or a sorted Vec"
+            }
+            Rule::NondetFsWalk => {
+                "read_dir yields entries in filesystem order, which varies \
+                 by machine; sort (or prove order-independence) and say how \
+                 in a `// DETERMINISM:` comment within 3 lines above"
             }
             Rule::WallClock => {
                 "Instant/SystemTime read the wall clock; simulated time \
@@ -132,6 +142,11 @@ const WALL_CLOCK_EXEMPT_PREFIX: &str = "shims/criterion/";
 /// attributes).
 const SAFETY_COMMENT_REACH: u32 = 5;
 
+/// How many lines above a `read_dir` call its `// DETERMINISM:` comment
+/// may sit (the comment is usually the line directly above, sometimes
+/// wrapped onto two).
+const DETERMINISM_COMMENT_REACH: u32 = 3;
+
 /// Lints one source file. `rel_path` must be workspace-relative with
 /// forward slashes — rule scoping (protocol crates, the criterion
 /// exemption) keys off it.
@@ -155,6 +170,13 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
             c.line <= line
                 && c.line + SAFETY_COMMENT_REACH >= line
                 && c.text.to_ascii_lowercase().contains("safety")
+        })
+    };
+    let determinism_comment_near = |line: u32| {
+        comments.iter().any(|c| {
+            c.line <= line
+                && c.line + DETERMINISM_COMMENT_REACH >= line
+                && c.text.contains("DETERMINISM")
         })
     };
     let plain_comment_on = |line: u32| {
@@ -194,6 +216,14 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Violation> {
                         t.text
                     ),
                 )),
+            "read_dir" if !determinism_comment_near(t.line) => out.push(viol(
+                Rule::NondetFsWalk,
+                t.line,
+                "`read_dir` yields filesystem order; sort the entries (or \
+                 prove order can't be observed) and say how in a \
+                 `// DETERMINISM:` comment in the 3 lines above"
+                    .to_string(),
+            )),
             "mul_add" | "fma" => out.push(viol(
                 Rule::FmaContraction,
                 t.line,
@@ -342,6 +372,53 @@ mod tests {
             "// HashMap was a bug here\n",
             "fn f() { let s = \"HashMap\"; let r = r#\"HashSet\"#; }\n",
         );
+        assert!(rules_fired(CODE_PATH, src).is_empty());
+    }
+
+    // ---- nondet-fs-walk ---------------------------------------------------
+
+    #[test]
+    fn fs_walk_fires_on_bare_read_dir() {
+        let src = "fn f() -> std::io::Result<()> { for e in std::fs::read_dir(\".\")? { drop(e); } Ok(()) }";
+        assert_eq!(rules_fired(CODE_PATH, src), ["nondet-fs-walk"]);
+    }
+
+    #[test]
+    fn determinism_comment_satisfies_read_dir() {
+        let src = concat!(
+            "fn f(d: &std::path::Path) -> std::io::Result<()> {\n",
+            "    // DETERMINISM: entries are collected and sorted before\n",
+            "    // anything observable happens.\n",
+            "    for e in std::fs::read_dir(d)? {\n",
+            "        drop(e);\n",
+            "    }\n",
+            "    Ok(())\n",
+            "}\n",
+        );
+        assert!(rules_fired(CODE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn determinism_comment_out_of_reach_does_not_satisfy() {
+        let src = concat!(
+            "// DETERMINISM: too far away to be about the call below.\n",
+            "\n",
+            "\n",
+            "\n",
+            "fn f() -> std::io::Result<()> { for e in std::fs::read_dir(\".\")? { drop(e); } Ok(()) }\n",
+        );
+        assert_eq!(rules_fired(CODE_PATH, src), ["nondet-fs-walk"]);
+    }
+
+    #[test]
+    fn determinism_word_in_string_does_not_satisfy_read_dir() {
+        let src = "fn f() -> std::io::Result<()> { let _s = \"DETERMINISM\"; for e in std::fs::read_dir(\".\")? { drop(e); } Ok(()) }";
+        assert_eq!(rules_fired(CODE_PATH, src), ["nondet-fs-walk"]);
+    }
+
+    #[test]
+    fn read_dir_in_comment_or_string_is_quiet() {
+        let src = "fn f() { let _s = \"read_dir\"; } // read_dir was a bug here\n";
         assert!(rules_fired(CODE_PATH, src).is_empty());
     }
 

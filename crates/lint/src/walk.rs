@@ -21,6 +21,8 @@ pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
     let mut out = Vec::new();
     let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
+        // DETERMINISM: read_dir yields filesystem order; the sort two
+        // lines down pins the recursion (and the report) bytewise.
         let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
             .map(|e| e.map(|e| e.path()))
             .collect::<io::Result<_>>()?;

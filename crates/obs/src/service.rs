@@ -1,0 +1,371 @@
+//! Observability for the experiment service: trace spans and per-job
+//! metric scopes for queue, cache, and checkpoint events.
+//!
+//! [`ServiceObs`] implements [`ssync_exp::service::ServiceObserver`]
+//! (the dependency arrow points obs → exp, so the service itself stays
+//! obs-free) and turns the service's lifecycle stream into the same two
+//! artifacts every observable scenario produces: a Chrome trace (one
+//! Perfetto lane per job) and a metric-registry snapshot (global
+//! throughput counters plus a `Scope::Node(job)` scope per job, indexed
+//! by the job's claim ordinal).
+//!
+//! ## Determinism
+//!
+//! The service emits events in *logical* time — index-ordered unit
+//! completions, sequence-ordered jobs — so `ServiceObs` stamps each event
+//! with its ordinal in the stream, never wall-clock. Two runs of the same
+//! spool produce byte-identical trace JSON and metric snapshots at any
+//! worker count; the resume tests assert exactly that.
+
+use ssync_exp::service::{ServiceEvent, ServiceObserver};
+
+use crate::event::TraceEventKind;
+use crate::metrics::{MetricRegistry, Scope};
+use crate::trace::{TraceRecorder, TraceSet};
+
+/// Collects the service's event stream into a trace and a metric
+/// registry. One instance observes a whole `serve` session (any number
+/// of jobs).
+pub struct ServiceObs {
+    recorder: TraceRecorder,
+    metrics: MetricRegistry,
+    /// Logical clock: the event ordinal, used as the trace timestamp.
+    tick: u64,
+    /// Job ids in first-seen (claim) order; a job's position is its
+    /// Perfetto lane and its `Scope::Node` index.
+    jobs: Vec<String>,
+}
+
+impl Default for ServiceObs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceObs {
+    /// An empty observer.
+    pub fn new() -> ServiceObs {
+        ServiceObs {
+            recorder: TraceRecorder::enabled(),
+            metrics: MetricRegistry::new(),
+            tick: 0,
+            jobs: Vec::new(),
+        }
+    }
+
+    fn lane(&mut self, job: &str) -> u32 {
+        if let Some(i) = self.jobs.iter().position(|j| j == job) {
+            return i as u32;
+        }
+        self.jobs.push(job.to_string());
+        (self.jobs.len() - 1) as u32
+    }
+
+    /// Jobs seen so far, in claim order (lane order).
+    pub fn jobs(&self) -> &[String] {
+        &self.jobs
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.recorder.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.recorder.is_empty()
+    }
+
+    /// The folded metric registry (global service counters plus one
+    /// `Scope::Node(lane)` scope per job).
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// The metric snapshot, renderable through `ssync_exp::sink`.
+    pub fn metrics_snapshot(&self) -> ssync_exp::record::Output {
+        self.metrics.snapshot()
+    }
+
+    /// The whole session as Chrome trace-event JSON: one `"service"`
+    /// track, one lane per job, logical-time stamps.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut set = TraceSet::new();
+        set.push("service", self.recorder.clone());
+        crate::chrome::chrome_trace_json(&set)
+    }
+}
+
+impl ServiceObserver for ServiceObs {
+    fn on_event(&mut self, event: &ServiceEvent) {
+        let t = self.tick;
+        self.tick += 1;
+        match event {
+            ServiceEvent::JobStarted { job, units, .. } => {
+                let lane = self.lane(job);
+                self.metrics
+                    .counter("service/jobs_started", Scope::Global)
+                    .inc();
+                self.recorder.emit(
+                    t,
+                    lane,
+                    TraceEventKind::ServiceJob {
+                        what: "started",
+                        done: 0,
+                        units: *units as u32,
+                    },
+                );
+            }
+            ServiceEvent::CacheHit { job, key } => {
+                let lane = self.lane(job);
+                self.metrics
+                    .counter("service/cache_hits", Scope::Global)
+                    .inc();
+                self.recorder.emit(
+                    t,
+                    lane,
+                    TraceEventKind::ServiceCache {
+                        what: "hit",
+                        key: *key,
+                        bytes: 0,
+                    },
+                );
+            }
+            ServiceEvent::CacheMiss { job, key } => {
+                let lane = self.lane(job);
+                self.metrics
+                    .counter("service/cache_misses", Scope::Global)
+                    .inc();
+                self.recorder.emit(
+                    t,
+                    lane,
+                    TraceEventKind::ServiceCache {
+                        what: "miss",
+                        key: *key,
+                        bytes: 0,
+                    },
+                );
+            }
+            ServiceEvent::CheckpointLoaded {
+                job,
+                units,
+                dropped_tail,
+            } => {
+                let lane = self.lane(job);
+                self.metrics
+                    .counter("service/units_restored", Scope::Global)
+                    .add(*units as u64);
+                if *dropped_tail {
+                    self.metrics
+                        .counter("service/checkpoint_tails_dropped", Scope::Global)
+                        .inc();
+                }
+                self.recorder.emit(
+                    t,
+                    lane,
+                    TraceEventKind::ServiceCheckpoint {
+                        restored: *units as u32,
+                        dropped_tail: *dropped_tail,
+                    },
+                );
+            }
+            ServiceEvent::UnitFinished {
+                job,
+                unit,
+                done,
+                total,
+                from_checkpoint,
+            } => {
+                let lane = self.lane(job);
+                self.metrics
+                    .counter("service/units_done", Scope::Node(lane))
+                    .inc();
+                if !*from_checkpoint {
+                    self.metrics
+                        .counter("service/units_computed", Scope::Global)
+                        .inc();
+                }
+                // A one-tick span: units occupy [t, t+1) of logical time,
+                // so a job's lane reads as a progress bar in Perfetto.
+                self.recorder.emit_span(
+                    t,
+                    1,
+                    lane,
+                    TraceEventKind::ServiceUnit {
+                        unit: *unit as u32,
+                        done: *done as u32,
+                        total: *total as u32,
+                        from_checkpoint: *from_checkpoint,
+                    },
+                );
+            }
+            ServiceEvent::CacheStored { job, key, bytes } => {
+                let lane = self.lane(job);
+                self.metrics
+                    .counter("service/cache_stores", Scope::Global)
+                    .inc();
+                self.recorder.emit(
+                    t,
+                    lane,
+                    TraceEventKind::ServiceCache {
+                        what: "stored",
+                        key: *key,
+                        bytes: *bytes as u32,
+                    },
+                );
+            }
+            ServiceEvent::JobCompleted { job, units, .. } => {
+                let lane = self.lane(job);
+                self.metrics
+                    .counter("service/jobs_completed", Scope::Global)
+                    .inc();
+                self.recorder.emit(
+                    t,
+                    lane,
+                    TraceEventKind::ServiceJob {
+                        what: "completed",
+                        done: *units as u32,
+                        units: *units as u32,
+                    },
+                );
+            }
+            ServiceEvent::JobInterrupted { job, done, total } => {
+                let lane = self.lane(job);
+                self.metrics
+                    .counter("service/jobs_interrupted", Scope::Global)
+                    .inc();
+                self.recorder.emit(
+                    t,
+                    lane,
+                    TraceEventKind::ServiceJob {
+                        what: "interrupted",
+                        done: *done as u32,
+                        units: *total as u32,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_stream() -> Vec<ServiceEvent> {
+        vec![
+            ServiceEvent::JobStarted {
+                job: "j000001".into(),
+                scenario: "toy".into(),
+                units: 2,
+            },
+            ServiceEvent::CacheMiss {
+                job: "j000001".into(),
+                key: 0xabcd,
+            },
+            ServiceEvent::CheckpointLoaded {
+                job: "j000001".into(),
+                units: 1,
+                dropped_tail: true,
+            },
+            ServiceEvent::UnitFinished {
+                job: "j000001".into(),
+                unit: 0,
+                done: 1,
+                total: 2,
+                from_checkpoint: true,
+            },
+            ServiceEvent::UnitFinished {
+                job: "j000001".into(),
+                unit: 1,
+                done: 2,
+                total: 2,
+                from_checkpoint: false,
+            },
+            ServiceEvent::CacheStored {
+                job: "j000001".into(),
+                key: 0xabcd,
+                bytes: 128,
+            },
+            ServiceEvent::JobCompleted {
+                job: "j000001".into(),
+                units: 2,
+                from_checkpoint: 1,
+            },
+            ServiceEvent::CacheHit {
+                job: "j000002".into(),
+                key: 0xabcd,
+            },
+        ]
+    }
+
+    #[test]
+    fn lanes_follow_claim_order_and_counters_fold() {
+        let mut obs = ServiceObs::new();
+        for e in demo_stream() {
+            obs.on_event(&e);
+        }
+        assert_eq!(obs.jobs(), ["j000001".to_string(), "j000002".to_string()]);
+        assert_eq!(obs.len(), 8);
+        let m = obs.metrics();
+        assert_eq!(
+            m.counter_value("service/jobs_started", Scope::Global),
+            Some(1)
+        );
+        assert_eq!(
+            m.counter_value("service/cache_misses", Scope::Global),
+            Some(1)
+        );
+        assert_eq!(
+            m.counter_value("service/cache_hits", Scope::Global),
+            Some(1)
+        );
+        assert_eq!(
+            m.counter_value("service/cache_stores", Scope::Global),
+            Some(1)
+        );
+        assert_eq!(
+            m.counter_value("service/units_restored", Scope::Global),
+            Some(1)
+        );
+        assert_eq!(
+            m.counter_value("service/checkpoint_tails_dropped", Scope::Global),
+            Some(1)
+        );
+        assert_eq!(
+            m.counter_value("service/units_computed", Scope::Global),
+            Some(1)
+        );
+        assert_eq!(
+            m.counter_value("service/units_done", Scope::Node(0)),
+            Some(2)
+        );
+        assert_eq!(m.counter_value("service/units_done", Scope::Node(1)), None);
+        assert_eq!(
+            m.counter_value("service/jobs_completed", Scope::Global),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn identical_event_streams_export_identical_artifacts() {
+        let render = || {
+            let mut obs = ServiceObs::new();
+            for e in demo_stream() {
+                obs.on_event(&e);
+            }
+            (
+                obs.chrome_trace_json(),
+                ssync_exp::sink::render_tsv(&obs.metrics_snapshot()),
+            )
+        };
+        let (trace_a, metrics_a) = render();
+        let (trace_b, metrics_b) = render();
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(metrics_a, metrics_b);
+        // Logical timestamps, not wall-clock: the event ordinal appears
+        // as the microsecond field Perfetto reads.
+        assert!(trace_a.contains("\"name\": \"service_unit\""));
+        assert!(trace_a.contains("\"name\": \"service\""));
+    }
+}
